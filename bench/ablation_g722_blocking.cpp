@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Ablation for the paper's block-size observation (section 4.2): g722
+ * "only processes one input at a time while encoding and decoding.
+ * Operating on blocks of data at once would definitely increase the
+ * opportunity to use MMX code."
+ *
+ * Part 1 sweeps the vector length of an MMX library call and reports
+ * per-element cost: at the lengths a sample-at-a-time codec can offer
+ * (6-12 elements), call overhead dominates; by a few hundred elements
+ * it has amortized away.
+ * Part 2 shows the whole-codec consequence (g722.c vs g722.mmx).
+ */
+
+#include <cstdio>
+
+#include "apps/g722/g722_app.hh"
+#include "apps/g722/g722_codec.hh"
+#include "workloads/signal_data.hh"
+#include "nsp/vector.hh"
+#include "profile/vprof.hh"
+#include "runtime/cpu.hh"
+#include "support/rng.hh"
+#include "support/table.hh"
+
+using namespace mmxdsp;
+using runtime::Cpu;
+
+int
+main()
+{
+    Cpu cpu;
+    Rng rng(3);
+
+    std::printf("Part 1: MMX library dot product — per-element cycles vs "
+                "vector length\n\n");
+    Table sweep({"length", "cycles/call", "cycles/element",
+                 "overhead share"});
+    std::vector<int16_t> a(4096);
+    std::vector<int16_t> b(4096);
+    for (auto &v : a)
+        v = static_cast<int16_t>(rng.nextInRange(-1000, 1000));
+    for (auto &v : b)
+        v = static_cast<int16_t>(rng.nextInRange(-1000, 1000));
+
+    // Estimate the pure per-element cost from the longest call.
+    double asymptotic = 0.0;
+    for (int n : {4096, 512, 128, 64, 32, 16, 12, 8, 4}) {
+        const int reps = std::max(1, 4096 / n);
+        profile::VProf prof;
+        cpu.attachSink(&prof);
+        for (int r = 0; r < reps; ++r)
+            nsp::dotProdMmx(cpu, a.data(), b.data(), n);
+        cpu.attachSink(nullptr);
+        double per_call = static_cast<double>(prof.result().cycles) / reps;
+        double per_elem = per_call / n;
+        if (n == 4096)
+            asymptotic = per_elem;
+        sweep.addRow({Table::fmtInt(n), Table::fmtFixed(per_call, 1),
+                      Table::fmtFixed(per_elem, 2),
+                      Table::fmtPercent(1.0 - asymptotic / per_elem)});
+    }
+    sweep.print();
+
+    std::printf("\nPart 2: the consequence for the sample-at-a-time "
+                "codec\n\n");
+    apps::g722::G722Benchmark bench;
+    bench.setup(2048, 5);
+    profile::VProf pc;
+    cpu.attachSink(&pc);
+    bench.runC(cpu);
+    cpu.attachSink(nullptr);
+    profile::VProf pm;
+    cpu.attachSink(&pm);
+    bench.runMmx(cpu);
+    cpu.attachSink(nullptr);
+
+    auto rc = pc.result();
+    auto rm = pm.result();
+    Table codec({"version", "cycles", "dyn instrs", "%MMX", "calls"});
+    codec.addRow({"g722.c", Table::fmtCount(static_cast<int64_t>(rc.cycles)),
+                  Table::fmtCount(static_cast<int64_t>(rc.dynamicInstructions)),
+                  Table::fmtPercent(rc.pctMmx()),
+                  Table::fmtCount(static_cast<int64_t>(rc.functionCalls))});
+    codec.addRow({"g722.mmx",
+                  Table::fmtCount(static_cast<int64_t>(rm.cycles)),
+                  Table::fmtCount(static_cast<int64_t>(rm.dynamicInstructions)),
+                  Table::fmtPercent(rm.pctMmx()),
+                  Table::fmtCount(static_cast<int64_t>(rm.functionCalls))});
+    codec.print();
+    std::printf("\nspeedup %.2f (paper: 0.77 — a slowdown). The 6-12 "
+                "element library calls the codec's structure permits sit "
+                "in the overhead-dominated region of the sweep above.\n",
+                static_cast<double>(rc.cycles) / rm.cycles);
+
+    // ---- Part 3: the paper's proposed fix, implemented ----
+    std::printf("\nPart 3: block-mode encoding (the paper's future-work "
+                "suggestion)\n\n");
+    auto speech = workloads::makeSpeech(4096, 23);
+    Table blk({"encoder", "cycles", "calls", "speedup vs g722.c enc"});
+
+    uint64_t c_enc;
+    {
+        apps::g722::G722Codec codec(apps::g722::G722Codec::Mode::ScalarC);
+        profile::VProf prof;
+        cpu.attachSink(&prof);
+        for (size_t n = 0; n + 1 < speech.size(); n += 2)
+            codec.encodePair(cpu, &speech[n]);
+        cpu.attachSink(nullptr);
+        c_enc = prof.result().cycles;
+        blk.addRow({"C per-pair",
+                    Table::fmtCount(static_cast<int64_t>(c_enc)),
+                    Table::fmtCount(
+                        static_cast<int64_t>(prof.result().functionCalls)),
+                    "1.00"});
+    }
+    {
+        apps::g722::G722Codec codec(apps::g722::G722Codec::Mode::Mmx);
+        profile::VProf prof;
+        cpu.attachSink(&prof);
+        for (size_t n = 0; n + 1 < speech.size(); n += 2)
+            codec.encodePair(cpu, &speech[n]);
+        cpu.attachSink(nullptr);
+        blk.addRow({"MMX per-pair (the paper's version)",
+                    Table::fmtCount(
+                        static_cast<int64_t>(prof.result().cycles)),
+                    Table::fmtCount(
+                        static_cast<int64_t>(prof.result().functionCalls)),
+                    Table::fmtFixed(static_cast<double>(c_enc)
+                                        / prof.result().cycles,
+                                    2)});
+    }
+    for (int pairs : {8, 32, 128}) {
+        apps::g722::G722Codec codec(apps::g722::G722Codec::Mode::Mmx);
+        std::vector<uint8_t> out(speech.size() / 2);
+        profile::VProf prof;
+        cpu.attachSink(&prof);
+        for (size_t n = 0;
+             n + 2 * static_cast<size_t>(pairs) <= speech.size();
+             n += 2 * static_cast<size_t>(pairs))
+            codec.encodeBlock(cpu, &speech[n], pairs, &out[n / 2]);
+        cpu.attachSink(nullptr);
+        char label[64];
+        std::snprintf(label, sizeof(label), "MMX block (%d pairs)", pairs);
+        blk.addRow({label,
+                    Table::fmtCount(
+                        static_cast<int64_t>(prof.result().cycles)),
+                    Table::fmtCount(
+                        static_cast<int64_t>(prof.result().functionCalls)),
+                    Table::fmtFixed(static_cast<double>(c_enc)
+                                        / prof.result().cycles,
+                                    2)});
+    }
+    blk.print();
+    std::printf("\nBatching the QMF into long library calls turns the "
+                "encoder's MMX slowdown into a win, confirming the "
+                "paper's prediction.\n");
+    return 0;
+}

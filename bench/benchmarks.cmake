@@ -1,0 +1,26 @@
+# One binary per paper table/figure, plus ablations and microbenchmarks.
+function(mmxdsp_add_bench name)
+    add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+    set_target_properties(${name} PROPERTIES
+        RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+    target_link_libraries(${name} PRIVATE mmxdsp_harness mmxdsp_nsp)
+endfunction()
+
+mmxdsp_add_bench(table2_characteristics)
+mmxdsp_add_bench(table3_ratios)
+mmxdsp_add_bench(fig1a_mmx_mix)
+mmxdsp_add_bench(fig1b_instr_ratios)
+mmxdsp_add_bench(fig2a_c_vs_mmx)
+mmxdsp_add_bench(fig2b_fp_vs_mmx)
+mmxdsp_add_bench(ablation_imul_vs_pmaddwd)
+mmxdsp_add_bench(ablation_fft_library)
+mmxdsp_add_bench(ablation_jpeg_core_vs_app)
+mmxdsp_add_bench(ablation_g722_blocking)
+mmxdsp_add_bench(ablation_emms)
+mmxdsp_add_bench(ext_motion_estimation)
+mmxdsp_add_bench(micro_pentium_model)
+
+add_executable(micro_mmx_ops ${CMAKE_SOURCE_DIR}/bench/micro_mmx_ops.cpp)
+set_target_properties(micro_mmx_ops PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+target_link_libraries(micro_mmx_ops PRIVATE mmxdsp_mmx benchmark::benchmark)

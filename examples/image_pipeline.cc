@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The paper's best-case benchmark as a demo: dim an image to 70%
+ * brightness and switch its colors (boost red, cut blue), once with
+ * byte-at-a-time C and once with the MMX image library, writing
+ * before/after BMPs and comparing simulated cycle counts.
+ *
+ * Usage: image_pipeline [width height]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/image/image_app.hh"
+#include "profile/vprof.hh"
+#include "runtime/cpu.hh"
+#include "workloads/image_data.hh"
+
+using namespace mmxdsp;
+
+int
+main(int argc, char **argv)
+{
+    int width = argc > 2 ? std::atoi(argv[1]) : 320;
+    int height = argc > 2 ? std::atoi(argv[2]) : 240;
+
+    auto img = workloads::makeTestImage(width, height, 7);
+    writeBmp("image_before.bmp", img);
+    std::printf("wrote image_before.bmp (%dx%d)\n", width, height);
+
+    apps::image::ImageBenchmark bench;
+    bench.setup(img, /*dim=*/180, /*red boost=*/40, /*blue cut=*/25);
+    runtime::Cpu cpu;
+
+    profile::VProf prof_c;
+    cpu.attachSink(&prof_c);
+    bench.runC(cpu);
+    cpu.attachSink(nullptr);
+
+    profile::VProf prof_mmx;
+    cpu.attachSink(&prof_mmx);
+    bench.runMmx(cpu);
+    cpu.attachSink(nullptr);
+
+    writeBmp("image_after.bmp", bench.outMmx());
+    std::printf("wrote image_after.bmp\n");
+
+    bool identical = bench.outC().rgb == bench.outMmx().rgb;
+    auto rc = prof_c.result();
+    auto rm = prof_mmx.result();
+
+    std::printf("\nC and MMX outputs byte-identical: %s\n",
+                identical ? "yes" : "NO");
+    std::printf("image.c    %12llu cycles, %10llu instructions\n",
+                static_cast<unsigned long long>(rc.cycles),
+                static_cast<unsigned long long>(rc.dynamicInstructions));
+    std::printf("image.mmx  %12llu cycles, %10llu instructions "
+                "(%.1f%% MMX)\n",
+                static_cast<unsigned long long>(rm.cycles),
+                static_cast<unsigned long long>(rm.dynamicInstructions),
+                100.0 * rm.pctMmx());
+    std::printf("speedup    %.2fx  (paper: 5.5x — contiguous aligned "
+                "8-bit data is MMX's best case)\n",
+                static_cast<double>(rc.cycles) / rm.cycles);
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Quickstart: run a 16-bit dot product three ways — plain C++ (oracle),
+ * instrumented scalar code (imul-based, what a 1997 compiler emitted),
+ * and the MMX library routine (pmaddwd) — under the VTune-style
+ * profiler, and print the reports.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "nsp/vector.hh"
+#include "profile/trace_dump.hh"
+#include "profile/vprof.hh"
+#include "runtime/cpu.hh"
+#include "support/rng.hh"
+
+using namespace mmxdsp;
+using runtime::Cpu;
+using runtime::R32;
+
+int
+main()
+{
+    const int n = 256;
+    Rng rng(1);
+    std::vector<int16_t> a(n);
+    std::vector<int16_t> b(n);
+    for (int i = 0; i < n; ++i) {
+        a[static_cast<size_t>(i)] = static_cast<int16_t>(
+            rng.nextInRange(-1000, 1000));
+        b[static_cast<size_t>(i)] = static_cast<int16_t>(
+            rng.nextInRange(-1000, 1000));
+    }
+
+    // Oracle.
+    int32_t expect = 0;
+    for (int i = 0; i < n; ++i)
+        expect += static_cast<int32_t>(a[static_cast<size_t>(i)])
+                  * b[static_cast<size_t>(i)];
+
+    Cpu cpu;
+
+    // Scalar version: one load, one imul, one add per element.
+    profile::VProf scalar_prof;
+    cpu.attachSink(&scalar_prof);
+    R32 acc = cpu.imm32(0);
+    for (int i = 0; i < n; ++i) {
+        R32 x = cpu.load16s(&a[static_cast<size_t>(i)]);
+        x = cpu.imulLoad16(x, &b[static_cast<size_t>(i)]);
+        acc = cpu.add(acc, x);
+        cpu.jcc(i + 1 < n);
+    }
+    cpu.attachSink(nullptr);
+    std::printf("scalar result %d (expect %d)\n\n", acc.v, expect);
+    scalar_prof.printReport(cpu, 5);
+
+    // MMX library version: pmaddwd, four products per instruction.
+    profile::VProf mmx_prof;
+    cpu.attachSink(&mmx_prof);
+    R32 mmx_acc = nsp::dotProdMmx(cpu, a.data(), b.data(), n);
+    cpu.attachSink(nullptr);
+    std::printf("\nMMX result %d (expect %d)\n\n", mmx_acc.v, expect);
+    mmx_prof.printReport(cpu, 5);
+
+    // And the first instructions of the MMX call, VTune-trace style.
+    profile::TraceDump trace(24);
+    cpu.attachSink(&trace);
+    nsp::dotProdMmx(cpu, a.data(), b.data(), n);
+    cpu.attachSink(nullptr);
+    std::printf("\n-- instruction trace (first %zu of %llu) --\n",
+                trace.lines().size(),
+                static_cast<unsigned long long>(trace.totalEvents()));
+    trace.print();
+
+    std::printf("\nspeedup: %.2fx (the paper's matvec reached 6.61x at "
+                "512x512 — see bench/table3_ratios)\n",
+                static_cast<double>(scalar_prof.result().cycles)
+                    / static_cast<double>(mmx_prof.result().cycles));
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Doppler radar demo: synthesize coherent echoes for a moving target
+ * buried in stationary clutter, run the processing chain (two-pulse
+ * canceller, 16-point FFTs, spectral accumulation), and print the
+ * per-range Doppler map with the estimated target velocity.
+ *
+ * Usage: radar_doppler [doppler_norm target_range]
+ *   doppler_norm in (-0.5, 0.5), e.g. 0.19
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/radar/radar_app.hh"
+#include "profile/vprof.hh"
+#include "runtime/cpu.hh"
+
+using namespace mmxdsp;
+
+int
+main(int argc, char **argv)
+{
+    workloads::RadarScenario scenario;
+    scenario.num_echoes = 513;
+    if (argc > 1)
+        scenario.doppler_norm = std::atof(argv[1]);
+    if (argc > 2)
+        scenario.target_range = std::atoi(argv[2]);
+
+    std::printf("scenario: target at range gate %d, Doppler %.3f x PRF, "
+                "clutter %.0f%% FS\n\n",
+                scenario.target_range, scenario.doppler_norm,
+                100.0 * scenario.clutter_amp);
+
+    apps::radar::RadarBenchmark bench;
+    bench.setup(scenario);
+    runtime::Cpu cpu;
+
+    profile::VProf prof_c;
+    cpu.attachSink(&prof_c);
+    bench.runC(cpu);
+    cpu.attachSink(nullptr);
+    profile::VProf prof_mmx;
+    cpu.attachSink(&prof_mmx);
+    bench.runMmx(cpu);
+    cpu.attachSink(nullptr);
+
+    std::printf("range   C: freq    power      MMX: freq   power\n");
+    for (int r = 0; r < scenario.num_ranges; ++r) {
+        const auto &c = bench.outC()[static_cast<size_t>(r)];
+        const auto &m = bench.outMmx()[static_cast<size_t>(r)];
+        std::printf("%5d   %+.4f  %9.0f      %+.4f  %9.0f%s\n", r,
+                    c.frequency, c.power, m.frequency, m.power,
+                    r == scenario.target_range ? "   <-- target" : "");
+    }
+
+    std::printf("\ndetected range: C=%d MMX=%d (true %d)\n",
+                bench.detectedRangeC(), bench.detectedRangeMmx(),
+                scenario.target_range);
+    double est = bench.outC()[static_cast<size_t>(
+                                  bench.detectedRangeC())]
+                     .frequency;
+    std::printf("estimated Doppler %.4f x PRF (true %.4f, FFT resolution "
+                "%.4f)\n",
+                est, scenario.doppler_norm,
+                1.0 / apps::radar::RadarBenchmark::kFftSize);
+    std::printf("\ncycles: radar.c %llu, radar.mmx %llu, speedup %.2f "
+                "(paper: 1.21)\n",
+                static_cast<unsigned long long>(prof_c.result().cycles),
+                static_cast<unsigned long long>(prof_mmx.result().cycles),
+                static_cast<double>(prof_c.result().cycles)
+                    / prof_mmx.result().cycles);
+    return 0;
+}

@@ -1,0 +1,558 @@
+#include "g722_codec.hh"
+
+#include "nsp/alloc.hh"
+#include "nsp/filter.hh"
+#include "nsp/vector.hh"
+#include "support/fixed_point.hh"
+#include "support/logging.hh"
+#include "support/signal_math.hh"
+
+namespace mmxdsp::apps::g722 {
+
+namespace {
+
+/** Step multipliers (Q8) for the 6-bit band, indexed by |code|. */
+const std::array<int32_t, 32> &
+mult6()
+{
+    static const std::array<int32_t, 32> table = [] {
+        std::array<int32_t, 32> t{};
+        for (int q = 0; q < 32; ++q) {
+            if (q == 0)
+                t[static_cast<size_t>(q)] = 216;
+            else if (q == 1)
+                t[static_cast<size_t>(q)] = 244;
+            else
+                t[static_cast<size_t>(q)] =
+                    std::min<int32_t>(256 + (q - 1) * 24, 640);
+        }
+        return t;
+    }();
+    return table;
+}
+
+/** Step multipliers (Q8) for the 2-bit band. */
+constexpr std::array<int32_t, 2> kMult2 = {216, 380};
+
+/** Emit the compiled-C sign test (cmp + branch) and return sign(v). */
+int
+emitSign(Cpu &cpu, const R32 &v)
+{
+    cpu.cmpImm(v, 0);
+    cpu.jcc(v.v < 0);
+    return v.v > 0 ? 1 : (v.v < 0 ? -1 : 0);
+}
+
+/** Emit a two-sided clamp (two compare/branch pairs). */
+R32
+emitClamp(Cpu &cpu, R32 v, int32_t lo, int32_t hi)
+{
+    cpu.cmpImm(v, hi);
+    cpu.jcc(v.v > hi);
+    cpu.cmpImm(v, lo);
+    cpu.jcc(v.v < lo);
+    if (v.v > hi)
+        return R32{hi, v.tag};
+    if (v.v < lo)
+        return R32{lo, v.tag};
+    return v;
+}
+
+} // namespace
+
+G722Codec::G722Codec(Mode mode)
+    : mode_(mode)
+{
+    // The ITU-T G.722 transmit/receive QMF coefficients (symmetric
+    // 24-tap table, Q13 with unity DC gain): aliasing cancels exactly
+    // in the QMF structure and reconstruction is ~64 dB.
+    static const int16_t kG722Qmf[12] = {3,    -11,  -11, 53,  12,  -156,
+                                         32,   362,  -210, -805, 951, 3876};
+    for (int i = 0; i < 12; ++i) {
+        int k = 2 * i;
+        int16_t h2i = k < 12 ? kG722Qmf[k] : kG722Qmf[23 - k];
+        int16_t h2i1 = (k + 1) < 12 ? kG722Qmf[k + 1] : kG722Qmf[22 - k];
+        hEven_[static_cast<size_t>(i)] = h2i;
+        hOdd_[static_cast<size_t>(i)] = h2i1;
+    }
+
+    // Full-rate forms for block mode: coeffs[i] = h[i] (h symmetric),
+    // alt[i] = -(-1)^i h[i], so one strided 24-tap convolution gives
+    // exactly the per-pair (A+B) >> 13 and (A-B) >> 13 values.
+    for (int i = 0; i < 24; ++i) {
+        int16_t hi = i < 12 ? kG722Qmf[i] : kG722Qmf[23 - i];
+        qmfFull_[static_cast<size_t>(i)] = hi;
+        qmfFullAlt_[static_cast<size_t>(i)] =
+            static_cast<int16_t>((i % 2 == 0) ? -hi : hi);
+    }
+
+    for (int i = 0; i < 12; ++i) {
+        revHEven_[static_cast<size_t>(i)] =
+            hEven_[static_cast<size_t>(11 - i)];
+        revHOdd_[static_cast<size_t>(i)] =
+            hOdd_[static_cast<size_t>(11 - i)];
+    }
+
+    encLow_.codeBits = 6;
+    encLow_.delta = 32;
+    encHigh_.codeBits = 2;
+    encHigh_.delta = 8;
+    encHigh_.deltaMax = 16384;
+    decLow_ = encLow_;
+    decHigh_ = encHigh_;
+}
+
+namespace {
+
+/**
+ * Shift a 12-entry 16-bit delay line down by one and insert at [0].
+ * Scalar mode moves words one at a time; MMX mode uses two overlapping
+ * quad-word moves plus a short scalar tail.
+ */
+void
+shiftInsert(Cpu &cpu, G722Codec::Mode mode, std::array<int16_t, 12> &line,
+            R32 value)
+{
+    if (mode == G722Codec::Mode::Mmx) {
+        runtime::M64 a = cpu.movqLoad(&line[7]);
+        cpu.movqStore(&line[8], a);
+        runtime::M64 b = cpu.movqLoad(&line[3]);
+        cpu.movqStore(&line[4], b);
+        for (int i = 3; i >= 1; --i) {
+            R32 v = cpu.load16s(&line[static_cast<size_t>(i - 1)]);
+            cpu.store16(&line[static_cast<size_t>(i)], v);
+        }
+    } else {
+        for (int i = 11; i >= 1; --i) {
+            R32 v = cpu.load16s(&line[static_cast<size_t>(i - 1)]);
+            cpu.store16(&line[static_cast<size_t>(i)], v);
+        }
+    }
+    cpu.store16(&line[0], value);
+}
+
+} // namespace
+
+/**
+ * 12-tap dot product: inline scalar loop, or a copy into the
+ * dynamically allocated aligned scratch followed by an MMX library
+ * call (the data formatting + allocation overhead of library use).
+ */
+R32
+G722Codec::dot12(Cpu &cpu, const std::array<int16_t, 12> &coeffs,
+                 const std::array<int16_t, 12> &line)
+{
+    if (mode_ == Mode::Mmx) {
+        for (int i = 0; i < 12; ++i) {
+            R32 v = cpu.load16s(&line[static_cast<size_t>(i)]);
+            cpu.store16(&scratch_[i], v);
+            cpu.jcc(i + 1 < 12);
+        }
+        return nsp::dotProdMmx(cpu, coeffs.data(), scratch_, 12);
+    }
+    R32 acc = cpu.imm32(0);
+    for (int i = 0; i < 12; ++i) {
+        R32 x = cpu.load16s(&coeffs[static_cast<size_t>(i)]);
+        x = cpu.imulLoad16(x, &line[static_cast<size_t>(i)]);
+        acc = cpu.add(acc, x);
+        cpu.jcc(i + 1 < 12);
+    }
+    return acc;
+}
+
+void
+G722Codec::qmfAnalyze(Cpu &cpu, R32 &xl, R32 &xh)
+{
+    R32 a = dot12(cpu, hEven_, lineEven_);
+    R32 b = dot12(cpu, hOdd_, lineOdd_);
+    R32 sum = cpu.add(cpu.mov(a), cpu.mov(b));
+    sum = cpu.sar(sum, 13);
+    xl = emitClamp(cpu, sum, -32768, 32767);
+    R32 diff = cpu.sub(a, b);
+    diff = cpu.sar(diff, 13);
+    xh = emitClamp(cpu, diff, -32768, 32767);
+}
+
+R32
+G722Codec::predict(Cpu &cpu, AdpcmBand &band, R32 &zero_part)
+{
+    // Zero (FIR) section over the quantized-difference history.
+    R32 zp;
+    if (mode_ == Mode::Mmx) {
+        // dq/b are padded to 8 entries so the library sees whole quads;
+        // the history still goes through the library-format scratch
+        // copy like every other vector argument.
+        for (int i = 0; i < 8; ++i) {
+            R32 v = cpu.load16s(&band.dq[static_cast<size_t>(i)]);
+            cpu.store16(&scratch_[i], v);
+            cpu.jcc(i + 1 < 8);
+        }
+        zp = nsp::dotProdMmx(cpu, band.b.data(), scratch_, 8);
+    } else {
+        zp = cpu.imm32(0);
+        for (int i = 0; i < 6; ++i) {
+            R32 x = cpu.load16s(&band.b[static_cast<size_t>(i)]);
+            x = cpu.imulLoad16(x, &band.dq[static_cast<size_t>(i)]);
+            zp = cpu.add(zp, x);
+            cpu.jcc(i + 1 < 6);
+        }
+    }
+    zp = cpu.sar(zp, 14);
+    zero_part = zp;
+
+    // Pole (AR) section.
+    R32 p1 = cpu.load32(&band.a1);
+    p1 = cpu.imul(p1, cpu.load32(&band.r1));
+    p1 = cpu.sar(p1, 14);
+    R32 p2 = cpu.load32(&band.a2);
+    p2 = cpu.imul(p2, cpu.load32(&band.r2));
+    p2 = cpu.sar(p2, 14);
+    R32 pred = cpu.add(p1, p2);
+    pred = cpu.add(pred, cpu.mov(zp));
+    return pred;
+}
+
+void
+G722Codec::adapt(Cpu &cpu, AdpcmBand &band, int32_t mag, R32 dqv,
+                 R32 zero_part)
+{
+    // --- step-size adaptation ---
+    int32_t mult = band.codeBits == 6
+                       ? mult6()[static_cast<size_t>(mag)]
+                       : kMult2[static_cast<size_t>(mag)];
+    R32 delta = cpu.load32(&band.delta);
+    delta = cpu.imulImm(delta, mult);
+    delta = cpu.sar(delta, 8);
+    delta = emitClamp(cpu, delta, band.deltaMin, band.deltaMax);
+    cpu.store32(&band.delta, delta);
+
+    // --- zero-coefficient adaptation (leaky sign-sign LMS) ---
+    int sgn_dq = emitSign(cpu, dqv);
+    for (int i = 0; i < 6; ++i) {
+        R32 bi = cpu.load16s(&band.b[static_cast<size_t>(i)]);
+        R32 hist = cpu.load16s(&band.dq[static_cast<size_t>(i)]);
+        int sgn_hist = emitSign(cpu, hist);
+        R32 leak = cpu.sar(cpu.mov(bi), 8);
+        bi = cpu.sub(bi, leak);
+        int32_t step = 128 * sgn_dq * sgn_hist;
+        bi = cpu.addImm(bi, step);
+        bi = emitClamp(cpu, bi, -0x3000, 0x3000);
+        cpu.store16(&band.b[static_cast<size_t>(i)], bi);
+    }
+
+    // --- shift the dq history ---
+    for (int i = 5; i >= 1; --i) {
+        R32 v = cpu.load16s(&band.dq[static_cast<size_t>(i - 1)]);
+        cpu.store16(&band.dq[static_cast<size_t>(i)], v);
+    }
+    R32 dq0 = emitClamp(cpu, cpu.mov(dqv), -32768, 32767);
+    cpu.store16(&band.dq[0], dq0);
+
+    // --- pole-coefficient adaptation ---
+    R32 p = cpu.add(dqv, zero_part); // partial reconstruction
+    int sgn_p = emitSign(cpu, p);
+    R32 p1v = cpu.load32(&band.p1);
+    int sgn_p1 = emitSign(cpu, p1v);
+    R32 p2v = cpu.load32(&band.p2);
+    int sgn_p2 = emitSign(cpu, p2v);
+
+    R32 a1 = cpu.load32(&band.a1);
+    R32 leak1 = cpu.sar(cpu.mov(a1), 8);
+    a1 = cpu.sub(a1, leak1);
+    a1 = cpu.addImm(a1, 128 * sgn_p * sgn_p1);
+    a1 = emitClamp(cpu, a1, -0x3400, 0x3400);
+    cpu.store32(&band.a1, a1);
+
+    R32 a2 = cpu.load32(&band.a2);
+    R32 leak2 = cpu.sar(cpu.mov(a2), 8);
+    a2 = cpu.sub(a2, leak2);
+    a2 = cpu.addImm(a2, 64 * sgn_p * sgn_p2);
+    a2 = emitClamp(cpu, a2, -0x1e00, 0x1e00);
+    cpu.store32(&band.a2, a2);
+
+    // --- rotate histories ---
+    R32 old_p1 = cpu.load32(&band.p1);
+    cpu.store32(&band.p2, old_p1);
+    cpu.store32(&band.p1, p);
+}
+
+int32_t
+G722Codec::adpcmEncode(Cpu &cpu, AdpcmBand &band, R32 target)
+{
+    R32 zero_part{};
+    R32 pred = predict(cpu, band, zero_part);
+
+    R32 d = cpu.sub(target, cpu.mov(pred));
+    int neg = emitSign(cpu, d) < 0;
+    R32 magr = neg ? cpu.neg(cpu.mov(d)) : cpu.mov(d);
+
+    R32 delta = cpu.load32(&band.delta);
+    R32 q = cpu.idiv(magr, delta);
+    const int32_t max_code = (1 << (band.codeBits - 1)) - 1;
+    q = emitClamp(cpu, q, 0, max_code);
+
+    // Mid-rise reconstruction: dqv = sign * (q*delta + delta/2).
+    R32 dqv = cpu.imul(cpu.mov(q), cpu.load32(&band.delta));
+    R32 half = cpu.sar(cpu.load32(&band.delta), 1);
+    dqv = cpu.add(dqv, half);
+    if (neg)
+        dqv = cpu.neg(dqv);
+
+    // Reconstructed signal and history rotation.
+    R32 r = cpu.add(cpu.mov(pred), cpu.mov(dqv));
+    r = emitClamp(cpu, r, -32768, 32767);
+    R32 old_r1 = cpu.load32(&band.r1);
+    cpu.store32(&band.r2, old_r1);
+    cpu.store32(&band.r1, r);
+
+    adapt(cpu, band, q.v, dqv, zero_part);
+    return q.v | (neg << (band.codeBits - 1));
+}
+
+R32
+G722Codec::adpcmDecode(Cpu &cpu, AdpcmBand &band, int32_t field)
+{
+    R32 zero_part{};
+    R32 pred = predict(cpu, band, zero_part);
+
+    const int32_t sign_bit = 1 << (band.codeBits - 1);
+    int neg = (field & sign_bit) != 0;
+    int32_t mag = field & (sign_bit - 1);
+    R32 q = cpu.imm32(mag);
+    R32 dqv = cpu.imul(q, cpu.load32(&band.delta));
+    R32 half = cpu.sar(cpu.load32(&band.delta), 1);
+    dqv = cpu.add(dqv, half);
+    cpu.cmpImm(cpu.imm32(neg), 0);
+    cpu.jcc(neg);
+    if (neg)
+        dqv = cpu.neg(dqv);
+
+    R32 r = cpu.add(cpu.mov(pred), cpu.mov(dqv));
+    r = emitClamp(cpu, r, -32768, 32767);
+    R32 old_r1 = cpu.load32(&band.r1);
+    cpu.store32(&band.r2, old_r1);
+    cpu.store32(&band.r1, r);
+
+    adapt(cpu, band, mag, dqv, zero_part);
+    return r;
+}
+
+uint8_t
+G722Codec::encodePair(Cpu &cpu, const int16_t x[2])
+{
+    // Insert the pair into the polyphase delay lines. The MMX version
+    // pre-scales by >>1: the a-priori scale factor that guarantees the
+    // pmaddwd accumulator cannot overflow (and costs one bit of SNR).
+    R32 x0 = cpu.load16s(&x[0]);
+    R32 x1 = cpu.load16s(&x[1]);
+    if (mode_ == Mode::Mmx) {
+        // A-priori worst-case scale: the QMF passband gain can reach
+        // sum|h| ~ 1.6, so the library caller must pre-shift by two
+        // bits to rule out accumulator overflow ("this scale factor
+        // must ... allow for the largest possible overflow").
+        scratch_ = static_cast<int16_t *>(nsp::tempAlloc(cpu, 24));
+        x0 = cpu.sar(x0, 2);
+        x1 = cpu.sar(x1, 2);
+    }
+    shiftInsert(cpu, mode_, lineOdd_, x0);
+    shiftInsert(cpu, mode_, lineEven_, x1);
+
+    R32 xl{}, xh{};
+    qmfAnalyze(cpu, xl, xh);
+
+    int32_t field_low = adpcmEncode(cpu, encLow_, xl);
+    int32_t field_high = adpcmEncode(cpu, encHigh_, xh);
+
+    // Pack the sign-magnitude fields: low 6 bits | high 2 bits.
+    R32 packed = cpu.shl(cpu.imm32(field_high), 6);
+    packed = cpu.or_(packed, cpu.imm32(field_low));
+    if (mode_ == Mode::Mmx) {
+        nsp::tempFree(cpu, scratch_);
+        scratch_ = nullptr;
+        cpu.emms();
+    }
+    return static_cast<uint8_t>(packed.v);
+}
+
+void
+G722Codec::decodePair(Cpu &cpu, uint8_t code, int16_t out[2])
+{
+    if (mode_ == Mode::Mmx)
+        scratch_ = static_cast<int16_t *>(nsp::tempAlloc(cpu, 24));
+    R32 packed = cpu.imm32(code);
+    R32 lowf = cpu.andImm(cpu.mov(packed), 0x3f);
+    R32 highf = cpu.shr(packed, 6);
+
+    R32 xl = adpcmDecode(cpu, decLow_, lowf.v);
+    R32 xh = adpcmDecode(cpu, decHigh_, highf.v);
+
+    // Synthesis QMF.
+    R32 v1 = cpu.add(cpu.mov(xl), cpu.mov(xh));
+    v1 = emitClamp(cpu, v1, -32768, 32767);
+    R32 v2 = cpu.sub(xl, xh);
+    v2 = emitClamp(cpu, v2, -32768, 32767);
+    shiftInsert(cpu, mode_, synth1_, v1);
+    shiftInsert(cpu, mode_, synth2_, v2);
+
+    // Even-phase output filters v2 with the even taps, odd-phase output
+    // filters v1 with the odd taps; the 2x synthesis gain folds into
+    // the Q13 downshift (>> 12).
+    R32 ev = dot12(cpu, hEven_, synth2_);
+    ev = cpu.sar(ev, 12);
+    ev = emitClamp(cpu, ev, -32768, 32767);
+    R32 od = dot12(cpu, hOdd_, synth1_);
+    od = cpu.sar(od, 12);
+    od = emitClamp(cpu, od, -32768, 32767);
+
+    if (mode_ == Mode::Mmx) {
+        // Undo the encoder's a-priori >>2 input scaling.
+        ev = cpu.shl(ev, 2);
+        ev = emitClamp(cpu, ev, -32768, 32767);
+        od = cpu.shl(od, 2);
+        od = emitClamp(cpu, od, -32768, 32767);
+        nsp::tempFree(cpu, scratch_);
+        scratch_ = nullptr;
+        cpu.emms();
+    }
+    cpu.store16(&out[0], ev);
+    cpu.store16(&out[1], od);
+}
+
+void
+G722Codec::encodeBlock(Cpu &cpu, const int16_t *x, int pairs, uint8_t *out)
+{
+    if (mode_ != Mode::Mmx) {
+        for (int p = 0; p < pairs; ++p)
+            out[p] = encodePair(cpu, x + 2 * p);
+        return;
+    }
+
+    // One temporary arena allocation and one emms for the whole block.
+    const int ext_len = 2 * pairs + 22;
+    int16_t *ext = static_cast<int16_t *>(nsp::tempAlloc(
+        cpu, static_cast<size_t>(ext_len + 2 * pairs) * sizeof(int16_t)));
+    int16_t *xl = ext + ext_len;
+    int16_t *xh = xl + pairs;
+    scratch_ = static_cast<int16_t *>(nsp::tempAlloc(cpu, 24));
+
+    // ext[j] = full-rate x[2*n0 - 23 + j]: 22 history samples followed
+    // by the block's samples, pre-scaled by the a-priori >>2.
+    for (int j = 0; j < 22; ++j) {
+        R32 v = cpu.load16s(&blockHist_[static_cast<size_t>(j)]);
+        cpu.store16(&ext[j], v);
+        cpu.jcc(j + 1 < 22);
+    }
+    for (int j = 0; j < 2 * pairs; ++j) {
+        R32 v = cpu.load16s(&x[j]);
+        v = cpu.sar(v, 2);
+        cpu.store16(&ext[22 + j], v);
+        cpu.jcc(j + 1 < 2 * pairs);
+    }
+
+    // Batched QMF analysis: two long library calls replace 2*pairs
+    // short ones (plus their per-call alloc/copy/emms overhead).
+    nsp::firValidMmx(cpu, ext, qmfFull_.data(), 24, xl, pairs, 13, 2);
+    nsp::firValidMmx(cpu, ext, qmfFullAlt_.data(), 24, xh, pairs, 13, 2);
+
+    // ADPCM is serial by nature: per pair, exactly as encodePair.
+    for (int p = 0; p < pairs; ++p) {
+        R32 xlr = cpu.load16s(&xl[p]);
+        R32 xhr = cpu.load16s(&xh[p]);
+        int32_t field_low = adpcmEncode(cpu, encLow_, xlr);
+        int32_t field_high = adpcmEncode(cpu, encHigh_, xhr);
+        R32 packed = cpu.shl(cpu.imm32(field_high), 6);
+        packed = cpu.or_(packed, cpu.imm32(field_low));
+        cpu.store8(&out[p], packed);
+        cpu.jcc(p + 1 < pairs);
+    }
+
+    // Slide the history: last 22 full-rate samples of the block.
+    for (int j = 0; j < 22; ++j) {
+        R32 v = cpu.load16s(&ext[2 * pairs + j]);
+        cpu.store16(&blockHist_[static_cast<size_t>(j)], v);
+        cpu.jcc(j + 1 < 22);
+    }
+
+    nsp::tempFree(cpu, scratch_);
+    scratch_ = nullptr;
+    nsp::tempFree(cpu, ext);
+    cpu.emms();
+}
+
+void
+G722Codec::decodeBlock(Cpu &cpu, const uint8_t *codes, int pairs,
+                       int16_t *out)
+{
+    if (mode_ != Mode::Mmx) {
+        for (int p = 0; p < pairs; ++p)
+            decodePair(cpu, codes[p], out + 2 * p);
+        return;
+    }
+
+    // One allocation for the v1/v2 staging (with 11 samples of history
+    // each) plus the two convolution outputs.
+    const int ext_len = pairs + 11;
+    int16_t *v1 = static_cast<int16_t *>(nsp::tempAlloc(
+        cpu, static_cast<size_t>(2 * ext_len + 2 * pairs)
+                 * sizeof(int16_t)));
+    int16_t *v2 = v1 + ext_len;
+    int16_t *ev = v2 + ext_len;
+    int16_t *od = ev + pairs;
+    scratch_ = static_cast<int16_t *>(nsp::tempAlloc(cpu, 24));
+
+    for (int j = 0; j < 11; ++j) {
+        R32 a = cpu.load16s(&blockSynth1_[static_cast<size_t>(j)]);
+        cpu.store16(&v1[j], a);
+        R32 b = cpu.load16s(&blockSynth2_[static_cast<size_t>(j)]);
+        cpu.store16(&v2[j], b);
+        cpu.jcc(j + 1 < 11);
+    }
+
+    // ADPCM is serial: per pair, exactly as decodePair's band stage.
+    for (int p = 0; p < pairs; ++p) {
+        R32 packed = cpu.load8u(&codes[p]);
+        R32 lowf = cpu.andImm(cpu.mov(packed), 0x3f);
+        R32 highf = cpu.shr(packed, 6);
+        R32 xl = adpcmDecode(cpu, decLow_, lowf.v);
+        R32 xh = adpcmDecode(cpu, decHigh_, highf.v);
+        R32 s1 = cpu.add(cpu.mov(xl), cpu.mov(xh));
+        s1 = emitClamp(cpu, s1, -32768, 32767);
+        cpu.store16(&v1[11 + p], s1);
+        R32 s2 = cpu.sub(xl, xh);
+        s2 = emitClamp(cpu, s2, -32768, 32767);
+        cpu.store16(&v2[11 + p], s2);
+        cpu.jcc(p + 1 < pairs);
+    }
+
+    // Batched synthesis QMF: identical sums to the per-pair dots.
+    nsp::firValidMmx(cpu, v2, revHEven_.data(), 12, ev, pairs, 12);
+    nsp::firValidMmx(cpu, v1, revHOdd_.data(), 12, od, pairs, 12);
+
+    // Undo the a-priori >>2 and interleave the output phases.
+    for (int p = 0; p < pairs; ++p) {
+        R32 e = cpu.load16s(&ev[p]);
+        e = cpu.shl(e, 2);
+        e = emitClamp(cpu, e, -32768, 32767);
+        cpu.store16(&out[2 * p], e);
+        R32 o = cpu.load16s(&od[p]);
+        o = cpu.shl(o, 2);
+        o = emitClamp(cpu, o, -32768, 32767);
+        cpu.store16(&out[2 * p + 1], o);
+        cpu.jcc(p + 1 < pairs);
+    }
+
+    for (int j = 0; j < 11; ++j) {
+        R32 a = cpu.load16s(&v1[pairs + j]);
+        cpu.store16(&blockSynth1_[static_cast<size_t>(j)], a);
+        R32 b = cpu.load16s(&v2[pairs + j]);
+        cpu.store16(&blockSynth2_[static_cast<size_t>(j)], b);
+        cpu.jcc(j + 1 < 11);
+    }
+
+    nsp::tempFree(cpu, scratch_);
+    scratch_ = nullptr;
+    nsp::tempFree(cpu, v1);
+    cpu.emms();
+}
+
+} // namespace mmxdsp::apps::g722

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * A G.722-style two-band subband ADPCM speech codec.
+ *
+ * Structure follows ITU-T G.722: a 24-tap QMF splits 16 kHz input into
+ * two 8 kHz subbands; the lower band is coded with 6-bit ADPCM, the
+ * upper with 2-bit ADPCM; each band has an adaptive step size and an
+ * adaptive pole-zero predictor (2 poles + 6 zeros, sign-sign LMS with
+ * leakage). Quantizer step-multiplier tables are derived log-domain
+ * tables rather than the bit-exact ITU tables (documented substitution
+ * in DESIGN.md) — tests validate reconstruction SNR, not ITU vectors.
+ *
+ * The codec processes ONE sample pair at a time, end to end — exactly
+ * the property that starves the paper's g722.mmx of data parallelism.
+ *
+ * Two precision modes:
+ *  - ScalarC: 32-bit scalar arithmetic throughout (the .c version).
+ *  - Mmx:     the QMF and predictor-zero dot products go through the
+ *             MMX NSP library on 16-bit data, with an a-priori >>1
+ *             input scale to guarantee no accumulator overflow — the
+ *             source of the MMX version's "slightly inferior" quality.
+ */
+
+#ifndef MMXDSP_APPS_G722_G722_CODEC_HH
+#define MMXDSP_APPS_G722_G722_CODEC_HH
+
+#include <array>
+#include <cstdint>
+
+#include "runtime/cpu.hh"
+
+namespace mmxdsp::apps::g722 {
+
+using runtime::Cpu;
+using runtime::R32;
+
+/** Per-band ADPCM state. */
+struct AdpcmBand
+{
+    int codeBits = 6;          ///< 6 (low band) or 2 (high band)
+    int32_t delta = 32;        ///< current quantizer step
+    int32_t deltaMin = 4;
+    int32_t deltaMax = 8192;
+    int32_t a1 = 0, a2 = 0;    ///< pole coefficients, Q14
+    int32_t r1 = 0, r2 = 0;    ///< reconstructed-signal history
+    int32_t p1 = 0, p2 = 0;    ///< partial-reconstruction history
+    alignas(8) std::array<int16_t, 8> b{};  ///< zero coeffs Q14 (6 used)
+    alignas(8) std::array<int16_t, 8> dq{}; ///< quantized-diff history
+};
+
+class G722Codec
+{
+  public:
+    enum class Mode { ScalarC, Mmx };
+
+    explicit G722Codec(Mode mode);
+
+    /**
+     * Encode one pair of 16 kHz samples (x[0] older) into one byte:
+     * low-band code in bits 0-5, high-band code in bits 6-7.
+     */
+    uint8_t encodePair(Cpu &cpu, const int16_t x[2]);
+
+    /** Decode one byte back into a pair of 16 kHz samples. */
+    void decodePair(Cpu &cpu, uint8_t code, int16_t out[2]);
+
+    /**
+     * Block-mode encoding — the paper's suggested improvement
+     * ("operating on blocks of data at once would definitely increase
+     * the opportunity to use MMX code"). In Mmx mode the QMF analysis
+     * for the whole block runs as two long library convolutions
+     * instead of per-pair calls (same arithmetic, bit-identical
+     * bitstream); ScalarC mode falls back to per-pair encoding.
+     *
+     * Do not mix with encodePair on the same codec instance: the two
+     * paths keep separate QMF histories.
+     *
+     * @param x     2*pairs input samples
+     * @param out   pairs output bytes
+     */
+    void encodeBlock(Cpu &cpu, const int16_t *x, int pairs, uint8_t *out);
+
+    /**
+     * Block-mode decoding, symmetric to encodeBlock: the synthesis QMF
+     * runs as two long library convolutions per block (bit-identical
+     * output to decodePair). Same caveat: do not mix with decodePair
+     * on one instance.
+     */
+    void decodeBlock(Cpu &cpu, const uint8_t *codes, int pairs,
+                     int16_t *out);
+
+    /** End-to-end analysis+synthesis delay in samples (QMF only). */
+    static constexpr int kDelay = 22;
+
+  private:
+    /** QMF analysis over the current delay lines (after insertion). */
+    void qmfAnalyze(Cpu &cpu, R32 &xl, R32 &xh);
+    /**
+     * One band's ADPCM encode; returns the sign-magnitude code field
+     * (magnitude in the low bits, sign in bit codeBits-1). Magnitude
+     * zero keeps its sign — collapsing "-0" would desynchronize the
+     * decoder, since the reconstruction is a mid-rise +-delta/2.
+     */
+    int32_t adpcmEncode(Cpu &cpu, AdpcmBand &band, R32 target);
+    /** One band's ADPCM decode of a code field. */
+    R32 adpcmDecode(Cpu &cpu, AdpcmBand &band, int32_t field);
+
+    /** 12-tap dot product (scalar inline, or copy + MMX library call). */
+    R32 dot12(Cpu &cpu, const std::array<int16_t, 12> &coeffs,
+              const std::array<int16_t, 12> &line);
+
+    /** Predictor output (poles + zeros); also returns the zero part. */
+    R32 predict(Cpu &cpu, AdpcmBand &band, R32 &zero_part);
+    /** Shared post-quantization state update. */
+    void adapt(Cpu &cpu, AdpcmBand &band, int32_t code, R32 dqv,
+               R32 zero_part);
+
+    Mode mode_;
+    /** Polyphase QMF coefficient halves, Q12. */
+    alignas(8) std::array<int16_t, 12> hEven_{};
+    alignas(8) std::array<int16_t, 12> hOdd_{};
+    /** Analysis delay lines (even/odd sample phases). */
+    alignas(8) std::array<int16_t, 12> lineEven_{};
+    alignas(8) std::array<int16_t, 12> lineOdd_{};
+    /** Synthesis delay lines. */
+    alignas(8) std::array<int16_t, 12> synth1_{};
+    alignas(8) std::array<int16_t, 12> synth2_{};
+    /** Block-mode full-rate QMF coefficients (Q13): h and its
+     *  sign-alternated form, ascending-window order. */
+    alignas(8) std::array<int16_t, 24> qmfFull_{};
+    alignas(8) std::array<int16_t, 24> qmfFullAlt_{};
+    /** Block-mode full-rate input history (22 samples, natural order). */
+    std::array<int16_t, 22> blockHist_{};
+    /** Block-mode polyphase coefficients in ascending-window order. */
+    alignas(8) std::array<int16_t, 12> revHEven_{};
+    alignas(8) std::array<int16_t, 12> revHOdd_{};
+    /** Block-mode synthesis histories (11 samples, natural order). */
+    std::array<int16_t, 11> blockSynth1_{};
+    std::array<int16_t, 11> blockSynth2_{};
+
+    AdpcmBand encLow_, encHigh_;
+    AdpcmBand decLow_, decHigh_;
+    /**
+     * MMX mode: dynamically allocated aligned scratch the app copies
+     * each delay line into before a library call (the library wants
+     * quad-word-aligned vectors; the delay lines are not).
+     */
+    int16_t *scratch_ = nullptr;
+};
+
+} // namespace mmxdsp::apps::g722
+
+#endif // MMXDSP_APPS_G722_G722_CODEC_HH

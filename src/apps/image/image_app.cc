@@ -1,0 +1,118 @@
+#include "image_app.hh"
+
+#include "nsp/image.hh"
+#include "support/fixed_point.hh"
+#include "support/logging.hh"
+
+namespace mmxdsp::apps::image {
+
+using runtime::CallGuard;
+using runtime::F64;
+using runtime::R32;
+
+void
+ImageBenchmark::setup(const workloads::Image &image, uint16_t dim_q8,
+                      uint8_t red_boost, uint8_t blue_cut)
+{
+    input_ = image;
+    // The MMX color-shift routine wants a multiple of 24 bytes; RGB24
+    // rows of width divisible by 8 already satisfy this.
+    if (input_.byteSize() % 24 != 0)
+        mmxdsp_fatal("image byte size must be a multiple of 24");
+    dimQ8_ = dim_q8;
+    redBoost_ = red_boost;
+    blueCut_ = blue_cut;
+    for (int p = 0; p < 8; ++p) {
+        addPattern_[3 * p + 0] = red_boost;
+        subPattern_[3 * p + 2] = blue_cut;
+    }
+    outC_ = workloads::Image{};
+    outMmx_ = workloads::Image{};
+}
+
+void
+ImageBenchmark::runC(Cpu &cpu)
+{
+    outC_ = input_;
+    uint8_t *buf = outC_.rgb.data();
+    const int n = static_cast<int>(outC_.byteSize());
+
+    // Pass 1: dim every byte. The C version does what the paper says
+    // the non-MMX applications do — it "generously uses floating
+    // point": widen the pixel, float multiply, convert back.
+    {
+        CallGuard call(cpu, "image_dim_c", 3, 1);
+        const double scale = static_cast<double>(dimQ8_) / 256.0;
+        int32_t tmp = 0;
+        R32 count = cpu.imm32(n);
+        for (int i = 0; i < n; ++i) {
+            R32 p = cpu.load8u(buf + i);
+            cpu.store32(&tmp, p);
+            F64 f = cpu.fild32(&tmp);
+            f = cpu.fmul(f, cpu.fimm(scale));
+            R32 v = cpu.ftoi(f);
+            // Match the MMX path's truncating >>8 semantics.
+            R32 out{static_cast<int32_t>((static_cast<uint32_t>(p.v)
+                                          * dimQ8_) >>
+                                         8),
+                    v.tag};
+            cpu.store8(buf + i, out);
+            count = cpu.subImm(count, 1);
+            cpu.jcc(i + 1 < n);
+        }
+    }
+
+    // Pass 2: color switch with explicit clamp branches per pixel.
+    {
+        CallGuard call(cpu, "image_switch_c", 3, 1);
+        R32 count = cpu.imm32(n / 3);
+        for (int i = 0; i < n; i += 3) {
+            // R channel: r = min(255, r + boost)
+            R32 r = cpu.load8u(buf + i);
+            r = cpu.addImm(r, redBoost_);
+            cpu.cmpImm(r, 255);
+            bool clamp_r = r.v > 255;
+            cpu.jcc(clamp_r);
+            if (clamp_r)
+                r = cpu.imm32(255);
+            cpu.store8(buf + i, r);
+            // B channel: b = max(0, b - cut)
+            R32 b = cpu.load8u(buf + i + 2);
+            b = cpu.subImm(b, blueCut_);
+            cpu.cmpImm(b, 0);
+            bool clamp_b = b.v < 0;
+            cpu.jcc(clamp_b);
+            if (clamp_b)
+                b = cpu.xor_(b, b);
+            cpu.store8(buf + i + 2, b);
+            count = cpu.subImm(count, 1);
+            cpu.jcc(i + 3 < n);
+        }
+    }
+}
+
+void
+ImageBenchmark::runMmx(Cpu &cpu)
+{
+    outMmx_ = input_;
+    uint8_t *buf = outMmx_.rgb.data();
+    const int n = static_cast<int>(outMmx_.byteSize());
+
+    nsp::imageScaleU8Mmx(cpu, buf, buf, n, dimQ8_);
+    nsp::imageColorShiftU8Mmx(cpu, buf, buf, n, addPattern_, subPattern_);
+}
+
+workloads::Image
+ImageBenchmark::reference() const
+{
+    workloads::Image out = input_;
+    for (size_t i = 0; i < out.rgb.size(); ++i)
+        out.rgb[i] = static_cast<uint8_t>((out.rgb[i] * dimQ8_) >> 8);
+    for (size_t i = 0; i + 2 < out.rgb.size(); i += 3) {
+        out.rgb[i] = saturateU8(out.rgb[i] + redBoost_);
+        out.rgb[i + 2] = saturateU8(out.rgb[i + 2] - blueCut_);
+    }
+    return out;
+}
+
+} // namespace mmxdsp::apps::image

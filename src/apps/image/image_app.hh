@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The image application benchmark: uniform manipulation of a 640x480
+ * RGB bitmap — first a dimming pass (vector multiply by a scale), then
+ * a color switch (per-channel saturating add/subtract). The paper's
+ * best case for MMX: contiguous 8-bit data, properly aligned, eight
+ * pixels per register, "automatic" packing via quad-word loads.
+ *
+ *  - runC:   byte-at-a-time compiled C with explicit clamp branches.
+ *  - runMmx: two NSP image-library calls over the whole buffer.
+ */
+
+#ifndef MMXDSP_APPS_IMAGE_IMAGE_APP_HH
+#define MMXDSP_APPS_IMAGE_IMAGE_APP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/cpu.hh"
+#include "workloads/image_data.hh"
+
+namespace mmxdsp::apps::image {
+
+using runtime::Cpu;
+
+class ImageBenchmark
+{
+  public:
+    /**
+     * @param dim_q8     dimming factor in Q8 (e.g. 180 = ~70% brightness)
+     * @param red_boost  added to R channel in the color switch
+     * @param blue_cut   subtracted from B channel in the color switch
+     */
+    void setup(const workloads::Image &image, uint16_t dim_q8 = 180,
+               uint8_t red_boost = 40, uint8_t blue_cut = 25);
+
+    void runC(Cpu &cpu);
+    void runMmx(Cpu &cpu);
+
+    const workloads::Image &outC() const { return outC_; }
+    const workloads::Image &outMmx() const { return outMmx_; }
+
+    /** Oracle: plain C++ dim + switch. */
+    workloads::Image reference() const;
+
+  private:
+    workloads::Image input_;
+    uint16_t dimQ8_ = 180;
+    uint8_t redBoost_ = 40;
+    uint8_t blueCut_ = 25;
+    /** 24-byte repeating add/sub patterns for the MMX color switch. */
+    alignas(8) uint8_t addPattern_[24] = {};
+    alignas(8) uint8_t subPattern_[24] = {};
+
+    workloads::Image outC_;
+    workloads::Image outMmx_;
+};
+
+} // namespace mmxdsp::apps::image
+
+#endif // MMXDSP_APPS_IMAGE_IMAGE_APP_HH

@@ -1,0 +1,200 @@
+#include "huffman.hh"
+
+#include "support/logging.hh"
+
+namespace mmxdsp::apps::jpeg {
+
+void
+HuffTable::build(const HuffSpec &spec)
+{
+    code.fill(0);
+    size.fill(0);
+    uint16_t next_code = 0;
+    int vi = 0;
+    for (int len = 1; len <= 16; ++len) {
+        for (int i = 0; i < spec.bits[static_cast<size_t>(len - 1)]; ++i) {
+            if (vi >= spec.numValues)
+                mmxdsp_panic("huffman spec has more codes than values");
+            uint8_t symbol = spec.values[vi++];
+            code[symbol] = next_code++;
+            size[symbol] = static_cast<uint8_t>(len);
+        }
+        next_code = static_cast<uint16_t>(next_code << 1);
+    }
+}
+
+void
+BitWriter::clear()
+{
+    bytes_.clear();
+    bitBuf_ = 0;
+    bitCnt_ = 0;
+}
+
+void
+BitWriter::emitByte(Cpu &cpu, uint8_t byte)
+{
+    bytes_.push_back(0);
+    R32 b = cpu.imm32(byte);
+    cpu.store8(&bytes_.back(), b);
+    // JPEG byte stuffing: 0xFF is followed by 0x00.
+    cpu.cmpImm(b, 0xff);
+    cpu.jcc(byte == 0xff);
+    if (byte == 0xff) {
+        bytes_.push_back(0);
+        R32 z = cpu.imm32(0);
+        cpu.store8(&bytes_.back(), z);
+    }
+}
+
+void
+BitWriter::putBits(Cpu &cpu, uint32_t value, int size)
+{
+    if (size < 1 || size > 24)
+        mmxdsp_panic("putBits size %d out of range", size);
+
+    // buf = (buf << size) | value; cnt += size — state kept in memory.
+    R32 buf = cpu.load32u(&bitBuf_);
+    buf = cpu.shl(buf, size);
+    R32 val = cpu.imm32(static_cast<int32_t>(value));
+    buf = cpu.or_(buf, val);
+    cpu.store32u(&bitBuf_, buf);
+    R32 cnt = cpu.load32(&bitCnt_);
+    cnt = cpu.addImm(cnt, size);
+    cpu.store32(&bitCnt_, cnt);
+
+    // while (cnt >= 8) emit the top byte.
+    while (bitCnt_ >= 8) {
+        cpu.cmpImm(R32{bitCnt_, isa::kNoReg}, 8);
+        cpu.jcc(true);
+        uint8_t byte = static_cast<uint8_t>(bitBuf_ >> (bitCnt_ - 8));
+        R32 b = cpu.load32u(&bitBuf_);
+        b = cpu.shr(b, bitCnt_ - 8);
+        b = cpu.andImm(b, 0xff);
+        emitByte(cpu, byte);
+        // The instrumented store is what updates bitCnt_.
+        R32 c = cpu.load32(&bitCnt_);
+        c = cpu.subImm(c, 8);
+        cpu.store32(&bitCnt_, c);
+    }
+    cpu.cmpImm(R32{bitCnt_, isa::kNoReg}, 8);
+    cpu.jcc(false);
+    // Keep only live bits so the shift above never overflows 32 bits.
+    bitBuf_ &= (1u << bitCnt_) - 1;
+}
+
+void
+BitWriter::flush(Cpu &cpu)
+{
+    if (bitCnt_ > 0) {
+        int pad = 8 - (bitCnt_ % 8);
+        if (pad != 8)
+            putBits(cpu, (1u << pad) - 1, pad);
+    }
+}
+
+int
+BitReader::bit()
+{
+    if (pos_ >= len_)
+        return -1;
+    uint8_t byte = data_[pos_];
+    int b = (byte >> (7 - bitPos_)) & 1;
+    if (++bitPos_ == 8) {
+        bitPos_ = 0;
+        ++pos_;
+        // Skip the stuffed zero after 0xFF.
+        if (byte == 0xff && pos_ < len_ && data_[pos_] == 0x00)
+            ++pos_;
+    }
+    return b;
+}
+
+int32_t
+BitReader::bits(int n)
+{
+    int32_t v = 0;
+    for (int i = 0; i < n; ++i) {
+        int b = bit();
+        if (b < 0)
+            return -1;
+        v = (v << 1) | b;
+    }
+    return v;
+}
+
+void
+HuffDecoder::build(const HuffSpec &spec)
+{
+    values.assign(spec.values, spec.values + spec.numValues);
+    int32_t code = 0;
+    int vi = 0;
+    for (int len = 1; len <= 16; ++len) {
+        if (spec.bits[static_cast<size_t>(len - 1)] == 0) {
+            minCode[static_cast<size_t>(len)] = 0;
+            maxCode[static_cast<size_t>(len)] = -1;
+            valPtr[static_cast<size_t>(len)] = 0;
+        } else {
+            valPtr[static_cast<size_t>(len)] = vi;
+            minCode[static_cast<size_t>(len)] = code;
+            code += spec.bits[static_cast<size_t>(len - 1)];
+            vi += spec.bits[static_cast<size_t>(len - 1)];
+            maxCode[static_cast<size_t>(len)] = code - 1;
+        }
+        code <<= 1;
+    }
+}
+
+int
+HuffDecoder::decode(BitReader &reader) const
+{
+    int32_t code = 0;
+    for (int len = 1; len <= 16; ++len) {
+        int b = reader.bit();
+        if (b < 0)
+            return -1;
+        code = (code << 1) | b;
+        if (maxCode[static_cast<size_t>(len)] >= 0
+            && code <= maxCode[static_cast<size_t>(len)]) {
+            int idx = valPtr[static_cast<size_t>(len)]
+                      + (code - minCode[static_cast<size_t>(len)]);
+            if (idx < 0 || idx >= static_cast<int>(values.size()))
+                return -1;
+            return values[static_cast<size_t>(idx)];
+        }
+    }
+    return -1;
+}
+
+int
+bitLength(int v)
+{
+    if (v < 0)
+        v = -v;
+    int n = 0;
+    while (v) {
+        ++n;
+        v >>= 1;
+    }
+    return n;
+}
+
+uint32_t
+magnitudeBits(int v, int size)
+{
+    if (v >= 0)
+        return static_cast<uint32_t>(v);
+    return static_cast<uint32_t>(v + (1 << size) - 1);
+}
+
+int
+extendMagnitude(int bits, int size)
+{
+    if (size == 0)
+        return 0;
+    if (bits < (1 << (size - 1)))
+        return bits - (1 << size) + 1;
+    return bits;
+}
+
+} // namespace mmxdsp::apps::jpeg

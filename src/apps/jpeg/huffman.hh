@@ -1,0 +1,106 @@
+/**
+ * @file
+ * JPEG Huffman machinery: canonical code derivation from a HuffSpec,
+ * an instrumented bit writer for the encoder (the entropy-coding stage
+ * runs in both the .c and .mmx versions — it was not MMX-optimized in
+ * the paper), and an uninstrumented bit reader + decoder used by the
+ * test-only JPEG decoder.
+ */
+
+#ifndef MMXDSP_APPS_JPEG_HUFFMAN_HH
+#define MMXDSP_APPS_JPEG_HUFFMAN_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "apps/jpeg/jpeg_tables.hh"
+#include "runtime/cpu.hh"
+
+namespace mmxdsp::apps::jpeg {
+
+using runtime::Cpu;
+using runtime::R32;
+
+/** Canonical Huffman codes, indexed by symbol. */
+struct HuffTable
+{
+    std::array<uint16_t, 256> code{};
+    std::array<uint8_t, 256> size{};
+
+    /** Derive canonical codes from the (bits, values) spec. */
+    void build(const HuffSpec &spec);
+};
+
+/**
+ * Instrumented big-endian bit writer with JPEG 0xFF byte stuffing.
+ * The bit-buffer state lives in memory and is loaded/stored per call,
+ * the way the compiled C encoder behaves.
+ */
+class BitWriter
+{
+  public:
+    /** Append `size` bits (MSB first). size must be in [1, 24]. */
+    void putBits(Cpu &cpu, uint32_t value, int size);
+
+    /** Pad with 1-bits to a byte boundary and stop. */
+    void flush(Cpu &cpu);
+
+    const std::vector<uint8_t> &bytes() const { return bytes_; }
+    void clear();
+
+  private:
+    void emitByte(Cpu &cpu, uint8_t byte);
+
+    std::vector<uint8_t> bytes_;
+    uint32_t bitBuf_ = 0;
+    int32_t bitCnt_ = 0;
+};
+
+/** Uninstrumented bit reader for the test decoder (un-stuffs 0xFF 0x00). */
+class BitReader
+{
+  public:
+    BitReader(const uint8_t *data, size_t len) : data_(data), len_(len) {}
+
+    /** Read one bit; returns 0/1, or -1 past the end / at a marker. */
+    int bit();
+
+    /** Read `n` bits MSB-first; -1 on underrun. */
+    int32_t bits(int n);
+
+    size_t position() const { return pos_; }
+
+  private:
+    const uint8_t *data_;
+    size_t len_;
+    size_t pos_ = 0;
+    int bitPos_ = 0;
+};
+
+/** Length-indexed decoder tables (the T.81 DECODE procedure). */
+struct HuffDecoder
+{
+    std::array<int32_t, 17> minCode{};
+    std::array<int32_t, 17> maxCode{};
+    std::array<int32_t, 17> valPtr{};
+    std::vector<uint8_t> values;
+
+    void build(const HuffSpec &spec);
+
+    /** Decode one symbol; returns -1 on error. */
+    int decode(BitReader &reader) const;
+};
+
+/** JPEG magnitude category of v (number of bits to encode |v|). */
+int bitLength(int v);
+
+/** One's-complement style magnitude bits for a value in category `size`. */
+uint32_t magnitudeBits(int v, int size);
+
+/** Invert magnitudeBits: reconstruct the signed value. */
+int extendMagnitude(int bits, int size);
+
+} // namespace mmxdsp::apps::jpeg
+
+#endif // MMXDSP_APPS_JPEG_HUFFMAN_HH

@@ -1,0 +1,251 @@
+#include "jpeg_decoder.hh"
+
+#include <array>
+#include <cstring>
+
+#include "apps/jpeg/huffman.hh"
+#include "apps/jpeg/jpeg_tables.hh"
+#include "support/fixed_point.hh"
+#include "support/logging.hh"
+#include "support/signal_math.hh"
+
+namespace mmxdsp::apps::jpeg {
+
+namespace {
+
+struct Component
+{
+    int id = 0;
+    int quantTable = 0;
+    int dcTable = 0;
+    int acTable = 0;
+    int lastDc = 0;
+};
+
+struct DecoderState
+{
+    int width = 0;
+    int height = 0;
+    std::array<std::array<uint16_t, 64>, 4> quant{};
+    std::array<HuffDecoder, 4> dcHuff;
+    std::array<HuffDecoder, 4> acHuff;
+    std::array<bool, 4> dcPresent{};
+    std::array<bool, 4> acPresent{};
+    std::vector<Component> components;
+};
+
+uint16_t
+word(const std::vector<uint8_t> &d, size_t at)
+{
+    return static_cast<uint16_t>((d[at] << 8) | d[at + 1]);
+}
+
+/** Build a HuffDecoder directly from raw (bits, values) DHT payload. */
+void
+buildDecoder(HuffDecoder &dec, const uint8_t *bits, const uint8_t *values,
+             int num_values)
+{
+    HuffSpec spec;
+    std::memcpy(spec.bits.data(), bits, 16);
+    spec.values = values;
+    spec.numValues = num_values;
+    dec.build(spec);
+}
+
+} // namespace
+
+workloads::Image
+decodeJpeg(const std::vector<uint8_t> &data)
+{
+    if (data.size() < 4 || data[0] != 0xff || data[1] != 0xd8)
+        mmxdsp_fatal("decodeJpeg: missing SOI");
+
+    DecoderState st;
+    size_t pos = 2;
+    size_t scan_start = 0;
+
+    while (pos + 4 <= data.size()) {
+        if (data[pos] != 0xff)
+            mmxdsp_fatal("decodeJpeg: expected marker at %zu", pos);
+        uint8_t marker = data[pos + 1];
+        pos += 2;
+        if (marker == 0xd9)
+            break;
+        uint16_t len = word(data, pos);
+        size_t body = pos + 2;
+
+        switch (marker) {
+          case 0xdb: { // DQT
+            size_t p = body;
+            while (p < pos + len) {
+                int id = data[p] & 0x0f;
+                if ((data[p] >> 4) != 0)
+                    mmxdsp_fatal("decodeJpeg: 16-bit DQT unsupported");
+                ++p;
+                for (int i = 0; i < 64; ++i)
+                    st.quant[static_cast<size_t>(id)]
+                            [kZigzag[static_cast<size_t>(i)]] = data[p + i];
+                p += 64;
+            }
+            break;
+          }
+          case 0xc0: { // SOF0
+            st.height = word(data, body + 1);
+            st.width = word(data, body + 3);
+            int ncomp = data[body + 5];
+            for (int c = 0; c < ncomp; ++c) {
+                Component comp;
+                comp.id = data[body + 6 + 3 * c];
+                if (data[body + 7 + 3 * c] != 0x11)
+                    mmxdsp_fatal("decodeJpeg: only 4:4:4 supported");
+                comp.quantTable = data[body + 8 + 3 * c];
+                st.components.push_back(comp);
+            }
+            break;
+          }
+          case 0xc4: { // DHT
+            size_t p = body;
+            while (p < pos + len) {
+                int cls = data[p] >> 4;
+                int id = data[p] & 0x0f;
+                ++p;
+                int total = 0;
+                for (int i = 0; i < 16; ++i)
+                    total += data[p + i];
+                if (cls == 0) {
+                    buildDecoder(st.dcHuff[static_cast<size_t>(id)],
+                                 &data[p], &data[p + 16], total);
+                    st.dcPresent[static_cast<size_t>(id)] = true;
+                } else {
+                    buildDecoder(st.acHuff[static_cast<size_t>(id)],
+                                 &data[p], &data[p + 16], total);
+                    st.acPresent[static_cast<size_t>(id)] = true;
+                }
+                p += 16 + static_cast<size_t>(total);
+            }
+            break;
+          }
+          case 0xda: { // SOS
+            int ncomp = data[body];
+            for (int c = 0; c < ncomp; ++c) {
+                int id = data[body + 1 + 2 * c];
+                int tables = data[body + 2 + 2 * c];
+                for (auto &comp : st.components) {
+                    if (comp.id == id) {
+                        comp.dcTable = tables >> 4;
+                        comp.acTable = tables & 0x0f;
+                    }
+                }
+            }
+            scan_start = pos + len;
+            break;
+          }
+          default:
+            break; // skip APP0 etc.
+        }
+        if (marker == 0xda)
+            break;
+        pos += len;
+    }
+
+    if (scan_start == 0 || st.components.size() != 3)
+        mmxdsp_fatal("decodeJpeg: scan not found or not 3 components");
+
+    // Entropy-coded data runs until the EOI marker.
+    size_t scan_end = data.size();
+    for (size_t p = scan_start; p + 1 < data.size(); ++p) {
+        if (data[p] == 0xff && data[p + 1] == 0xd9) {
+            scan_end = p;
+            break;
+        }
+    }
+
+    BitReader reader(&data[scan_start], scan_end - scan_start);
+
+    const int bw = st.width / 8;
+    const int bh = st.height / 8;
+    std::vector<std::vector<double>> planes(
+        3, std::vector<double>(static_cast<size_t>(st.width) * st.height));
+
+    for (int by = 0; by < bh; ++by) {
+        for (int bx = 0; bx < bw; ++bx) {
+            for (size_t c = 0; c < 3; ++c) {
+                Component &comp = st.components[c];
+                const HuffDecoder &dc =
+                    st.dcHuff[static_cast<size_t>(comp.dcTable)];
+                const HuffDecoder &ac =
+                    st.acHuff[static_cast<size_t>(comp.acTable)];
+                const auto &q =
+                    st.quant[static_cast<size_t>(comp.quantTable)];
+
+                std::array<int32_t, 64> levels{};
+                int size = dc.decode(reader);
+                if (size < 0)
+                    mmxdsp_fatal("decodeJpeg: DC decode error");
+                int bits = size ? reader.bits(size) : 0;
+                comp.lastDc += extendMagnitude(bits, size);
+                levels[0] = comp.lastDc;
+
+                for (int k = 1; k < 64;) {
+                    int rs = ac.decode(reader);
+                    if (rs < 0)
+                        mmxdsp_fatal("decodeJpeg: AC decode error");
+                    int run = rs >> 4;
+                    int s = rs & 0x0f;
+                    if (s == 0) {
+                        if (run == 15) {
+                            k += 16; // ZRL
+                            continue;
+                        }
+                        break; // EOB
+                    }
+                    k += run;
+                    if (k > 63)
+                        mmxdsp_fatal("decodeJpeg: AC run overflow");
+                    int mag = reader.bits(s);
+                    levels[static_cast<size_t>(
+                        kZigzag[static_cast<size_t>(k)])] =
+                        extendMagnitude(mag, s);
+                    ++k;
+                }
+
+                // Dequantize + IDCT (double-precision oracle IDCT).
+                double freq[64];
+                double px[64];
+                for (int i = 0; i < 64; ++i)
+                    freq[i] = static_cast<double>(levels[static_cast<size_t>(i)])
+                              * q[static_cast<size_t>(i)];
+                referenceIdct8x8(freq, px);
+                for (int y = 0; y < 8; ++y) {
+                    for (int x = 0; x < 8; ++x) {
+                        planes[c][static_cast<size_t>(by * 8 + y) * st.width
+                                  + bx * 8 + x] = px[y * 8 + x];
+                    }
+                }
+            }
+        }
+    }
+
+    // YCbCr (level-shifted) back to RGB.
+    workloads::Image img;
+    img.width = st.width;
+    img.height = st.height;
+    img.rgb.resize(static_cast<size_t>(st.width) * st.height * 3);
+    for (int p = 0; p < st.width * st.height; ++p) {
+        double y = planes[0][static_cast<size_t>(p)] + 128.0;
+        double cb = planes[1][static_cast<size_t>(p)];
+        double cr = planes[2][static_cast<size_t>(p)];
+        double r = y + 1.402 * cr;
+        double g = y - 0.344136286 * cb - 0.714136286 * cr;
+        double b = y + 1.772 * cb;
+        img.rgb[static_cast<size_t>(p) * 3 + 0] =
+            saturateU8(static_cast<int32_t>(r + 0.5));
+        img.rgb[static_cast<size_t>(p) * 3 + 1] =
+            saturateU8(static_cast<int32_t>(g + 0.5));
+        img.rgb[static_cast<size_t>(p) * 3 + 2] =
+            saturateU8(static_cast<int32_t>(b + 0.5));
+    }
+    return img;
+}
+
+} // namespace mmxdsp::apps::jpeg

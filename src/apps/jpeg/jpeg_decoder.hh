@@ -1,0 +1,28 @@
+/**
+ * @file
+ * A minimal baseline JPEG decoder used to validate the encoder's output
+ * (round-trip PSNR stands in for the paper's visual inspection with the
+ * Imaging for Windows NT viewer). Supports exactly what the encoder
+ * emits: baseline sequential, 8-bit, three components, 4:4:4, one scan.
+ * Not instrumented — this is test infrastructure, not a benchmark.
+ */
+
+#ifndef MMXDSP_APPS_JPEG_JPEG_DECODER_HH
+#define MMXDSP_APPS_JPEG_JPEG_DECODER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/image_data.hh"
+
+namespace mmxdsp::apps::jpeg {
+
+/**
+ * Decode a baseline 4:4:4 JPEG produced by JpegBenchmark.
+ * Fatal on malformed input (tests only feed it our own output).
+ */
+workloads::Image decodeJpeg(const std::vector<uint8_t> &data);
+
+} // namespace mmxdsp::apps::jpeg
+
+#endif // MMXDSP_APPS_JPEG_JPEG_DECODER_HH

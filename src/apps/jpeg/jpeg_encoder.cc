@@ -1,0 +1,694 @@
+#include "jpeg_encoder.hh"
+
+#include "nsp/dct.hh"
+#include "support/fixed_point.hh"
+#include "support/logging.hh"
+
+namespace mmxdsp::apps::jpeg {
+
+using runtime::CallGuard;
+using runtime::M64;
+
+namespace {
+
+// IJG jfdctint constants: CONST_BITS = 13, PASS1_BITS = 2.
+constexpr int kConstBits = 13;
+constexpr int kPass1Bits = 2;
+constexpr int32_t kFix0298631336 = 2446;
+constexpr int32_t kFix0390180644 = 3196;
+constexpr int32_t kFix0541196100 = 4433;
+constexpr int32_t kFix0765366865 = 6270;
+constexpr int32_t kFix0899976223 = 7373;
+constexpr int32_t kFix1175875602 = 9633;
+constexpr int32_t kFix1501321110 = 12299;
+constexpr int32_t kFix1847759065 = 15137;
+constexpr int32_t kFix1961570560 = 16069;
+constexpr int32_t kFix2053119869 = 16819;
+constexpr int32_t kFix2562915447 = 20995;
+constexpr int32_t kFix3072711026 = 25172;
+
+/** DESCALE(x, n) = (x + 2^(n-1)) >> n, emitted as add + sar. */
+runtime::R32
+descale(Cpu &cpu, runtime::R32 x, int n)
+{
+    x = cpu.addImm(x, 1 << (n - 1));
+    return cpu.sar(x, n);
+}
+
+/**
+ * One 8-point pass of the IJG integer "islow" DCT (Loeffler-style,
+ * 12 multiplies). Pass 1 leaves results scaled up by 2^PASS1_BITS;
+ * pass 2 removes that scaling. Final 2-D output is 8x the orthonormal
+ * DCT, matching IJG's convention of folding the factor into the
+ * quantizer.
+ */
+std::array<runtime::R32, 8>
+islow1d(Cpu &cpu, const std::array<runtime::R32, 8> &d, bool pass2)
+{
+    using runtime::R32;
+
+    R32 tmp0 = cpu.add(cpu.mov(d[0]), d[7]);
+    R32 tmp7 = cpu.sub(cpu.mov(d[0]), d[7]);
+    R32 tmp1 = cpu.add(cpu.mov(d[1]), d[6]);
+    R32 tmp6 = cpu.sub(cpu.mov(d[1]), d[6]);
+    R32 tmp2 = cpu.add(cpu.mov(d[2]), d[5]);
+    R32 tmp5 = cpu.sub(cpu.mov(d[2]), d[5]);
+    R32 tmp3 = cpu.add(cpu.mov(d[3]), d[4]);
+    R32 tmp4 = cpu.sub(cpu.mov(d[3]), d[4]);
+
+    R32 tmp10 = cpu.add(cpu.mov(tmp0), tmp3);
+    R32 tmp13 = cpu.sub(cpu.mov(tmp0), tmp3);
+    R32 tmp11 = cpu.add(cpu.mov(tmp1), tmp2);
+    R32 tmp12 = cpu.sub(cpu.mov(tmp1), tmp2);
+
+    std::array<R32, 8> out;
+    if (!pass2) {
+        out[0] = cpu.shl(cpu.add(cpu.mov(tmp10), tmp11), kPass1Bits);
+        out[4] = cpu.shl(cpu.sub(cpu.mov(tmp10), tmp11), kPass1Bits);
+    } else {
+        out[0] = descale(cpu, cpu.add(cpu.mov(tmp10), tmp11), kPass1Bits);
+        out[4] = descale(cpu, cpu.sub(cpu.mov(tmp10), tmp11), kPass1Bits);
+    }
+    const int ds = pass2 ? kConstBits + kPass1Bits : kConstBits - kPass1Bits;
+
+    R32 z1e = cpu.imulImm(cpu.add(cpu.mov(tmp12), tmp13), kFix0541196100);
+    out[2] = descale(
+        cpu,
+        cpu.add(cpu.mov(z1e), cpu.imulImm(cpu.mov(tmp13), kFix0765366865)),
+        ds);
+    out[6] = descale(
+        cpu,
+        cpu.sub(z1e, cpu.imulImm(cpu.mov(tmp12), kFix1847759065)), ds);
+
+    R32 z1 = cpu.add(cpu.mov(tmp4), cpu.mov(tmp7));
+    R32 z2 = cpu.add(cpu.mov(tmp5), cpu.mov(tmp6));
+    R32 z3 = cpu.add(cpu.mov(tmp4), cpu.mov(tmp6));
+    R32 z4 = cpu.add(cpu.mov(tmp5), cpu.mov(tmp7));
+    R32 z5 = cpu.imulImm(cpu.add(cpu.mov(z3), z4), kFix1175875602);
+
+    R32 t4 = cpu.imulImm(tmp4, kFix0298631336);
+    R32 t5 = cpu.imulImm(tmp5, kFix2053119869);
+    R32 t6 = cpu.imulImm(tmp6, kFix3072711026);
+    R32 t7 = cpu.imulImm(tmp7, kFix1501321110);
+    z1 = cpu.neg(cpu.imulImm(z1, kFix0899976223));
+    z2 = cpu.neg(cpu.imulImm(z2, kFix2562915447));
+    z3 = cpu.neg(cpu.imulImm(z3, kFix1961570560));
+    z4 = cpu.neg(cpu.imulImm(cpu.mov(z4), kFix0390180644));
+    z3 = cpu.add(z3, cpu.mov(z5));
+    z4 = cpu.add(z4, z5);
+
+    out[7] = descale(cpu, cpu.add(cpu.add(t4, cpu.mov(z1)), cpu.mov(z3)),
+                     ds);
+    out[5] = descale(cpu, cpu.add(cpu.add(t5, cpu.mov(z2)), cpu.mov(z4)),
+                     ds);
+    out[3] = descale(cpu, cpu.add(cpu.add(t6, z2), z3), ds);
+    out[1] = descale(cpu, cpu.add(cpu.add(t7, z1), z4), ds);
+    return out;
+}
+
+} // namespace
+
+void
+JpegBenchmark::setup(const workloads::Image &image, int quality)
+{
+    width_ = image.width & ~7;
+    height_ = image.height & ~7;
+    if (width_ <= 0 || height_ <= 0)
+        mmxdsp_fatal("JPEG input must be at least 8x8");
+
+    // Crop into our working copy.
+    image_.width = width_;
+    image_.height = height_;
+    image_.rgb.resize(static_cast<size_t>(width_) * height_ * 3);
+    for (int y = 0; y < height_; ++y) {
+        for (int x = 0; x < width_; ++x) {
+            for (int c = 0; c < 3; ++c)
+                image_.at(x, y, c) = image.at(x, y, c);
+        }
+    }
+
+    qLuma_ = scaleQuant(kLumaQuant, quality);
+    qChroma_ = scaleQuant(kChromaQuant, quality);
+    for (int i = 0; i < 64; ++i) {
+        int rl = (1 << 15) / qLuma_[static_cast<size_t>(i)];
+        int rc = (1 << 15) / qChroma_[static_cast<size_t>(i)];
+        recipLuma_[static_cast<size_t>(i)] = saturate16(rl);
+        recipChroma_[static_cast<size_t>(i)] = saturate16(rc);
+        halfLuma_[static_cast<size_t>(i)] =
+            static_cast<int16_t>(qLuma_[static_cast<size_t>(i)] / 2);
+        halfChroma_[static_cast<size_t>(i)] =
+            static_cast<int16_t>(qChroma_[static_cast<size_t>(i)] / 2);
+        qwLuma_[static_cast<size_t>(i)] =
+            static_cast<int16_t>(qLuma_[static_cast<size_t>(i)]);
+        qwChroma_[static_cast<size_t>(i)] =
+            static_cast<int16_t>(qChroma_[static_cast<size_t>(i)]);
+    }
+
+    dcLuma_.build(kDcLumaHuff);
+    dcChroma_.build(kDcChromaHuff);
+    acLuma_.build(kAcLumaHuff);
+    acChroma_.build(kAcChromaHuff);
+
+    // IJG-style Q16 color tables producing unsigned samples; the
+    // chroma center (+128) and rounding are folded into one term each.
+    auto fix = [](double v) {
+        return static_cast<int32_t>(v * 65536.0 + 0.5);
+    };
+    for (int i = 0; i < 256; ++i) {
+        size_t s = static_cast<size_t>(i);
+        tabYr_[s] = fix(0.299) * i;
+        tabYg_[s] = fix(0.587) * i;
+        tabYb_[s] = fix(0.114) * i + 32767;
+        tabCbR_[s] = -fix(0.168735892) * i;
+        tabCbG_[s] = -fix(0.331264108) * i;
+        tabCbB_[s] = fix(0.5) * i + (128 << 16) + 32767;
+        tabCrR_[s] = fix(0.5) * i + (128 << 16) + 32767;
+        tabCrG_[s] = -fix(0.418687589) * i;
+        tabCrB_[s] = -fix(0.081312411) * i;
+    }
+
+    const size_t npx = static_cast<size_t>(width_) * height_;
+    planeY_.assign(npx, 0);
+    planeCb_.assign(npx, 0);
+    planeCr_.assign(npx, 0);
+    jpegC_.clear();
+    jpegMmx_.clear();
+}
+
+void
+JpegBenchmark::colorConvertC(Cpu &cpu)
+{
+    CallGuard call(cpu, "jpeg_rgb_ycc_convert", 4, 2);
+    const int npx = width_ * height_;
+    R32 count = cpu.imm32(npx);
+    for (int p = 0; p < npx; ++p) {
+        const uint8_t *px = &image_.rgb[static_cast<size_t>(p) * 3];
+        R32 r = cpu.load8u(px);
+        R32 g = cpu.load8u(px + 1);
+        R32 b = cpu.load8u(px + 2);
+
+        R32 y = cpu.load32(&tabYr_[static_cast<size_t>(r.v)]);
+        y = cpu.addLoad32(y, &tabYg_[static_cast<size_t>(g.v)]);
+        y = cpu.addLoad32(y, &tabYb_[static_cast<size_t>(b.v)]);
+        y = cpu.sar(y, 16);
+        cpu.store8(&planeY_[static_cast<size_t>(p)],
+                   R32{saturateU8(y.v), y.tag});
+
+        R32 cb = cpu.load32(&tabCbR_[static_cast<size_t>(r.v)]);
+        cb = cpu.addLoad32(cb, &tabCbG_[static_cast<size_t>(g.v)]);
+        cb = cpu.addLoad32(cb, &tabCbB_[static_cast<size_t>(b.v)]);
+        cb = cpu.sar(cb, 16);
+        cpu.store8(&planeCb_[static_cast<size_t>(p)],
+                   R32{saturateU8(cb.v), cb.tag});
+
+        R32 cr = cpu.load32(&tabCrR_[static_cast<size_t>(r.v)]);
+        cr = cpu.addLoad32(cr, &tabCrG_[static_cast<size_t>(g.v)]);
+        cr = cpu.addLoad32(cr, &tabCrB_[static_cast<size_t>(b.v)]);
+        cr = cpu.sar(cr, 16);
+        cpu.store8(&planeCr_[static_cast<size_t>(p)],
+                   R32{saturateU8(cr.v), cr.tag});
+
+        count = cpu.subImm(count, 1);
+        cpu.jcc(p + 1 < npx);
+    }
+}
+
+void
+JpegBenchmark::colorConvertMmx(Cpu &cpu)
+{
+    // Q8 color coefficients laid out for pmaddwd: [cR, cG, cB, 0].
+    alignas(8) static const int16_t kYCoef[4] = {77, 150, 29, 0};
+    alignas(8) static const int16_t kCbCoef[4] = {-43, -85, 128, 0};
+    alignas(8) static const int16_t kCrCoef[4] = {128, -107, -21, 0};
+
+    for (int row = 0; row < height_; ++row) {
+        // One library call per image row, as the paper's code did.
+        CallGuard call(cpu, "nspiRgbToYCbCrMmx", 5, 2);
+        alignas(8) int16_t gathered[4] = {0, 0, 0, 0};
+        R32 count = cpu.imm32(width_);
+        for (int x = 0; x < width_; ++x) {
+            const int p = row * width_ + x;
+            const uint8_t *px = &image_.rgb[static_cast<size_t>(p) * 3];
+            // Interleaved RGB forces a scalar gather — the data
+            // formatting the paper blames for MMX's poor showing here.
+            R32 r = cpu.load8u(px);
+            cpu.store16(&gathered[0], r);
+            R32 g = cpu.load8u(px + 1);
+            cpu.store16(&gathered[1], g);
+            R32 b = cpu.load8u(px + 2);
+            cpu.store16(&gathered[2], b);
+            M64 v = cpu.movqLoad(gathered);
+
+            struct Target
+            {
+                const int16_t *coef;
+                uint8_t *out;
+                int bias;
+            } targets[3] = {
+                {kYCoef, &planeY_[static_cast<size_t>(p)], 0},
+                {kCbCoef, &planeCb_[static_cast<size_t>(p)], 128},
+                {kCrCoef, &planeCr_[static_cast<size_t>(p)], 128},
+            };
+            for (const Target &t : targets) {
+                M64 prod = cpu.pmaddwdLoad(cpu.movq(v), t.coef);
+                M64 hi = cpu.movq(prod);
+                hi = cpu.psrlq(hi, 32);
+                prod = cpu.paddd(prod, hi);
+                R32 comp = cpu.movdToR32(prod);
+                comp = cpu.addImm(comp, 128); // Q8 rounding
+                comp = cpu.sar(comp, 8);
+                comp = cpu.addImm(comp, t.bias);
+                cpu.store8(t.out, R32{saturateU8(comp.v), comp.tag});
+            }
+            count = cpu.subImm(count, 1);
+            cpu.jcc(x + 1 < width_);
+        }
+        cpu.emms();
+    }
+}
+
+void
+JpegBenchmark::fdctQuantBlockC(Cpu &cpu, const uint8_t *plane, int bx,
+                               int by, const uint16_t *qtab,
+                               int16_t coefs[64])
+{
+    int32_t ws[64];
+
+    {
+        CallGuard call(cpu, "jpeg_fdct_islow", 2, 2);
+        // Row pass: read unsigned samples, level-shift, write the
+        // int32 workspace (GETJSAMPLE(...) - CENTERJSAMPLE in IJG).
+        R32 rows = cpu.imm32(8);
+        for (int y = 0; y < 8; ++y) {
+            const uint8_t *src =
+                &plane[static_cast<size_t>(by * 8 + y) * width_ + bx * 8];
+            std::array<R32, 8> d;
+            for (int x = 0; x < 8; ++x) {
+                R32 v = cpu.load8u(src + x);
+                d[static_cast<size_t>(x)] = cpu.subImm(v, 128);
+            }
+            auto out = islow1d(cpu, d, false);
+            for (int x = 0; x < 8; ++x)
+                cpu.store32(&ws[y * 8 + x], out[static_cast<size_t>(x)]);
+            rows = cpu.subImm(rows, 1);
+            cpu.jcc(y + 1 < 8);
+        }
+        // Column pass.
+        R32 cols = cpu.imm32(8);
+        for (int x = 0; x < 8; ++x) {
+            std::array<R32, 8> d;
+            for (int y = 0; y < 8; ++y)
+                d[static_cast<size_t>(y)] = cpu.load32(&ws[y * 8 + x]);
+            auto out = islow1d(cpu, d, true);
+            for (int y = 0; y < 8; ++y)
+                cpu.store32(&ws[y * 8 + x], out[static_cast<size_t>(y)]);
+            cols = cpu.subImm(cols, 1);
+            cpu.jcc(x + 1 < 8);
+        }
+    }
+
+    // Division-based quantization, natural order (IJG style; the DCT
+    // output is 8x orthonormal, so divide by q << 3).
+    CallGuard call(cpu, "jpeg_quantize", 3, 1);
+    R32 count = cpu.imm32(64);
+    for (int i = 0; i < 64; ++i) {
+        R32 v = cpu.load32(&ws[i]);
+        R32 q = cpu.load16u(&qtab[i]);
+        q = cpu.shl(q, 3);
+        R32 half = cpu.shr(cpu.mov(q), 1);
+        cpu.cmpImm(v, 0);
+        bool neg = v.v < 0;
+        cpu.jcc(neg);
+        if (neg) {
+            v = cpu.neg(v);
+            v = cpu.add(v, half);
+            v = cpu.idiv(v, q);
+            v = cpu.neg(v);
+        } else {
+            v = cpu.add(v, half);
+            v = cpu.idiv(v, q);
+        }
+        cpu.store16(&coefs[i], v);
+        count = cpu.subImm(count, 1);
+        cpu.jcc(i + 1 < 64);
+    }
+}
+
+void
+JpegBenchmark::dctBlockMmx(Cpu &cpu, const uint8_t *plane, int bx, int by,
+                           int16_t coefs[64])
+{
+    alignas(8) int16_t blk[64];
+    alignas(8) int16_t t1[64];
+    alignas(8) int16_t t2[64];
+    alignas(8) static const int16_t kCenter[4] = {128, 128, 128, 128};
+
+    // Gather the strided unsigned samples, widen to 16 bits and level
+    // shift — the type conversion the library's 16-bit interface forces
+    // on the app (unpack + subtract per row).
+    M64 zero = cpu.mmxZero();
+    M64 center = cpu.movqLoad(kCenter);
+    R32 rows = cpu.imm32(8);
+    for (int y = 0; y < 8; ++y) {
+        const uint8_t *src =
+            &plane[static_cast<size_t>(by * 8 + y) * width_ + bx * 8];
+        M64 px = cpu.movqLoad(src);
+        M64 lo = cpu.punpcklbw(cpu.movq(px), zero);
+        lo = cpu.psubw(lo, center);
+        cpu.movqStore(&blk[y * 8], lo);
+        M64 hi = cpu.punpckhbw(px, zero);
+        hi = cpu.psubw(hi, center);
+        cpu.movqStore(&blk[y * 8 + 4], hi);
+        rows = cpu.subImm(rows, 1);
+        cpu.jcc(y + 1 < 8);
+    }
+    cpu.emms();
+
+    // "Instead of one call to a MMX 2-D DCT function, there are 16
+    // calls to a one-dimensional DCT function."
+    for (int r = 0; r < 8; ++r)
+        nsp::dct1dMmx(cpu, &blk[r * 8], &t1[r * 8]);
+
+    // Scalar transpose between the row and column passes (more app
+    // glue the library design forces on the caller).
+    R32 count = cpu.imm32(64);
+    for (int i = 0; i < 64; ++i) {
+        int y = i / 8;
+        int x = i % 8;
+        R32 v = cpu.load16s(&t1[y * 8 + x]);
+        cpu.store16(&t2[x * 8 + y], v);
+        count = cpu.subImm(count, 1);
+        cpu.jcc(i + 1 < 64);
+    }
+
+    for (int r = 0; r < 8; ++r)
+        nsp::dct1dMmx(cpu, &t2[r * 8], &t1[r * 8]);
+
+    R32 count2 = cpu.imm32(64);
+    for (int i = 0; i < 64; ++i) {
+        int y = i / 8;
+        int x = i % 8;
+        R32 v = cpu.load16s(&t1[y * 8 + x]);
+        cpu.store16(&coefs[x * 8 + y], v);
+        count2 = cpu.subImm(count2, 1);
+        cpu.jcc(i + 1 < 64);
+    }
+}
+
+void
+JpegBenchmark::quantBlockMmx(Cpu &cpu, const int16_t dct[64],
+                             const int16_t *recip, const int16_t *half,
+                             const int16_t *qw, int16_t coefs[64])
+{
+    CallGuard call(cpu, "nspsQuantizeMmx", 5, 2);
+    alignas(8) static const int16_t kOnes[4] = {1, 1, 1, 1};
+    M64 ones = cpu.movqLoad(kOnes);
+    R32 count = cpu.imm32(16);
+    for (int k = 0; k < 64; k += 4) {
+        M64 v = cpu.movqLoad(&dct[k]);
+        // Sign-magnitude so rounding matches the C encoder:
+        // |level| = (|c| + q/2) * recip >> 15, sign restored after.
+        M64 sign = cpu.psraw(cpu.movq(v), 15);
+        M64 va = cpu.pxor(v, cpu.movq(sign));
+        va = cpu.psubw(va, cpu.movq(sign));
+        va = cpu.paddwLoad(va, &half[k]);
+        M64 r = cpu.movqLoad(&recip[k]);
+        M64 hi = cpu.pmulhw(cpu.movq(va), cpu.movq(r));
+        M64 lo = cpu.pmullw(cpu.movq(va), r);
+        hi = cpu.psllw(hi, 1);
+        lo = cpu.psrlw(lo, 15);
+        M64 labs = cpu.por(hi, lo);
+        // Reciprocal truncation can undershoot by one level: multiply
+        // the candidate back and correct against the residual — the
+        // extra work exact division costs on a machine whose packed
+        // unit has no divide ("preservation of precision across
+        // function calls", paper section 5).
+        M64 q = cpu.movqLoad(&qw[k]);
+        M64 lq = cpu.pmullw(cpu.movq(labs), cpu.movq(q));
+        M64 resid = cpu.psubw(va, lq);
+        M64 qm1 = cpu.psubw(q, cpu.movq(ones));
+        M64 under = cpu.pcmpgtw(resid, qm1); // resid >= q
+        labs = cpu.psubw(labs, under);       // += 1 where mask
+        // Restore the sign.
+        labs = cpu.pxor(labs, cpu.movq(sign));
+        labs = cpu.psubw(labs, sign);
+        cpu.movqStore(&coefs[k], labs);
+        count = cpu.subImm(count, 1);
+        cpu.jcc(k + 4 < 64);
+    }
+    cpu.emms();
+}
+
+void
+JpegBenchmark::encodeBlockHuff(Cpu &cpu, BitWriter &writer,
+                               const int16_t coefs[64], int &last_dc,
+                               const HuffTable &dc, const HuffTable &ac)
+{
+    CallGuard call(cpu, "jpeg_encode_one_block", 4, 2);
+
+    // DC difference.
+    R32 d = cpu.load16s(&coefs[0]);
+    R32 last = cpu.imm32(last_dc);
+    d = cpu.sub(d, last);
+    int diff = coefs[0] - last_dc;
+    last_dc = coefs[0];
+
+    // Magnitude category via the shift loop the C code uses.
+    int size = bitLength(diff);
+    R32 t = cpu.mov(d);
+    for (int s = 0; s < size; ++s) {
+        t = cpu.sar(t, 1);
+        cpu.test(t, t);
+        cpu.jcc(s + 1 < size);
+    }
+    if (size == 0) {
+        cpu.test(t, t);
+        cpu.jcc(false);
+    }
+
+    R32 code = cpu.load16u(&dc.code[static_cast<size_t>(size)]);
+    (void)code;
+    cpu.load8u(&dc.size[static_cast<size_t>(size)]);
+    writer.putBits(cpu, dc.code[static_cast<size_t>(size)],
+                   dc.size[static_cast<size_t>(size)]);
+    if (size > 0)
+        writer.putBits(cpu, magnitudeBits(diff, size), size);
+
+    // AC coefficients in zigzag order.
+    int run = 0;
+    R32 runr = cpu.imm32(0);
+    R32 count = cpu.imm32(63);
+    for (int k = 1; k < 64; ++k) {
+        cpu.load8u(&kZigzag[static_cast<size_t>(k)]);
+        const int16_t v = coefs[kZigzag[static_cast<size_t>(k)]];
+        R32 vr = cpu.load16s(&coefs[kZigzag[static_cast<size_t>(k)]]);
+        cpu.cmpImm(vr, 0);
+        cpu.jcc(v == 0);
+        if (v == 0) {
+            ++run;
+            runr = cpu.addImm(runr, 1);
+        } else {
+            while (run > 15) {
+                // ZRL
+                cpu.cmpImm(runr, 15);
+                cpu.jcc(true);
+                writer.putBits(cpu, ac.code[0xf0], ac.size[0xf0]);
+                run -= 16;
+                runr = cpu.subImm(runr, 16);
+            }
+            int vsize = bitLength(v);
+            R32 tv = cpu.mov(vr);
+            for (int s = 0; s < vsize; ++s) {
+                tv = cpu.sar(tv, 1);
+                cpu.test(tv, tv);
+                cpu.jcc(s + 1 < vsize);
+            }
+            int symbol = (run << 4) | vsize;
+            R32 sym = cpu.shl(runr, 4);
+            sym = cpu.or_(sym, cpu.imm32(vsize));
+            (void)sym;
+            cpu.load16u(&ac.code[static_cast<size_t>(symbol)]);
+            cpu.load8u(&ac.size[static_cast<size_t>(symbol)]);
+            writer.putBits(cpu, ac.code[static_cast<size_t>(symbol)],
+                           ac.size[static_cast<size_t>(symbol)]);
+            writer.putBits(cpu, magnitudeBits(v, vsize), vsize);
+            run = 0;
+            runr = cpu.imm32(0);
+        }
+        count = cpu.subImm(count, 1);
+        cpu.jcc(k + 1 < 64);
+    }
+    if (run > 0) {
+        cpu.cmpImm(runr, 0);
+        cpu.jcc(true);
+        writer.putBits(cpu, ac.code[0x00], ac.size[0x00]); // EOB
+    }
+}
+
+void
+JpegBenchmark::writeHeaders(std::vector<uint8_t> &out) const
+{
+    auto byte = [&](uint8_t b) { out.push_back(b); };
+    auto marker = [&](uint8_t m) {
+        byte(0xff);
+        byte(m);
+    };
+    auto word = [&](uint16_t w) {
+        byte(static_cast<uint8_t>(w >> 8));
+        byte(static_cast<uint8_t>(w));
+    };
+
+    marker(0xd8); // SOI
+
+    // APP0 / JFIF
+    marker(0xe0);
+    word(16);
+    byte('J');
+    byte('F');
+    byte('I');
+    byte('F');
+    byte(0);
+    byte(1);
+    byte(1); // version 1.1
+    byte(0); // aspect-ratio units
+    word(1);
+    word(1);
+    byte(0);
+    byte(0);
+
+    // DQT: two tables, values in zigzag order.
+    for (int id = 0; id < 2; ++id) {
+        const auto &q = id == 0 ? qLuma_ : qChroma_;
+        marker(0xdb);
+        word(2 + 1 + 64);
+        byte(static_cast<uint8_t>(id));
+        for (int i = 0; i < 64; ++i)
+            byte(static_cast<uint8_t>(q[kZigzag[static_cast<size_t>(i)]]));
+    }
+
+    // SOF0: baseline, 3 components, 4:4:4.
+    marker(0xc0);
+    word(8 + 3 * 3);
+    byte(8);
+    word(static_cast<uint16_t>(height_));
+    word(static_cast<uint16_t>(width_));
+    byte(3);
+    byte(1);
+    byte(0x11);
+    byte(0); // Y
+    byte(2);
+    byte(0x11);
+    byte(1); // Cb
+    byte(3);
+    byte(0x11);
+    byte(1); // Cr
+
+    // DHT: the four standard tables.
+    struct DhtEntry
+    {
+        uint8_t cls_id;
+        const HuffSpec *spec;
+    } tables[4] = {
+        {0x00, &kDcLumaHuff},
+        {0x10, &kAcLumaHuff},
+        {0x01, &kDcChromaHuff},
+        {0x11, &kAcChromaHuff},
+    };
+    for (const auto &t : tables) {
+        marker(0xc4);
+        word(static_cast<uint16_t>(2 + 1 + 16 + t.spec->numValues));
+        byte(t.cls_id);
+        for (int i = 0; i < 16; ++i)
+            byte(t.spec->bits[static_cast<size_t>(i)]);
+        for (int i = 0; i < t.spec->numValues; ++i)
+            byte(t.spec->values[i]);
+    }
+
+    // SOS
+    marker(0xda);
+    word(6 + 2 * 3);
+    byte(3);
+    byte(1);
+    byte(0x00);
+    byte(2);
+    byte(0x11);
+    byte(3);
+    byte(0x11);
+    byte(0);
+    byte(63);
+    byte(0);
+}
+
+void
+JpegBenchmark::runC(Cpu &cpu)
+{
+    colorConvertC(cpu);
+
+    jpegC_.clear();
+    writeHeaders(jpegC_);
+
+    BitWriter writer;
+    int last_dc[3] = {0, 0, 0};
+    int16_t coefs[64];
+    for (int by = 0; by < height_ / 8; ++by) {
+        for (int bx = 0; bx < width_ / 8; ++bx) {
+            fdctQuantBlockC(cpu, planeY_.data(), bx, by, qLuma_.data(),
+                            coefs);
+            encodeBlockHuff(cpu, writer, coefs, last_dc[0], dcLuma_,
+                            acLuma_);
+            fdctQuantBlockC(cpu, planeCb_.data(), bx, by, qChroma_.data(),
+                            coefs);
+            encodeBlockHuff(cpu, writer, coefs, last_dc[1], dcChroma_,
+                            acChroma_);
+            fdctQuantBlockC(cpu, planeCr_.data(), bx, by, qChroma_.data(),
+                            coefs);
+            encodeBlockHuff(cpu, writer, coefs, last_dc[2], dcChroma_,
+                            acChroma_);
+        }
+    }
+    writer.flush(cpu);
+    jpegC_.insert(jpegC_.end(), writer.bytes().begin(),
+                  writer.bytes().end());
+    jpegC_.push_back(0xff);
+    jpegC_.push_back(0xd9); // EOI
+}
+
+void
+JpegBenchmark::runMmx(Cpu &cpu)
+{
+    colorConvertMmx(cpu);
+
+    jpegMmx_.clear();
+    writeHeaders(jpegMmx_);
+
+    BitWriter writer;
+    int last_dc[3] = {0, 0, 0};
+    alignas(8) int16_t dct[64];
+    alignas(8) int16_t coefs[64];
+    for (int by = 0; by < height_ / 8; ++by) {
+        for (int bx = 0; bx < width_ / 8; ++bx) {
+            dctBlockMmx(cpu, planeY_.data(), bx, by, dct);
+            quantBlockMmx(cpu, dct, recipLuma_.data(), halfLuma_.data(),
+                          qwLuma_.data(), coefs);
+            encodeBlockHuff(cpu, writer, coefs, last_dc[0], dcLuma_,
+                            acLuma_);
+            dctBlockMmx(cpu, planeCb_.data(), bx, by, dct);
+            quantBlockMmx(cpu, dct, recipChroma_.data(),
+                          halfChroma_.data(), qwChroma_.data(), coefs);
+            encodeBlockHuff(cpu, writer, coefs, last_dc[1], dcChroma_,
+                            acChroma_);
+            dctBlockMmx(cpu, planeCr_.data(), bx, by, dct);
+            quantBlockMmx(cpu, dct, recipChroma_.data(),
+                          halfChroma_.data(), qwChroma_.data(), coefs);
+            encodeBlockHuff(cpu, writer, coefs, last_dc[2], dcChroma_,
+                            acChroma_);
+        }
+    }
+    writer.flush(cpu);
+    jpegMmx_.insert(jpegMmx_.end(), writer.bytes().begin(),
+                    writer.bytes().end());
+    jpegMmx_.push_back(0xff);
+    jpegMmx_.push_back(0xd9);
+}
+
+} // namespace mmxdsp::apps::jpeg

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Standard JPEG tables: Annex-K quantization matrices, the zigzag scan
+ * order, and the typical Huffman tables (ITU T.81 Annex K.3), plus the
+ * IJG quality-scaling rule.
+ */
+
+#ifndef MMXDSP_APPS_JPEG_JPEG_TABLES_HH
+#define MMXDSP_APPS_JPEG_JPEG_TABLES_HH
+
+#include <array>
+#include <cstdint>
+
+namespace mmxdsp::apps::jpeg {
+
+/** Annex-K luminance quantization matrix (natural order). */
+extern const std::array<uint16_t, 64> kLumaQuant;
+
+/** Annex-K chrominance quantization matrix (natural order). */
+extern const std::array<uint16_t, 64> kChromaQuant;
+
+/** Zigzag order: kZigzag[i] = natural index of the i-th scanned coef. */
+extern const std::array<uint8_t, 64> kZigzag;
+
+/** Huffman spec: 16 code-length counts plus up to 256 symbol values. */
+struct HuffSpec
+{
+    std::array<uint8_t, 16> bits; ///< # of codes of length 1..16
+    const uint8_t *values;        ///< symbols in code order
+    int numValues;
+};
+
+extern const HuffSpec kDcLumaHuff;
+extern const HuffSpec kDcChromaHuff;
+extern const HuffSpec kAcLumaHuff;
+extern const HuffSpec kAcChromaHuff;
+
+/**
+ * Scale a base quantization matrix by IJG quality (1..100); entries are
+ * clamped to [1, 255] so they fit a baseline DQT segment.
+ */
+std::array<uint16_t, 64> scaleQuant(const std::array<uint16_t, 64> &base,
+                                    int quality);
+
+} // namespace mmxdsp::apps::jpeg
+
+#endif // MMXDSP_APPS_JPEG_JPEG_TABLES_HH

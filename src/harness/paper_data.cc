@@ -1,0 +1,80 @@
+#include "paper_data.hh"
+
+#include <array>
+#include <cstring>
+
+namespace mmxdsp::harness {
+
+namespace {
+
+constexpr std::array<PaperTable2Row, 19> kTable2 = {{
+    {"fft.c", 110, 8429851, 5619929, 53.64, -1},
+    {"fft.fp", 1446, 3285827, 2389118, 54.61, -1},
+    {"fft.mmx", 1640, 2585564, 1842347, 49.54, 4.69},
+    {"fir.c", 32, 2580000, 2112000, 40.62, -1},
+    {"fir.fp", 78, 2922288, 2190000, 42.46, -1},
+    {"fir.mmx", 218, 2040889, 1332051, 31.98, 20.27},
+    {"iir.c", 60, 2924802, 2678258, 22.37, -1},
+    {"iir.fp", 223, 1652784, 1325964, 37.16, -1},
+    {"iir.mmx", 227, 1299588, 1010568, 28.33, 71.23},
+    {"matvec.c", 35, 2106409, 2105355, 25.04, -1},
+    {"matvec.mmx", 159, 1085055, 395125, 45.83, 91.60},
+    {"radar.c", 389, 12953062, 10110365, 47.04, -1},
+    {"radar.mmx", 1105, 11193249, 7190019, 36.36, 8.64},
+    {"g722.c", 1281, 16258744, 11618849, 59.92, -1},
+    {"g722.mmx", 1752, 25898326, 17582880, 43.44, 1.58},
+    {"jpeg.c", 3755, 12901353, 9700077, 43.25, -1},
+    {"jpeg.mmx", 4434, 25343001, 16294772, 44.29, 6.52},
+    {"image.c", 68, 37934090, 26870550, 27.47, -1},
+    {"image.mmx", 175, 5063817, 2707314, 38.29, 85.10},
+}};
+
+constexpr std::array<PaperTable3Row, 11> kTable3 = {{
+    {"fft.c", 1.98, 0.067, 3.05, 3.26, 3.30},
+    {"fft.fp", 1.25, 0.881, 1.29, 1.27, 1.42},
+    {"fir.c", 1.57, 0.146, 1.58, 1.26, 2.01},
+    {"fir.fp", 1.34, 0.357, 1.64, 1.43, 2.18},
+    {"iir.c", 2.55, 0.264, 2.65, 2.25, 2.09},
+    {"iir.fp", 1.71, 0.982, 1.31, 1.27, 1.72},
+    {"matvec.c", 6.61, 0.220, 5.32, 1.94, 2.91},
+    {"g722.c", 0.77, 0.731, 0.66, 0.62, 0.91},
+    {"image.c", 5.50, 0.388, 9.92, 7.49, 7.12},
+    {"jpeg.c", 0.49, 0.847, 0.62, 0.51, 0.61},
+    {"radar.c", 1.21, 0.352, 1.40, 1.15, 1.81},
+}};
+
+} // namespace
+
+const PaperTable2Row *
+paperTable2(size_t index)
+{
+    return index < kTable2.size() ? &kTable2[index] : nullptr;
+}
+
+const PaperTable3Row *
+paperTable3(size_t index)
+{
+    return index < kTable3.size() ? &kTable3[index] : nullptr;
+}
+
+const PaperTable2Row *
+paperTable2For(const std::string &program)
+{
+    for (const auto &row : kTable2) {
+        if (program == row.program)
+            return &row;
+    }
+    return nullptr;
+}
+
+const PaperTable3Row *
+paperTable3For(const std::string &program)
+{
+    for (const auto &row : kTable3) {
+        if (program == row.program)
+            return &row;
+    }
+    return nullptr;
+}
+
+} // namespace mmxdsp::harness

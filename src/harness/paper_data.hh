@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The paper's published numbers (Tables 2 and 3 plus in-text figures),
+ * so every bench binary can print paper-vs-measured side by side.
+ */
+
+#ifndef MMXDSP_HARNESS_PAPER_DATA_HH
+#define MMXDSP_HARNESS_PAPER_DATA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mmxdsp::harness {
+
+/** One row of the paper's Table 2 (benchmark instruction characteristics). */
+struct PaperTable2Row
+{
+    const char *program;       ///< e.g. "fft.c"
+    int64_t staticInstrs;
+    int64_t dynamicUops;
+    int64_t dynamicInstrs;
+    double pctMemoryRefs;      ///< percent (e.g. 53.64)
+    double pctMmx;             ///< percent; < 0 means not applicable
+};
+
+/** One row of the paper's Table 3 (non-MMX / MMX ratios). */
+struct PaperTable3Row
+{
+    const char *program;       ///< e.g. "fft.c" (the non-MMX side)
+    double speedup;
+    double staticRatio;
+    double dynamicRatio;
+    double uopRatio;
+    double memRatio;
+};
+
+/** Table 2 rows in the paper's order. @return nullptr past the end. */
+const PaperTable2Row *paperTable2(size_t index);
+
+/** Table 3 rows in the paper's order. @return nullptr past the end. */
+const PaperTable3Row *paperTable3(size_t index);
+
+/** Look up a Table 2 row by program name ("fir.mmx"); nullptr if absent. */
+const PaperTable2Row *paperTable2For(const std::string &program);
+
+/** Look up a Table 3 row by non-MMX program name; nullptr if absent. */
+const PaperTable3Row *paperTable3For(const std::string &program);
+
+} // namespace mmxdsp::harness
+
+#endif // MMXDSP_HARNESS_PAPER_DATA_HH

@@ -1,0 +1,201 @@
+#include "suite.hh"
+
+#include <algorithm>
+
+#include "apps/g722/g722_app.hh"
+#include "apps/image/image_app.hh"
+#include "apps/jpeg/jpeg_encoder.hh"
+#include "apps/radar/radar_app.hh"
+#include "kernels/fft.hh"
+#include "kernels/fir.hh"
+#include "kernels/iir.hh"
+#include "kernels/matvec.hh"
+#include "support/logging.hh"
+#include "workloads/image_data.hh"
+
+namespace mmxdsp::harness {
+
+void
+SuiteConfig::scaleDown(int factor)
+{
+    if (factor <= 1)
+        return;
+    fir_samples = std::max(64, fir_samples / factor);
+    iir_samples = std::max(64, iir_samples / factor);
+    while (fft_size / factor < fft_size && fft_size > 64)
+        fft_size /= 2;
+    matvec_dim = std::max(32, matvec_dim / factor);
+    image_width = std::max(48, image_width / factor);
+    image_height = std::max(48, image_height / factor);
+    jpeg_width = std::max(32, jpeg_width / factor);
+    jpeg_height = std::max(32, jpeg_height / factor);
+    g722_samples = std::max(256, g722_samples / factor);
+    radar_echoes = std::max(65, radar_echoes / factor);
+}
+
+struct BenchmarkSuite::Impl
+{
+    kernels::FirBenchmark fir;
+    kernels::IirBenchmark iir;
+    kernels::FftBenchmark fft;
+    kernels::MatvecBenchmark matvec;
+    apps::jpeg::JpegBenchmark jpeg;
+    apps::image::ImageBenchmark image;
+    apps::g722::G722Benchmark g722;
+    apps::radar::RadarBenchmark radar;
+    runtime::Cpu cpu;
+};
+
+BenchmarkSuite::BenchmarkSuite(const SuiteConfig &config)
+    : config_(config), impl_(std::make_unique<Impl>())
+{
+    impl_->fir.setup(config.fir_samples, config.seed);
+    impl_->iir.setup(config.iir_samples, config.seed + 1);
+    impl_->fft.setup(config.fft_size, config.seed + 2);
+    impl_->matvec.setup(config.matvec_dim, config.seed + 3);
+    impl_->jpeg.setup(
+        workloads::makeTestImage(config.jpeg_width, config.jpeg_height,
+                                 config.seed + 4),
+        config.jpeg_quality);
+    impl_->image.setup(workloads::makeTestImage(
+        config.image_width, config.image_height, config.seed + 5));
+    impl_->g722.setup(config.g722_samples, config.seed + 6);
+    workloads::RadarScenario scenario;
+    scenario.num_echoes = config.radar_echoes;
+    scenario.seed = config.seed + 7;
+    impl_->radar.setup(scenario);
+}
+
+BenchmarkSuite::~BenchmarkSuite() = default;
+
+const RunResult &
+BenchmarkSuite::run(const std::string &benchmark, const std::string &version)
+{
+    const std::string key = benchmark + "." + version;
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+
+    profile::VProf prof;
+    runtime::Cpu &cpu = impl_->cpu;
+    cpu.attachSink(&prof);
+
+    bool ok = true;
+    if (benchmark == "fir") {
+        if (version == "c")
+            impl_->fir.runC(cpu);
+        else if (version == "fp")
+            impl_->fir.runFp(cpu);
+        else if (version == "mmx")
+            impl_->fir.runMmx(cpu);
+        else
+            ok = false;
+    } else if (benchmark == "iir") {
+        if (version == "c")
+            impl_->iir.runC(cpu);
+        else if (version == "fp")
+            impl_->iir.runFp(cpu);
+        else if (version == "mmx")
+            impl_->iir.runMmx(cpu);
+        else
+            ok = false;
+    } else if (benchmark == "fft") {
+        if (version == "c")
+            impl_->fft.runC(cpu);
+        else if (version == "fp")
+            impl_->fft.runFp(cpu);
+        else if (version == "mmx")
+            impl_->fft.runMmx(cpu);
+        else if (version == "mmx_v1")
+            impl_->fft.runMmxV1(cpu);
+        else
+            ok = false;
+    } else if (benchmark == "matvec") {
+        if (version == "c")
+            impl_->matvec.runC(cpu);
+        else if (version == "mmx")
+            impl_->matvec.runMmx(cpu);
+        else
+            ok = false;
+    } else if (benchmark == "jpeg") {
+        if (version == "c")
+            impl_->jpeg.runC(cpu);
+        else if (version == "mmx")
+            impl_->jpeg.runMmx(cpu);
+        else
+            ok = false;
+    } else if (benchmark == "image") {
+        if (version == "c")
+            impl_->image.runC(cpu);
+        else if (version == "mmx")
+            impl_->image.runMmx(cpu);
+        else
+            ok = false;
+    } else if (benchmark == "g722") {
+        if (version == "c")
+            impl_->g722.runC(cpu);
+        else if (version == "mmx")
+            impl_->g722.runMmx(cpu);
+        else
+            ok = false;
+    } else if (benchmark == "radar") {
+        if (version == "c")
+            impl_->radar.runC(cpu);
+        else if (version == "mmx")
+            impl_->radar.runMmx(cpu);
+        else
+            ok = false;
+    } else {
+        ok = false;
+    }
+    cpu.attachSink(nullptr);
+    if (!ok)
+        mmxdsp_fatal("unknown benchmark run %s.%s", benchmark.c_str(),
+                     version.c_str());
+
+    RunResult result;
+    result.benchmark = benchmark;
+    result.version = version;
+    result.profile = prof.result();
+    auto [pos, inserted] = cache_.emplace(key, std::move(result));
+    (void)inserted;
+    return pos->second;
+}
+
+std::vector<std::pair<std::string, std::string>>
+BenchmarkSuite::allRuns()
+{
+    return {
+        {"fft", "c"},    {"fft", "fp"},  {"fft", "mmx"},
+        {"fir", "c"},    {"fir", "fp"},  {"fir", "mmx"},
+        {"iir", "c"},    {"iir", "fp"},  {"iir", "mmx"},
+        {"matvec", "c"}, {"matvec", "mmx"},
+        {"radar", "c"},  {"radar", "mmx"},
+        {"g722", "c"},   {"g722", "mmx"},
+        {"jpeg", "c"},   {"jpeg", "mmx"},
+        {"image", "c"},  {"image", "mmx"},
+    };
+}
+
+double
+BenchmarkSuite::speedup(const std::string &benchmark)
+{
+    const RunResult &c = run(benchmark, "c");
+    const RunResult &mmx = run(benchmark, "mmx");
+    return static_cast<double>(c.profile.cycles)
+           / static_cast<double>(mmx.profile.cycles);
+}
+
+std::vector<std::string>
+BenchmarkSuite::benchmarksBySpeedup()
+{
+    std::vector<std::string> names{"jpeg", "g722", "radar", "fir",
+                                   "fft",  "iir",  "image", "matvec"};
+    std::sort(names.begin(), names.end(),
+              [&](const std::string &a, const std::string &b) {
+                  return speedup(a) < speedup(b);
+              });
+    return names;
+}
+
+} // namespace mmxdsp::harness

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The benchmark harness: owns one instance of every benchmark, runs any
+ * (benchmark, version) pair under a fresh profiler with the paper's
+ * workload parameters, and caches results so one bench binary can build
+ * several tables from a single simulation pass.
+ */
+
+#ifndef MMXDSP_HARNESS_SUITE_HH
+#define MMXDSP_HARNESS_SUITE_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "profile/vprof.hh"
+#include "runtime/cpu.hh"
+
+namespace mmxdsp::harness {
+
+/** Workload parameters (defaults follow the paper's Table 1). */
+struct SuiteConfig
+{
+    int fir_samples = 4096;
+    int iir_samples = 8192;
+    int fft_size = 4096;     ///< "4096 point, in-place FFT"
+    int matvec_dim = 512;    ///< "512 x 512 matrix ... vector of length 512"
+    int image_width = 640;   ///< "480 x 640 RGB image"
+    int image_height = 480;
+    int jpeg_width = 224;    ///< ~118 kB RGB bitmap like the paper's input
+    int jpeg_height = 168;
+    int jpeg_quality = 75;
+    int g722_samples = 3072; ///< "a 6 kB speech file"
+    int radar_echoes = 1025; ///< 12 range gates, 64 16-pulse segments
+    uint64_t seed = 42;
+    /** Shrink every workload (for quick runs / examples). */
+    void scaleDown(int factor);
+};
+
+/** One measured (benchmark, version) run. */
+struct RunResult
+{
+    std::string benchmark;
+    std::string version; ///< "c", "fp", "mmx", "mmx_v1"
+    profile::ProfileResult profile;
+
+    std::string name() const { return benchmark + "." + version; }
+};
+
+class BenchmarkSuite
+{
+  public:
+    explicit BenchmarkSuite(const SuiteConfig &config = SuiteConfig{});
+    ~BenchmarkSuite();
+
+    /**
+     * Run (and cache) one benchmark version. Valid names:
+     * fft/fir/iir/matvec/jpeg/image/g722/radar; versions "c" for all,
+     * "fp" for fft/fir/iir, "mmx" for all, "mmx_v1" for fft.
+     * Fatal on unknown pairs.
+     */
+    const RunResult &run(const std::string &benchmark,
+                         const std::string &version);
+
+    /** All (benchmark, version) pairs, kernels first (paper order). */
+    static std::vector<std::pair<std::string, std::string>> allRuns();
+
+    /** Benchmarks ordered by ascending measured C/MMX speedup. */
+    std::vector<std::string> benchmarksBySpeedup();
+
+    /** Measured C-version / MMX-version cycle ratio. */
+    double speedup(const std::string &benchmark);
+
+    const SuiteConfig &config() const { return config_; }
+
+  private:
+    struct Impl;
+
+    SuiteConfig config_;
+    std::unique_ptr<Impl> impl_;
+    std::map<std::string, RunResult> cache_;
+};
+
+} // namespace mmxdsp::harness
+
+#endif // MMXDSP_HARNESS_SUITE_HH

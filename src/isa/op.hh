@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Instruction-set definitions for the instrumented execution runtime.
+ *
+ * The runtime emits one InstrEvent per executed instruction; each event
+ * names an Op (an x86 mnemonic from the subset a late-90s compiler plus
+ * the MMX extension would produce) and a memory mode. The tables here give
+ * the per-op attributes the Pentium timing model (src/sim) and the
+ * Pentium II micro-op decode model need:
+ *
+ *  - pairing class (Pentium U/V dual-issue rules),
+ *  - result latency and issue-blocking cycles,
+ *  - execution unit (for the single MMX multiplier / shifter constraint),
+ *  - micro-op count (Pentium II decode),
+ *  - MMX category for the paper's Figure 1(a) instruction-mix breakdown.
+ *
+ * MMX defines 57 instructions when counting operand-size variants; we model
+ * the 47 distinct mnemonics and treat size variants as the same table entry.
+ */
+
+#ifndef MMXDSP_ISA_OP_HH
+#define MMXDSP_ISA_OP_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mmxdsp::isa {
+
+/** Every instruction mnemonic the runtime can emit. */
+enum class Op : uint16_t {
+    // --- scalar integer / data movement ---
+    Mov, Lea, Movzx, Movsx, Xchg, Push, Pop,
+    Add, Adc, Sub, Sbb, Inc, Dec, Neg, Cmp, Test,
+    And, Or, Xor, Not, Shl, Shr, Sar,
+    Imul, Mul, Idiv, Div, Cdq,
+    // --- control flow ---
+    Jmp, Jcc, Call, Ret, Setcc, Nop,
+    // --- x87 floating point ---
+    Fld, Fst, Fstp, Fild, Fistp,
+    Fadd, Fsub, Fmul, Fdiv, Fchs, Fabs, Fsqrt, Fcom, Fxch,
+    // --- MMX: data transfer ---
+    Movd, Movq,
+    // --- MMX: packed arithmetic ---
+    Paddb, Paddw, Paddd, Paddsb, Paddsw, Paddusb, Paddusw,
+    Psubb, Psubw, Psubd, Psubsb, Psubsw, Psubusb, Psubusw,
+    Pmulhw, Pmullw, Pmaddwd,
+    // --- MMX: comparison ---
+    Pcmpeqb, Pcmpeqw, Pcmpeqd, Pcmpgtb, Pcmpgtw, Pcmpgtd,
+    // --- MMX: pack / unpack ---
+    Packsswb, Packssdw, Packuswb,
+    Punpckhbw, Punpckhwd, Punpckhdq,
+    Punpcklbw, Punpcklwd, Punpckldq,
+    // --- MMX: logical ---
+    Pand, Pandn, Por, Pxor,
+    // --- MMX: shift ---
+    Psllw, Pslld, Psllq, Psrlw, Psrld, Psrlq, Psraw, Psrad,
+    // --- MMX: state ---
+    Emms,
+
+    NumOps
+};
+
+constexpr size_t kNumOps = static_cast<size_t>(Op::NumOps);
+
+/** Pentium U/V pipe pairing class. */
+enum class PairClass : uint8_t {
+    UV, ///< issues in either pipe, pairs freely
+    PU, ///< pairable only in the U pipe
+    PV, ///< pairable only in the V pipe
+    NP, ///< not pairable; issues alone
+};
+
+/** Execution unit, used for structural hazards within an issue pair. */
+enum class Unit : uint8_t {
+    IntAlu,   ///< scalar integer ALU / address generation
+    IntMul,   ///< scalar integer multiplier
+    IntDiv,   ///< scalar integer divider
+    Fp,       ///< x87 add/mul pipeline
+    FpDiv,    ///< x87 divide/sqrt (non-pipelined)
+    MmxAlu,   ///< packed ALU (two instances on P55C)
+    MmxMul,   ///< packed multiplier (single instance)
+    MmxShift, ///< packed shifter, also does pack/unpack (single instance)
+    Branch,   ///< branch resolution
+    Other,
+};
+
+/** Category buckets used by the paper's Figure 1(a). */
+enum class MmxCategory : uint8_t {
+    None,       ///< not an MMX instruction
+    PackUnpack, ///< packss*/packus*/punpck*
+    Arith,      ///< packed arithmetic, compares, logicals, shifts
+    Mov,        ///< movd / movq
+    Emms,       ///< the emms state-switch instruction
+};
+
+/** Static attributes of one mnemonic. */
+struct OpInfo
+{
+    const char *name;     ///< lower-case mnemonic
+    PairClass pair;       ///< Pentium pairing class
+    uint8_t latency;      ///< cycles until the result may be consumed
+    uint8_t blocking;     ///< cycles the issue pipe is held (1 = pipelined)
+    Unit unit;            ///< execution unit
+    uint8_t uops;         ///< Pentium II micro-ops for the reg-reg form
+    MmxCategory mmx;      ///< Figure 1(a) bucket
+};
+
+/** Look up the attribute record for @p op. */
+const OpInfo &opInfo(Op op);
+
+/** Lower-case mnemonic for @p op. */
+inline const char *opName(Op op) { return opInfo(op).name; }
+
+/** True if @p op belongs to the MMX extension. */
+inline bool isMmx(Op op) { return opInfo(op).mmx != MmxCategory::None; }
+
+/** True for x87 floating-point ops. */
+bool isX87(Op op);
+
+/** True for control-transfer ops (jmp/jcc/call/ret). */
+bool isControl(Op op);
+
+} // namespace mmxdsp::isa
+
+#endif // MMXDSP_ISA_OP_HH

@@ -1,0 +1,225 @@
+#include "fft.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/fixed_point.hh"
+#include "support/rng.hh"
+#include "support/signal_math.hh"
+
+namespace mmxdsp::kernels {
+
+using runtime::CallGuard;
+using runtime::F64;
+using runtime::R32;
+
+void
+FftBenchmark::setup(int n, uint64_t seed)
+{
+    n_ = n;
+    fftInit(tables_, n);
+
+    Rng rng(seed);
+    inRe_.resize(static_cast<size_t>(n));
+    inIm_.resize(static_cast<size_t>(n));
+    inReQ_.resize(static_cast<size_t>(n));
+    inImQ_.resize(static_cast<size_t>(n));
+    for (int t = 0; t < n; ++t) {
+        double re = 0.35 * std::sin(2 * std::numbers::pi * 41.0 * t / n)
+                    + 0.22 * std::cos(2 * std::numbers::pi * 173.5 * t / n)
+                    + 0.03 * rng.nextDouble(-1, 1);
+        double im = 0.18 * std::sin(2 * std::numbers::pi * 97.0 * t / n)
+                    + 0.03 * rng.nextDouble(-1, 1);
+        inRe_[static_cast<size_t>(t)] = re;
+        inIm_[static_cast<size_t>(t)] = im;
+        inReQ_[static_cast<size_t>(t)] = toQ15(re);
+        inImQ_[static_cast<size_t>(t)] = toQ15(im);
+    }
+    outC_.clear();
+    outFp_.clear();
+    outMmx_.clear();
+    outMmxV1_.clear();
+}
+
+void
+FftBenchmark::runC(Cpu &cpu)
+{
+    const int n = n_;
+    std::vector<float> re(static_cast<size_t>(n));
+    std::vector<float> im(static_cast<size_t>(n));
+    for (int t = 0; t < n; ++t) {
+        re[static_cast<size_t>(t)] =
+            static_cast<float>(inRe_[static_cast<size_t>(t)]);
+        im[static_cast<size_t>(t)] =
+            static_cast<float>(inIm_[static_cast<size_t>(t)]);
+    }
+
+    CallGuard call(cpu, "fft_c", 3, 2);
+
+    // Numerical-Recipes-style on-the-fly bit reversal.
+    int j = 0;
+    R32 jr = cpu.imm32(0);
+    for (int i = 1; i < n; ++i) {
+        int m = n >> 1;
+        R32 mr = cpu.imm32(m);
+        while (m >= 1 && j >= m) {
+            cpu.cmp(jr, mr);
+            cpu.jcc(true);
+            jr = cpu.sub(jr, mr);
+            mr = cpu.sar(mr, 1);
+            j -= m;
+            m >>= 1;
+        }
+        if (m >= 1) {
+            cpu.cmp(jr, mr);
+            cpu.jcc(false);
+        }
+        jr = cpu.add(jr, mr);
+        j += m;
+
+        cpu.cmpImm(jr, i);
+        bool swap = j > i;
+        cpu.jcc(swap);
+        if (swap) {
+            F64 a = cpu.fld32(&re[static_cast<size_t>(i)]);
+            F64 b = cpu.fld32(&re[static_cast<size_t>(j)]);
+            cpu.fstp32(&re[static_cast<size_t>(j)], a);
+            cpu.fstp32(&re[static_cast<size_t>(i)], b);
+            F64 c = cpu.fld32(&im[static_cast<size_t>(i)]);
+            F64 d = cpu.fld32(&im[static_cast<size_t>(j)]);
+            cpu.fstp32(&im[static_cast<size_t>(j)], c);
+            cpu.fstp32(&im[static_cast<size_t>(i)], d);
+        }
+    }
+
+    // Butterfly stages with the twiddle recurrence and all loop state
+    // spilled through memory, the way optimized-but-unscheduled C runs.
+    for (int len = 2; len <= n; len <<= 1) {
+        const int half = len / 2;
+        const double theta = -2.0 * std::numbers::pi / len;
+        double wpr = std::cos(theta);
+        double wpi = std::sin(theta);
+        for (int i = 0; i < n; i += len) {
+            double wr = 1.0;
+            double wi = 0.0;
+            F64 one = cpu.fimm(1.0);
+            cpu.fstp64(&wr, one);
+            F64 zero = cpu.fldz();
+            cpu.fstp64(&wi, zero);
+            R32 k = cpu.imm32(0);
+            for (int kk = 0; kk < half; ++kk) {
+                const int lo = i + kk;
+                const int hi = lo + half;
+                F64 wrv = cpu.fld64(&wr);
+                F64 wiv = cpu.fld64(&wi);
+                F64 xr = cpu.fld32(&re[static_cast<size_t>(hi)]);
+                F64 xi = cpu.fld32(&im[static_cast<size_t>(hi)]);
+                F64 tr = cpu.fmul(cpu.fmov(wrv), xr);
+                F64 t2 = cpu.fmul(cpu.fmov(wiv), xi);
+                tr = cpu.fsub(tr, t2);
+                F64 ti = cpu.fmul(wrv, xi);
+                F64 t3 = cpu.fmul(wiv, xr);
+                ti = cpu.fadd(ti, t3);
+                F64 ur = cpu.fld32(&re[static_cast<size_t>(lo)]);
+                F64 ui = cpu.fld32(&im[static_cast<size_t>(lo)]);
+                cpu.fstp32(&re[static_cast<size_t>(lo)],
+                           cpu.fadd(cpu.fmov(ur), tr));
+                cpu.fstp32(&im[static_cast<size_t>(lo)],
+                           cpu.fadd(cpu.fmov(ui), ti));
+                cpu.fstp32(&re[static_cast<size_t>(hi)],
+                           cpu.fsub(ur, tr));
+                cpu.fstp32(&im[static_cast<size_t>(hi)],
+                           cpu.fsub(ui, ti));
+
+                // wr/wi recurrence, spilled to memory each iteration.
+                F64 a = cpu.fld64(&wr);
+                a = cpu.fmulLoad64(a, &wpr);
+                F64 b = cpu.fld64(&wi);
+                b = cpu.fmulLoad64(b, &wpi);
+                a = cpu.fsub(a, b);
+                F64 c = cpu.fld64(&wi);
+                c = cpu.fmulLoad64(c, &wpr);
+                F64 d = cpu.fld64(&wr);
+                d = cpu.fmulLoad64(d, &wpi);
+                c = cpu.fadd(c, d);
+                cpu.fstp64(&wr, a);
+                cpu.fstp64(&wi, c);
+
+                k = cpu.addImm(k, 1);
+                cpu.cmpImm(k, half);
+                cpu.jcc(kk + 1 < half);
+            }
+        }
+    }
+
+    outC_.resize(static_cast<size_t>(n));
+    for (int t = 0; t < n; ++t)
+        outC_[static_cast<size_t>(t)] = {
+            static_cast<double>(re[static_cast<size_t>(t)]),
+            static_cast<double>(im[static_cast<size_t>(t)])};
+}
+
+void
+FftBenchmark::runFp(Cpu &cpu)
+{
+    const int n = n_;
+    std::vector<float> re(static_cast<size_t>(n));
+    std::vector<float> im(static_cast<size_t>(n));
+    for (int t = 0; t < n; ++t) {
+        re[static_cast<size_t>(t)] =
+            static_cast<float>(inRe_[static_cast<size_t>(t)]);
+        im[static_cast<size_t>(t)] =
+            static_cast<float>(inIm_[static_cast<size_t>(t)]);
+    }
+    fftFp(cpu, tables_, re.data(), im.data());
+    outFp_.resize(static_cast<size_t>(n));
+    for (int t = 0; t < n; ++t)
+        outFp_[static_cast<size_t>(t)] = {
+            static_cast<double>(re[static_cast<size_t>(t)]),
+            static_cast<double>(im[static_cast<size_t>(t)])};
+}
+
+void
+FftBenchmark::runMmx(Cpu &cpu)
+{
+    std::vector<int16_t> re = inReQ_;
+    std::vector<int16_t> im = inImQ_;
+    // The caller must provide the a-priori scale factor; one guard bit
+    // covers any full-scale input.
+    fftMmxV2(cpu, tables_, re.data(), im.data(), 1);
+    // The library returns FFT(x >> 1)/n in Q15 units; map back to the
+    // input's real-valued domain for comparison.
+    const double s = 2.0 * static_cast<double>(n_) / 32768.0;
+    outMmx_.resize(static_cast<size_t>(n_));
+    for (int t = 0; t < n_; ++t)
+        outMmx_[static_cast<size_t>(t)] = {
+            static_cast<double>(re[static_cast<size_t>(t)]) * s,
+            static_cast<double>(im[static_cast<size_t>(t)]) * s};
+}
+
+void
+FftBenchmark::runMmxV1(Cpu &cpu)
+{
+    std::vector<int16_t> re = inReQ_;
+    std::vector<int16_t> im = inImQ_;
+    int exponent = fftMmxV1(cpu, tables_, re.data(), im.data());
+    const double s = static_cast<double>(1 << exponent) / 32768.0;
+    outMmxV1_.resize(static_cast<size_t>(n_));
+    for (int t = 0; t < n_; ++t)
+        outMmxV1_[static_cast<size_t>(t)] = {
+            static_cast<double>(re[static_cast<size_t>(t)]) * s,
+            static_cast<double>(im[static_cast<size_t>(t)]) * s};
+}
+
+std::vector<std::complex<double>>
+FftBenchmark::reference() const
+{
+    std::vector<std::complex<double>> x(static_cast<size_t>(n_));
+    for (int t = 0; t < n_; ++t)
+        x[static_cast<size_t>(t)] = {inRe_[static_cast<size_t>(t)],
+                                     inIm_[static_cast<size_t>(t)]};
+    referenceFft(x, false);
+    return x;
+}
+
+} // namespace mmxdsp::kernels

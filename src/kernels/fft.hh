@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The fft kernel benchmark: a 4096-point, in-place, radix-2 complex FFT
+ * with all data supplied at once (paper, Table 1).
+ *
+ *  - runC:    compiled-C float FFT — twiddles by recurrence, every
+ *             intermediate spilled through memory.
+ *  - runFp:   the hand-optimized floating-point library FFT.
+ *  - runMmx:  the shipping MMX library FFT (16-bit in/out, float core).
+ *  - runMmxV1: the earlier all-integer MMX FFT (ablation).
+ */
+
+#ifndef MMXDSP_KERNELS_FFT_HH
+#define MMXDSP_KERNELS_FFT_HH
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "nsp/fft.hh"
+#include "runtime/cpu.hh"
+
+namespace mmxdsp::kernels {
+
+using runtime::Cpu;
+
+class FftBenchmark
+{
+  public:
+    void setup(int n, uint64_t seed);
+
+    void runC(Cpu &cpu);
+    void runFp(Cpu &cpu);
+    void runMmx(Cpu &cpu);
+    void runMmxV1(Cpu &cpu);
+
+    /** Oracle spectrum (unscaled forward FFT). */
+    std::vector<std::complex<double>> reference() const;
+
+    // Outputs normalized to the unscaled-FFT convention for comparison.
+    const std::vector<std::complex<double>> &outC() const { return outC_; }
+    const std::vector<std::complex<double>> &outFp() const { return outFp_; }
+    const std::vector<std::complex<double>> &outMmx() const
+    {
+        return outMmx_;
+    }
+    const std::vector<std::complex<double>> &outMmxV1() const
+    {
+        return outMmxV1_;
+    }
+    int size() const { return n_; }
+
+  private:
+    int n_ = 0;
+    nsp::FftTables tables_;
+    std::vector<double> inRe_, inIm_;
+    std::vector<int16_t> inReQ_, inImQ_;
+
+    std::vector<std::complex<double>> outC_, outFp_, outMmx_, outMmxV1_;
+};
+
+} // namespace mmxdsp::kernels
+
+#endif // MMXDSP_KERNELS_FFT_HH

@@ -1,0 +1,136 @@
+#include "fir.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "nsp/filter.hh"
+#include "support/fixed_point.hh"
+#include "support/rng.hh"
+#include "support/signal_math.hh"
+
+namespace mmxdsp::kernels {
+
+using runtime::CallGuard;
+using runtime::F64;
+using runtime::R32;
+
+void
+FirBenchmark::setup(int samples, uint64_t seed)
+{
+    samples_ = samples;
+    coeffs_ = designLowpassFir(kTaps, 0.1);
+    coeffsF_.assign(coeffs_.begin(), coeffs_.end());
+
+    Rng rng(seed);
+    input_.resize(static_cast<size_t>(samples));
+    inputF_.resize(static_cast<size_t>(samples));
+    inputQ_.resize(static_cast<size_t>(samples));
+    for (int n = 0; n < samples; ++n) {
+        double v = 0.45 * std::sin(2 * std::numbers::pi * 0.02 * n)
+                   + 0.25 * std::sin(2 * std::numbers::pi * 0.31 * n)
+                   + 0.05 * rng.nextDouble(-1, 1);
+        input_[static_cast<size_t>(n)] = v;
+        inputF_[static_cast<size_t>(n)] = static_cast<float>(v);
+        inputQ_[static_cast<size_t>(n)] = toQ15(v);
+    }
+    outC_.clear();
+    outFp_.clear();
+    outMmx_.clear();
+}
+
+void
+FirBenchmark::runC(Cpu &cpu)
+{
+    // Compiled-C state: history array and position live in memory.
+    std::vector<float> hist(kTaps, 0.0f);
+    std::vector<float> out(static_cast<size_t>(samples_));
+    int pos = 0;
+
+    for (int n = 0; n < samples_; ++n) {
+        CallGuard call(cpu, "fir_filter", 2, 1);
+
+        // hist[pos] = x
+        F64 x = cpu.fld32(&inputF_[static_cast<size_t>(n)]);
+        cpu.fstp32(&hist[static_cast<size_t>(pos)], x);
+
+        F64 acc = cpu.fldz();
+        int k = pos;
+        R32 kr = cpu.load32(&pos);
+        R32 i = cpu.imm32(0);
+        for (int t = 0; t < kTaps; ++t) {
+            F64 c = cpu.fld32(&coeffsF_[static_cast<size_t>(t)]);
+            c = cpu.fmulLoad32(c, &hist[static_cast<size_t>(k)]);
+            acc = cpu.fadd(acc, c);
+            // k = (k == 0) ? taps-1 : k-1  — the circular-buffer branch
+            cpu.cmpImm(kr, 0);
+            bool wrap = (k == 0);
+            cpu.jcc(wrap);
+            if (wrap) {
+                kr = cpu.imm32(kTaps - 1);
+                k = kTaps - 1;
+            } else {
+                kr = cpu.subImm(kr, 1);
+                --k;
+            }
+            // for-loop management
+            i = cpu.addImm(i, 1);
+            cpu.cmpImm(i, kTaps);
+            cpu.jcc(t + 1 < kTaps);
+        }
+
+        // pos = (pos + 1) % taps
+        R32 p = cpu.load32(&pos);
+        p = cpu.addImm(p, 1);
+        cpu.cmpImm(p, kTaps);
+        bool wrap = pos + 1 >= kTaps;
+        cpu.jcc(wrap);
+        if (wrap)
+            p = cpu.xor_(p, p);
+        pos = (pos + 1) % kTaps;
+        cpu.store32(&pos, p);
+
+        cpu.fstp32(&out[static_cast<size_t>(n)], acc);
+    }
+
+    outC_.assign(out.begin(), out.end());
+}
+
+void
+FirBenchmark::runFp(Cpu &cpu)
+{
+    nsp::FirStateFp state;
+    firInitFp(state, coeffs_);
+
+    std::vector<float> out(static_cast<size_t>(samples_));
+    for (int n = 0; n < samples_; ++n) {
+        F64 x = cpu.fld32(&inputF_[static_cast<size_t>(n)]);
+        F64 y = nsp::firFp(cpu, state, x);
+        cpu.fstp32(&out[static_cast<size_t>(n)], y);
+    }
+    outFp_.assign(out.begin(), out.end());
+}
+
+void
+FirBenchmark::runMmx(Cpu &cpu)
+{
+    nsp::FirStateMmx state;
+    firInitMmx(state, coeffs_);
+
+    std::vector<int16_t> out(static_cast<size_t>(samples_));
+    for (int n = 0; n < samples_; ++n) {
+        R32 x = cpu.load16s(&inputQ_[static_cast<size_t>(n)]);
+        R32 y = nsp::firMmx(cpu, state, x);
+        cpu.store16(&out[static_cast<size_t>(n)], y);
+    }
+    outMmx_.resize(out.size());
+    for (size_t i = 0; i < out.size(); ++i)
+        outMmx_[i] = fromQ15(out[i]);
+}
+
+std::vector<double>
+FirBenchmark::reference() const
+{
+    return referenceFir(coeffs_, input_);
+}
+
+} // namespace mmxdsp::kernels

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The fir kernel benchmark: a 35-tap low-pass filter invoked one sample
+ * at a time (paper, Table 1).
+ *
+ *  - runC:   compiled-C style, 32-bit floating point, circular history
+ *            indexed with a wrap branch, one function call per sample.
+ *  - runFp:  calls the hand-optimized floating-point library FIR.
+ *  - runMmx: calls the MMX library FIR on Q15 data.
+ */
+
+#ifndef MMXDSP_KERNELS_FIR_HH
+#define MMXDSP_KERNELS_FIR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/cpu.hh"
+
+namespace mmxdsp::kernels {
+
+using runtime::Cpu;
+
+class FirBenchmark
+{
+  public:
+    static constexpr int kTaps = 35;
+
+    /** Design the filter and synthesize @p samples of input. */
+    void setup(int samples, uint64_t seed);
+
+    void runC(Cpu &cpu);
+    void runFp(Cpu &cpu);
+    void runMmx(Cpu &cpu);
+
+    /** Oracle output from the double-precision reference FIR. */
+    std::vector<double> reference() const;
+
+    const std::vector<double> &outC() const { return outC_; }
+    const std::vector<double> &outFp() const { return outFp_; }
+    const std::vector<double> &outMmx() const { return outMmx_; }
+    int samples() const { return samples_; }
+
+  private:
+    int samples_ = 0;
+    std::vector<double> coeffs_;
+    std::vector<float> coeffsF_; ///< single-precision copy for the C path
+    std::vector<double> input_;
+    std::vector<float> inputF_;   ///< buffered input for the C/fp paths
+    std::vector<int16_t> inputQ_; ///< pre-quantized input for MMX
+
+    std::vector<double> outC_, outFp_, outMmx_;
+};
+
+} // namespace mmxdsp::kernels
+
+#endif // MMXDSP_KERNELS_FIR_HH

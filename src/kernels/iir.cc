@@ -1,0 +1,118 @@
+#include "iir.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "nsp/filter.hh"
+#include "support/fixed_point.hh"
+#include "support/rng.hh"
+
+namespace mmxdsp::kernels {
+
+using runtime::CallGuard;
+using runtime::F64;
+using runtime::R32;
+
+void
+IirBenchmark::setup(int samples, uint64_t seed, double amplitude)
+{
+    samples_ = samples - samples % kBlock;
+    sections_ = designButterworthBandpass(kOrder, 0.1, 0.2);
+
+    Rng rng(seed);
+    input_.resize(static_cast<size_t>(samples_));
+    inputQ_.resize(static_cast<size_t>(samples_));
+    for (int n = 0; n < samples_; ++n) {
+        // In-band tone plus out-of-band interference plus noise.
+        double v = amplitude
+                       * std::sin(2 * std::numbers::pi * 0.14 * n)
+                   + 0.5 * amplitude
+                         * std::sin(2 * std::numbers::pi * 0.41 * n)
+                   + 0.1 * amplitude * rng.nextDouble(-1, 1);
+        input_[static_cast<size_t>(n)] = v;
+        inputQ_[static_cast<size_t>(n)] = toQ15(v);
+    }
+    outC_.clear();
+    outFp_.clear();
+    outMmx_.clear();
+}
+
+void
+IirBenchmark::runC(Cpu &cpu)
+{
+    // Modular compiled C in the style of the DSP textbooks the paper
+    // drew from: an iir_filter() call per 8-sample block, and inside it
+    // one iir_biquad() function call per section per sample, with the
+    // biquad state living in memory.
+    std::vector<double> d1(kOrder, 0.0);
+    std::vector<double> d2(kOrder, 0.0);
+    std::vector<double> buf = input_;
+
+    for (int base = 0; base < samples_; base += kBlock) {
+        CallGuard call(cpu, "iir_filter", 3, 1);
+        R32 count = cpu.imm32(kBlock);
+        for (int i = 0; i < kBlock; ++i) {
+            double *sample = &buf[static_cast<size_t>(base + i)];
+            R32 sec = cpu.imm32(0);
+            for (int s = 0; s < kOrder; ++s) {
+                const Biquad &c = sections_[static_cast<size_t>(s)];
+                CallGuard biquad(cpu, "iir_biquad", 3, 1);
+                // out = b0*x + d1
+                F64 x = cpu.fld64(sample);
+                F64 out = cpu.fmulLoad64(cpu.fmov(x), &c.b0);
+                out = cpu.faddLoad64(out, &d1[static_cast<size_t>(s)]);
+                // d1 = b1*x - a1*out + d2
+                F64 t1 = cpu.fmulLoad64(cpu.fmov(x), &c.b1);
+                F64 a1y = cpu.fmulLoad64(cpu.fmov(out), &c.a1);
+                t1 = cpu.fsub(t1, a1y);
+                t1 = cpu.faddLoad64(t1, &d2[static_cast<size_t>(s)]);
+                cpu.fstp64(&d1[static_cast<size_t>(s)], t1);
+                // d2 = b2*x - a2*out
+                F64 t2 = cpu.fmulLoad64(x, &c.b2);
+                F64 a2y = cpu.fmulLoad64(cpu.fmov(out), &c.a2);
+                t2 = cpu.fsub(t2, a2y);
+                cpu.fstp64(&d2[static_cast<size_t>(s)], t2);
+                // x = out for the next section (spill through memory)
+                cpu.fstp64(sample, out);
+                sec = cpu.addImm(sec, 1);
+                cpu.cmpImm(sec, kOrder);
+                cpu.jcc(s + 1 < kOrder);
+            }
+            count = cpu.subImm(count, 1);
+            cpu.jcc(i + 1 < kBlock);
+        }
+    }
+    outC_ = buf;
+}
+
+void
+IirBenchmark::runFp(Cpu &cpu)
+{
+    nsp::IirStateFp state;
+    iirInitFp(state, sections_);
+    std::vector<double> buf = input_;
+    for (int base = 0; base < samples_; base += kBlock)
+        iirBlockFp(cpu, state, buf.data() + base, kBlock);
+    outFp_ = buf;
+}
+
+void
+IirBenchmark::runMmx(Cpu &cpu)
+{
+    nsp::IirStateMmx state;
+    iirInitMmx(state, sections_);
+    std::vector<int16_t> buf = inputQ_;
+    for (int base = 0; base < samples_; base += kBlock)
+        iirBlockMmx(cpu, state, buf.data() + base, kBlock);
+    outMmx_.resize(buf.size());
+    for (size_t i = 0; i < buf.size(); ++i)
+        outMmx_[i] = fromQ15(buf[i]);
+}
+
+std::vector<double>
+IirBenchmark::reference() const
+{
+    return runBiquadCascade(sections_, input_);
+}
+
+} // namespace mmxdsp::kernels

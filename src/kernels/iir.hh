@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The iir kernel benchmark: an eighth-order Butterworth bandpass filter
+ * (four biquad sections) processing blocks of eight samples per
+ * invocation (paper, Table 1).
+ *
+ *  - runC:   compiled-C style, 64-bit floating point, biquad state kept
+ *            in memory (loaded/stored every sample, as naive C compiles).
+ *  - runFp:  the hand-optimized double-precision library routine.
+ *  - runMmx: the 16-bit fixed-point MMX library routine — the version
+ *            whose precision loss "compounds iteration after iteration"
+ *            in the paper.
+ */
+
+#ifndef MMXDSP_KERNELS_IIR_HH
+#define MMXDSP_KERNELS_IIR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/cpu.hh"
+#include "support/signal_math.hh"
+
+namespace mmxdsp::kernels {
+
+using runtime::Cpu;
+
+class IirBenchmark
+{
+  public:
+    static constexpr int kOrder = 4;     ///< biquads (8th-order bandpass)
+    static constexpr int kBlock = 8;     ///< samples per invocation
+
+    void setup(int samples, uint64_t seed, double amplitude = 0.18);
+
+    void runC(Cpu &cpu);
+    void runFp(Cpu &cpu);
+    void runMmx(Cpu &cpu);
+
+    std::vector<double> reference() const;
+
+    const std::vector<double> &outC() const { return outC_; }
+    const std::vector<double> &outFp() const { return outFp_; }
+    const std::vector<double> &outMmx() const { return outMmx_; }
+    int samples() const { return samples_; }
+
+  private:
+    int samples_ = 0;
+    std::vector<Biquad> sections_;
+    std::vector<double> input_;
+    std::vector<int16_t> inputQ_;
+
+    std::vector<double> outC_, outFp_, outMmx_;
+};
+
+} // namespace mmxdsp::kernels
+
+#endif // MMXDSP_KERNELS_IIR_HH

@@ -1,0 +1,121 @@
+#include "matvec.hh"
+
+#include "nsp/vector.hh"
+#include "support/rng.hh"
+
+namespace mmxdsp::kernels {
+
+using runtime::CallGuard;
+using runtime::R32;
+
+void
+MatvecBenchmark::setup(int dim, uint64_t seed)
+{
+    dim_ = dim;
+    Rng rng(seed);
+    matrix_.resize(static_cast<size_t>(dim) * dim);
+    vec_.resize(static_cast<size_t>(dim));
+    vec2_.resize(static_cast<size_t>(dim));
+    // Keep magnitudes modest so row sums fit comfortably in 32 bits.
+    for (auto &m : matrix_)
+        m = static_cast<int16_t>(rng.nextInRange(-256, 256));
+    for (auto &v : vec_)
+        v = static_cast<int16_t>(rng.nextInRange(-256, 256));
+    for (auto &v : vec2_)
+        v = static_cast<int16_t>(rng.nextInRange(-256, 256));
+    outC_.clear();
+    outMmx_.clear();
+    dotC_ = 0;
+    dotMmx_ = 0;
+}
+
+void
+MatvecBenchmark::runC(Cpu &cpu)
+{
+    const int n = dim_;
+    outC_.assign(static_cast<size_t>(n), 0);
+
+    {
+        CallGuard call(cpu, "matvec_c", 4, 2);
+        R32 row = cpu.imm32(0);
+        for (int i = 0; i < n; ++i) {
+            const int16_t *mrow = &matrix_[static_cast<size_t>(i) * n];
+            R32 acc = cpu.xor_(cpu.imm32(0), cpu.imm32(0));
+            R32 col = cpu.imm32(0);
+            for (int j = 0; j < n; ++j) {
+                // acc += m[i][j] * v[j] around the 10-cycle imul.
+                R32 x = cpu.load16s(mrow + j);
+                x = cpu.imulLoad16(x, &vec_[static_cast<size_t>(j)]);
+                acc = cpu.add(acc, x);
+                col = cpu.addImm(col, 1);
+                cpu.cmpImm(col, n);
+                cpu.jcc(j + 1 < n);
+            }
+            cpu.store32(&outC_[static_cast<size_t>(i)], acc);
+            row = cpu.addImm(row, 1);
+            cpu.cmpImm(row, n);
+            cpu.jcc(i + 1 < n);
+        }
+    }
+
+    // Dot product of two vectors (same C shape).
+    {
+        CallGuard call(cpu, "dotprod_c", 3, 1);
+        R32 acc = cpu.xor_(cpu.imm32(0), cpu.imm32(0));
+        R32 col = cpu.imm32(0);
+        for (int j = 0; j < n; ++j) {
+            R32 x = cpu.load16s(&vec_[static_cast<size_t>(j)]);
+            x = cpu.imulLoad16(x, &vec2_[static_cast<size_t>(j)]);
+            acc = cpu.add(acc, x);
+            col = cpu.addImm(col, 1);
+            cpu.cmpImm(col, n);
+            cpu.jcc(j + 1 < n);
+        }
+        dotC_ = acc.v;
+    }
+}
+
+void
+MatvecBenchmark::runMmx(Cpu &cpu)
+{
+    const int n = dim_;
+    outMmx_.assign(static_cast<size_t>(n), 0);
+
+    // One library dot-product call per row: "more efficient management
+    // of the loop structure in the MMX code" plus pmaddwd throughput.
+    R32 row = cpu.imm32(0);
+    for (int i = 0; i < n; ++i) {
+        R32 acc = nsp::dotProdMmx(
+            cpu, &matrix_[static_cast<size_t>(i) * n], vec_.data(), n);
+        cpu.store32(&outMmx_[static_cast<size_t>(i)], acc);
+        row = cpu.addImm(row, 1);
+        cpu.cmpImm(row, n);
+        cpu.jcc(i + 1 < n);
+    }
+
+    R32 acc = nsp::dotProdMmx(cpu, vec_.data(), vec2_.data(), n);
+    dotMmx_ = acc.v;
+}
+
+std::vector<int64_t>
+MatvecBenchmark::reference() const
+{
+    const int n = dim_;
+    std::vector<int64_t> out(static_cast<size_t>(n) + 1, 0);
+    for (int i = 0; i < n; ++i) {
+        int64_t acc = 0;
+        for (int j = 0; j < n; ++j)
+            acc += static_cast<int64_t>(
+                       matrix_[static_cast<size_t>(i) * n + j])
+                   * vec_[static_cast<size_t>(j)];
+        out[static_cast<size_t>(i)] = acc;
+    }
+    int64_t dot = 0;
+    for (int j = 0; j < n; ++j)
+        dot += static_cast<int64_t>(vec_[static_cast<size_t>(j)])
+               * vec2_[static_cast<size_t>(j)];
+    out[static_cast<size_t>(n)] = dot;
+    return out;
+}
+
+} // namespace mmxdsp::kernels

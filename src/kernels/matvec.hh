@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The matvec kernel benchmark: a 512x512 matrix-vector multiply plus a
+ * 512-point dot product, all on 16-bit fixed-point data (paper,
+ * Table 1). There is no .fp version — the data is integer.
+ *
+ *  - runC:   compiled-C integer loops built around the 10-cycle imul —
+ *            the baseline the MMX version beats superlinearly.
+ *  - runMmx: one nsp dot-product library call per matrix row.
+ */
+
+#ifndef MMXDSP_KERNELS_MATVEC_HH
+#define MMXDSP_KERNELS_MATVEC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/cpu.hh"
+
+namespace mmxdsp::kernels {
+
+using runtime::Cpu;
+
+class MatvecBenchmark
+{
+  public:
+    void setup(int dim, uint64_t seed);
+
+    void runC(Cpu &cpu);
+    void runMmx(Cpu &cpu);
+
+    /** Oracle: 64-bit integer matrix-vector product + dot product. */
+    std::vector<int64_t> reference() const;
+
+    const std::vector<int32_t> &outC() const { return outC_; }
+    const std::vector<int32_t> &outMmx() const { return outMmx_; }
+    int32_t dotC() const { return dotC_; }
+    int32_t dotMmx() const { return dotMmx_; }
+    int dim() const { return dim_; }
+
+  private:
+    int dim_ = 0;
+    std::vector<int16_t> matrix_; ///< row-major dim x dim
+    std::vector<int16_t> vec_;
+    std::vector<int16_t> vec2_; ///< second operand of the dot product
+
+    std::vector<int32_t> outC_, outMmx_;
+    int32_t dotC_ = 0, dotMmx_ = 0;
+};
+
+} // namespace mmxdsp::kernels
+
+#endif // MMXDSP_KERNELS_MATVEC_HH

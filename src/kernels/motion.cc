@@ -1,0 +1,169 @@
+#include "motion.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/fixed_point.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace mmxdsp::kernels {
+
+using runtime::CallGuard;
+using runtime::M64;
+using runtime::R32;
+
+void
+MotionBenchmark::setup(int width, int height, int search_radius, int true_dx,
+                       int true_dy, uint64_t seed)
+{
+    if (width % kBlock || height % kBlock)
+        mmxdsp_fatal("frame size must be a multiple of %d", kBlock);
+    if (std::abs(true_dx) > search_radius
+        || std::abs(true_dy) > search_radius)
+        mmxdsp_fatal("true motion must lie inside the search radius");
+    width_ = width;
+    height_ = height;
+    radius_ = search_radius;
+    trueDx_ = true_dx;
+    trueDy_ = true_dy;
+
+    Rng rng(seed);
+    // Reference frame: smooth texture with enough detail to lock onto.
+    refFrame_.resize(static_cast<size_t>(width) * height);
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            int v = 96 + ((x * 13 + y * 7) % 64)
+                    + ((x / 5 + y / 3) % 2 ? 24 : 0)
+                    + rng.nextInRange(-4, 4);
+            refFrame_[static_cast<size_t>(y) * width + x] = saturateU8(v);
+        }
+    }
+    // Current frame = reference shifted by the true motion, plus noise
+    // (clamped replication at the borders).
+    curFrame_.resize(refFrame_.size());
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            // MV convention: cur(p) = ref(p + mv), so sampling the
+            // reference at +true motion makes the search return it.
+            int sx = std::clamp(x + true_dx, 0, width - 1);
+            int sy = std::clamp(y + true_dy, 0, height - 1);
+            int v = refFrame_[static_cast<size_t>(sy) * width + sx]
+                    + rng.nextInRange(-3, 3);
+            curFrame_[static_cast<size_t>(y) * width + x] = saturateU8(v);
+        }
+    }
+    outC_.clear();
+    outMmx_.clear();
+}
+
+template <typename SadFn>
+std::vector<MotionVector>
+MotionBenchmark::fullSearch(Cpu &cpu, SadFn sad)
+{
+    std::vector<MotionVector> result;
+    for (int by = 0; by < blocksY(); ++by) {
+        for (int bx = 0; bx < blocksX(); ++bx) {
+            const uint8_t *cur = &curFrame_[static_cast<size_t>(by)
+                                                * kBlock * width_
+                                            + static_cast<size_t>(bx)
+                                                  * kBlock];
+            MotionVector best{0, 0, UINT32_MAX};
+            R32 best_r = cpu.imm32(-1);
+            for (int dy = -radius_; dy <= radius_; ++dy) {
+                for (int dx = -radius_; dx <= radius_; ++dx) {
+                    int x0 = bx * kBlock + dx;
+                    int y0 = by * kBlock + dy;
+                    if (x0 < 0 || y0 < 0 || x0 + kBlock > width_
+                        || y0 + kBlock > height_)
+                        continue;
+                    const uint8_t *ref =
+                        &refFrame_[static_cast<size_t>(y0) * width_ + x0];
+                    R32 cost = sad(cur, ref);
+                    cpu.cmp(cost, best_r);
+                    bool better =
+                        static_cast<uint32_t>(cost.v) < best.sad;
+                    cpu.jcc(better);
+                    if (better) {
+                        best = MotionVector{dx, dy,
+                                            static_cast<uint32_t>(cost.v)};
+                        best_r = cpu.mov(cost);
+                    }
+                }
+            }
+            result.push_back(best);
+        }
+    }
+    return result;
+}
+
+void
+MotionBenchmark::runC(Cpu &cpu)
+{
+    auto sad_c = [&](const uint8_t *a, const uint8_t *b) {
+        CallGuard call(cpu, "sad16x16_c", 3, 2);
+        R32 acc = cpu.imm32(0);
+        for (int y = 0; y < kBlock; ++y) {
+            const uint8_t *ra = a + static_cast<size_t>(y) * width_;
+            const uint8_t *rb = b + static_cast<size_t>(y) * width_;
+            for (int x = 0; x < kBlock; ++x) {
+                R32 pa = cpu.load8u(ra + x);
+                R32 pb = cpu.load8u(rb + x);
+                R32 d = cpu.sub(pa, pb);
+                cpu.cmpImm(d, 0);
+                bool neg = d.v < 0;
+                cpu.jcc(neg);
+                if (neg)
+                    d = cpu.neg(d);
+                acc = cpu.add(acc, d);
+                cpu.jcc(x + 1 < kBlock);
+            }
+            cpu.jcc(y + 1 < kBlock);
+        }
+        return acc;
+    };
+    outC_ = fullSearch(cpu, sad_c);
+}
+
+void
+MotionBenchmark::runMmx(Cpu &cpu)
+{
+    // Hand-tailored MMX (the paper's recommendation: "the best
+    // performance increase will always be obtained by tailoring MMX
+    // assembly code to fit the application"): |a-b| via the
+    // psubusb/psubusb/por idiom, widened and accumulated in words.
+    auto sad_mmx = [&](const uint8_t *a, const uint8_t *b) {
+        CallGuard call(cpu, "sad16x16_mmx", 3, 2);
+        M64 zero = cpu.mmxZero();
+        M64 acc = cpu.mmxZero();
+        for (int y = 0; y < kBlock; ++y) {
+            const uint8_t *ra = a + static_cast<size_t>(y) * width_;
+            const uint8_t *rb = b + static_cast<size_t>(y) * width_;
+            for (int g = 0; g < kBlock; g += 8) {
+                M64 va = cpu.movqLoad(ra + g);
+                M64 vb = cpu.movqLoad(rb + g);
+                M64 d1 = cpu.psubusb(cpu.movq(va), vb);
+                M64 vb2 = cpu.movqLoad(rb + g);
+                M64 d2 = cpu.psubusb(vb2, va);
+                M64 ad = cpu.por(d1, d2);
+                M64 lo = cpu.punpcklbw(cpu.movq(ad), zero);
+                acc = cpu.paddw(acc, lo);
+                M64 hi = cpu.punpckhbw(ad, zero);
+                acc = cpu.paddw(acc, hi);
+            }
+            cpu.jcc(y + 1 < kBlock);
+        }
+        // Horizontal sum of the four word lanes via pmaddwd with ones.
+        alignas(8) static const int16_t kOnes[4] = {1, 1, 1, 1};
+        M64 sums = cpu.pmaddwdLoad(acc, kOnes);
+        M64 hi = cpu.movq(sums);
+        hi = cpu.psrlq(hi, 32);
+        sums = cpu.paddd(sums, hi);
+        R32 r = cpu.movdToR32(sums);
+        cpu.emms();
+        return r;
+    };
+    outMmx_ = fullSearch(cpu, sad_mmx);
+}
+
+} // namespace mmxdsp::kernels

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Extension benchmark (the paper's future work: "more benchmarks, such
+ * as an MPEG video codec"): full-search block-matching motion
+ * estimation, the dominant kernel of an MPEG encoder.
+ *
+ * The sum-of-absolute-differences inner loop is the canonical MMX
+ * showcase of the era: with no packed absolute-difference instruction
+ * (psadbw arrived with SSE), |a-b| is computed as
+ * psubusb(a,b) | psubusb(b,a), widened with unpack, and accumulated
+ * with paddw — contiguous 8-bit data, exactly the profile the paper
+ * found MMX best at.
+ *
+ *  - runC:   byte-at-a-time compiled C with an abs branch per pixel.
+ *  - runMmx: the MMX SAD, eight pixels per iteration.
+ */
+
+#ifndef MMXDSP_KERNELS_MOTION_HH
+#define MMXDSP_KERNELS_MOTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/cpu.hh"
+
+namespace mmxdsp::kernels {
+
+using runtime::Cpu;
+
+/** One macroblock's motion vector and its matching cost. */
+struct MotionVector
+{
+    int dx = 0;
+    int dy = 0;
+    uint32_t sad = 0;
+
+    bool operator==(const MotionVector &) const = default;
+};
+
+class MotionBenchmark
+{
+  public:
+    static constexpr int kBlock = 16; ///< macroblock size
+
+    /**
+     * Synthesize a reference frame and a current frame that is the
+     * reference shifted by (true_dx, true_dy) plus noise, then run
+     * full-search matching with the given radius.
+     */
+    void setup(int width, int height, int search_radius, int true_dx,
+               int true_dy, uint64_t seed);
+
+    void runC(Cpu &cpu);
+    void runMmx(Cpu &cpu);
+
+    const std::vector<MotionVector> &outC() const { return outC_; }
+    const std::vector<MotionVector> &outMmx() const { return outMmx_; }
+
+    int trueDx() const { return trueDx_; }
+    int trueDy() const { return trueDy_; }
+    int blocksX() const { return width_ / kBlock; }
+    int blocksY() const { return height_ / kBlock; }
+
+  private:
+    template <typename SadFn>
+    std::vector<MotionVector> fullSearch(Cpu &cpu, SadFn sad);
+
+    int width_ = 0;
+    int height_ = 0;
+    int radius_ = 0;
+    int trueDx_ = 0;
+    int trueDy_ = 0;
+    std::vector<uint8_t> refFrame_;
+    std::vector<uint8_t> curFrame_;
+
+    std::vector<MotionVector> outC_;
+    std::vector<MotionVector> outMmx_;
+};
+
+} // namespace mmxdsp::kernels
+
+#endif // MMXDSP_KERNELS_MOTION_HH

@@ -1,0 +1,83 @@
+#include "btb.hh"
+
+#include "support/logging.hh"
+
+namespace mmxdsp::mem {
+
+Btb::Btb(uint32_t entries, uint32_t ways)
+    : ways_(ways)
+{
+    if (ways == 0 || entries % ways)
+        mmxdsp_fatal("BTB: entries must be a multiple of ways");
+    sets_ = entries / ways;
+    if (sets_ == 0 || (sets_ & (sets_ - 1)))
+        mmxdsp_fatal("BTB: set count must be a power of two");
+    entries_.resize(entries);
+}
+
+bool
+Btb::predict(uint32_t branch_id, bool taken)
+{
+    ++stats_.branches;
+    ++tick_;
+
+    // Scramble the id so consecutively allocated sites spread over sets.
+    uint32_t h = branch_id * 2654435761u;
+    uint32_t set = (h >> 8) & (sets_ - 1);
+    Entry *base = &entries_[static_cast<size_t>(set) * ways_];
+
+    for (uint32_t w = 0; w < ways_; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.id == branch_id) {
+            e.lru = tick_;
+            bool predicted_taken = e.counter >= 2;
+            bool mispredict = predicted_taken != taken;
+            if (taken && e.counter < 3)
+                ++e.counter;
+            else if (!taken && e.counter > 0)
+                --e.counter;
+            if (mispredict)
+                ++stats_.mispredicts;
+            return mispredict;
+        }
+    }
+
+    // Not present: predicted not-taken (fall-through).
+    ++stats_.missesInBtb;
+    if (!taken)
+        return false;
+
+    // Taken branch missing from the BTB: mispredict and allocate.
+    ++stats_.mispredicts;
+    Entry *victim = base;
+    for (uint32_t w = 0; w < ways_; ++w) {
+        Entry &e = base[w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lru < victim->lru)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->id = branch_id;
+    victim->counter = 2; // weakly taken after the first taken outcome
+    victim->lru = tick_;
+    return true;
+}
+
+void
+Btb::flush()
+{
+    for (auto &e : entries_)
+        e = Entry{};
+    tick_ = 0;
+}
+
+void
+Btb::resetStats()
+{
+    stats_ = BtbStats{};
+}
+
+} // namespace mmxdsp::mem

@@ -1,0 +1,178 @@
+#include "cache.hh"
+
+#include "support/logging.hh"
+
+namespace mmxdsp::mem {
+
+namespace {
+
+bool
+isPowerOfTwo(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config)
+{
+    if (!isPowerOfTwo(config.size_bytes) || !isPowerOfTwo(config.line_bytes))
+        mmxdsp_fatal("cache %s: size and line must be powers of two",
+                     config.name.c_str());
+    if (config.ways == 0 || config.size_bytes % (config.line_bytes * config.ways))
+        mmxdsp_fatal("cache %s: size %% (line * ways) != 0",
+                     config.name.c_str());
+    numSets_ = config.size_bytes / (config.line_bytes * config.ways);
+    if (!isPowerOfTwo(numSets_))
+        mmxdsp_fatal("cache %s: set count must be a power of two",
+                     config.name.c_str());
+    lines_.resize(static_cast<size_t>(numSets_) * config.ways);
+}
+
+uint64_t
+Cache::lineIndex(uint64_t addr) const
+{
+    return addr / config_.line_bytes;
+}
+
+uint64_t
+Cache::setOf(uint64_t line_addr) const
+{
+    return line_addr & (numSets_ - 1);
+}
+
+uint64_t
+Cache::tagOf(uint64_t line_addr) const
+{
+    return line_addr / numSets_;
+}
+
+bool
+Cache::access(uint64_t addr, bool write)
+{
+    ++stats_.accesses;
+    ++tick_;
+
+    const uint64_t line_addr = lineIndex(addr);
+    const uint64_t set = setOf(line_addr);
+    const uint64_t tag = tagOf(line_addr);
+    Line *base = &lines_[set * config_.ways];
+
+    for (uint32_t w = 0; w < config_.ways; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lru = tick_;
+            line.dirty = line.dirty || write;
+            return true;
+        }
+    }
+
+    ++stats_.misses;
+
+    // Pick the LRU victim (preferring invalid ways).
+    Line *victim = base;
+    for (uint32_t w = 0; w < config_.ways; ++w) {
+        Line &line = base[w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lru < victim->lru)
+            victim = &line;
+    }
+
+    if (victim->valid) {
+        ++stats_.evictions;
+        if (victim->dirty)
+            ++stats_.writebacks;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = write;
+    victim->lru = tick_;
+    return false;
+}
+
+bool
+Cache::probe(uint64_t addr) const
+{
+    const uint64_t line_addr = lineIndex(addr);
+    const uint64_t set = setOf(line_addr);
+    const uint64_t tag = tagOf(line_addr);
+    const Line *base = &lines_[set * config_.ways];
+    for (uint32_t w = 0; w < config_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines_)
+        line = Line{};
+    tick_ = 0;
+}
+
+void
+Cache::resetStats()
+{
+    stats_ = CacheStats{};
+}
+
+MemoryHierarchy::MemoryHierarchy()
+    : MemoryHierarchy(
+          CacheConfig{"L1D", 16 * 1024, 32, 4},
+          CacheConfig{"L2", 512 * 1024, 32, 4},
+          Penalties{})
+{
+}
+
+MemoryHierarchy::MemoryHierarchy(const CacheConfig &l1, const CacheConfig &l2,
+                                 const Penalties &penalties)
+    : l1_(l1), l2_(l2), penalties_(penalties)
+{
+}
+
+uint32_t
+MemoryHierarchy::accessLine(uint64_t addr, bool write)
+{
+    if (l1_.access(addr, write))
+        return 0;
+    uint32_t penalty = penalties_.l1_miss;
+    if (l2_.access(addr, write))
+        penalty += penalties_.l2_hit;
+    else
+        penalty += penalties_.l2_hit + penalties_.l2_miss;
+    return penalty;
+}
+
+uint32_t
+MemoryHierarchy::access(uint64_t addr, uint32_t size, bool write)
+{
+    const uint64_t line = l1_.config().line_bytes;
+    const uint64_t first = addr / line;
+    const uint64_t last = (addr + (size ? size - 1 : 0)) / line;
+    uint32_t penalty = accessLine(addr, write);
+    if (last != first)
+        penalty = std::max(penalty, accessLine(last * line, write));
+    return penalty;
+}
+
+void
+MemoryHierarchy::flush()
+{
+    l1_.flush();
+    l2_.flush();
+}
+
+void
+MemoryHierarchy::resetStats()
+{
+    l1_.resetStats();
+    l2_.resetStats();
+}
+
+} // namespace mmxdsp::mem

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * A set-associative, write-back/write-allocate cache model with true-LRU
+ * replacement, used for the Pentium L1 data cache and the off-chip L2.
+ *
+ * The model tracks tags only (no data): the runtime computes real values;
+ * the cache exists purely to charge miss penalties and count hit/miss
+ * statistics the way VTune's Pentium model did.
+ */
+
+#ifndef MMXDSP_MEM_CACHE_HH
+#define MMXDSP_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mmxdsp::mem {
+
+/** Geometry and identification for one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    uint32_t size_bytes = 16 * 1024;
+    uint32_t line_bytes = 32;
+    uint32_t ways = 4;
+};
+
+/** Hit/miss counters for one cache level. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t writebacks = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses)
+                              / static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/**
+ * Tag-only set-associative cache with true LRU.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Access one cache line.
+     *
+     * @param addr   byte address (the caller splits line-crossing accesses)
+     * @param write  true for stores (marks the line dirty)
+     * @return true on hit.
+     */
+    bool access(uint64_t addr, bool write);
+
+    /** True if the line holding @p addr is currently resident. */
+    bool probe(uint64_t addr) const;
+
+    /** Drop all lines and reset LRU (stats are kept). */
+    void flush();
+
+    /** Reset statistics only. */
+    void resetStats();
+
+    const CacheStats &stats() const { return stats_; }
+    const CacheConfig &config() const { return config_; }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        uint64_t lru = 0; ///< last-use timestamp
+    };
+
+    uint64_t lineIndex(uint64_t addr) const;
+    uint64_t setOf(uint64_t line_addr) const;
+    uint64_t tagOf(uint64_t line_addr) const;
+
+    CacheConfig config_;
+    uint32_t numSets_;
+    std::vector<Line> lines_; ///< numSets_ * ways, set-major
+    uint64_t tick_ = 0;
+    CacheStats stats_;
+};
+
+/**
+ * The two-level data hierarchy with the paper's penalty numbers:
+ * L1 miss detection costs 3 cycles, a line served from L2 costs 8 in
+ * total, and an L2 miss costs 15 in total (paper, section 4.1).
+ */
+class MemoryHierarchy
+{
+  public:
+    /** Penalty cycles, configurable for sensitivity studies. */
+    struct Penalties
+    {
+        uint32_t l1_miss = 3;  ///< added on any L1 miss
+        uint32_t l2_hit = 5;   ///< added when L2 has the line (total 8)
+        uint32_t l2_miss = 7;  ///< added again when L2 misses (total 15)
+    };
+
+    MemoryHierarchy();
+    MemoryHierarchy(const CacheConfig &l1, const CacheConfig &l2,
+                    const Penalties &penalties);
+
+    /**
+     * Simulate one data access and return the penalty in cycles
+     * (0 for an L1 hit). Accesses that straddle a line boundary touch
+     * both lines and pay the larger penalty.
+     */
+    uint32_t access(uint64_t addr, uint32_t size, bool write);
+
+    /** Invalidate both levels (between benchmark runs). */
+    void flush();
+
+    /** Reset statistics on both levels. */
+    void resetStats();
+
+    const Cache &l1() const { return l1_; }
+    const Cache &l2() const { return l2_; }
+    const Penalties &penalties() const { return penalties_; }
+
+  private:
+    uint32_t accessLine(uint64_t addr, bool write);
+
+    Cache l1_;
+    Cache l2_;
+    Penalties penalties_;
+};
+
+} // namespace mmxdsp::mem
+
+#endif // MMXDSP_MEM_CACHE_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Functional semantics for the MMX instruction set.
+ *
+ * Each function implements one MMX mnemonic exactly as specified in the
+ * Intel Architecture Software Developer's Manual: wraparound arithmetic
+ * truncates, saturating forms clamp to the lane's representable range,
+ * pack instructions narrow with saturation, unpack instructions
+ * interleave, and pmaddwd forms two 32-bit dot-product halves.
+ *
+ * These are pure value functions; the instrumented runtime (runtime/cpu.hh)
+ * wraps them with instruction-event emission. Keeping semantics separate
+ * lets the unit tests verify bit-exactness in isolation.
+ */
+
+#ifndef MMXDSP_MMX_MMX_OPS_HH
+#define MMXDSP_MMX_MMX_OPS_HH
+
+#include "mmx/mmx_reg.hh"
+
+namespace mmxdsp::mmx {
+
+// ---- packed add: wraparound ----
+MmxReg paddb(MmxReg a, MmxReg b);
+MmxReg paddw(MmxReg a, MmxReg b);
+MmxReg paddd(MmxReg a, MmxReg b);
+
+// ---- packed add: signed / unsigned saturation ----
+MmxReg paddsb(MmxReg a, MmxReg b);
+MmxReg paddsw(MmxReg a, MmxReg b);
+MmxReg paddusb(MmxReg a, MmxReg b);
+MmxReg paddusw(MmxReg a, MmxReg b);
+
+// ---- packed subtract: wraparound ----
+MmxReg psubb(MmxReg a, MmxReg b);
+MmxReg psubw(MmxReg a, MmxReg b);
+MmxReg psubd(MmxReg a, MmxReg b);
+
+// ---- packed subtract: signed / unsigned saturation ----
+MmxReg psubsb(MmxReg a, MmxReg b);
+MmxReg psubsw(MmxReg a, MmxReg b);
+MmxReg psubusb(MmxReg a, MmxReg b);
+MmxReg psubusw(MmxReg a, MmxReg b);
+
+// ---- packed multiply ----
+/** High 16 bits of the signed 16x16 products. */
+MmxReg pmulhw(MmxReg a, MmxReg b);
+/** Low 16 bits of the 16x16 products. */
+MmxReg pmullw(MmxReg a, MmxReg b);
+/** Multiply-accumulate: dword0 = a0*b0 + a1*b1, dword1 = a2*b2 + a3*b3. */
+MmxReg pmaddwd(MmxReg a, MmxReg b);
+
+// ---- packed compare (result lanes all-ones / all-zeros) ----
+MmxReg pcmpeqb(MmxReg a, MmxReg b);
+MmxReg pcmpeqw(MmxReg a, MmxReg b);
+MmxReg pcmpeqd(MmxReg a, MmxReg b);
+MmxReg pcmpgtb(MmxReg a, MmxReg b);
+MmxReg pcmpgtw(MmxReg a, MmxReg b);
+MmxReg pcmpgtd(MmxReg a, MmxReg b);
+
+// ---- pack (narrow with saturation); low half from a, high from b ----
+MmxReg packsswb(MmxReg a, MmxReg b);
+MmxReg packssdw(MmxReg a, MmxReg b);
+MmxReg packuswb(MmxReg a, MmxReg b);
+
+// ---- unpack (interleave); "l" = low halves, "h" = high halves ----
+MmxReg punpcklbw(MmxReg a, MmxReg b);
+MmxReg punpcklwd(MmxReg a, MmxReg b);
+MmxReg punpckldq(MmxReg a, MmxReg b);
+MmxReg punpckhbw(MmxReg a, MmxReg b);
+MmxReg punpckhwd(MmxReg a, MmxReg b);
+MmxReg punpckhdq(MmxReg a, MmxReg b);
+
+// ---- logical ----
+MmxReg pand(MmxReg a, MmxReg b);
+MmxReg pandn(MmxReg a, MmxReg b); ///< (~a) & b
+MmxReg por(MmxReg a, MmxReg b);
+MmxReg pxor(MmxReg a, MmxReg b);
+
+// ---- shifts (count >= lane width zeroes; psra* saturates count) ----
+MmxReg psllw(MmxReg a, unsigned count);
+MmxReg pslld(MmxReg a, unsigned count);
+MmxReg psllq(MmxReg a, unsigned count);
+MmxReg psrlw(MmxReg a, unsigned count);
+MmxReg psrld(MmxReg a, unsigned count);
+MmxReg psrlq(MmxReg a, unsigned count);
+MmxReg psraw(MmxReg a, unsigned count);
+MmxReg psrad(MmxReg a, unsigned count);
+
+} // namespace mmxdsp::mmx
+
+#endif // MMXDSP_MMX_MMX_OPS_HH

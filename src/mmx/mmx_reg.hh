@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The 64-bit MMX register value type.
+ *
+ * MMX aliases eight 64-bit registers onto the x87 mantissa bits and packs
+ * them with 8x8-bit, 4x16-bit, 2x32-bit, or 1x64-bit elements. MmxReg is
+ * the plain value; lane accessors express the packing. All semantics
+ * (saturation, wraparound, multiply-accumulate) live in mmx_ops.hh.
+ */
+
+#ifndef MMXDSP_MMX_MMX_REG_HH
+#define MMXDSP_MMX_MMX_REG_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace mmxdsp::mmx {
+
+/**
+ * A 64-bit packed value. Lane 0 is the least-significant lane, matching
+ * Intel's little-endian element numbering.
+ */
+struct MmxReg
+{
+    uint64_t bits = 0;
+
+    MmxReg() = default;
+    explicit constexpr MmxReg(uint64_t raw) : bits(raw) {}
+
+    // ---- unsigned lane readers ----
+    constexpr uint8_t
+    ub(int lane) const
+    {
+        return static_cast<uint8_t>(bits >> (8 * lane));
+    }
+
+    constexpr uint16_t
+    uw(int lane) const
+    {
+        return static_cast<uint16_t>(bits >> (16 * lane));
+    }
+
+    constexpr uint32_t
+    ud(int lane) const
+    {
+        return static_cast<uint32_t>(bits >> (32 * lane));
+    }
+
+    // ---- signed lane readers ----
+    constexpr int8_t sb(int lane) const
+    {
+        return static_cast<int8_t>(ub(lane));
+    }
+
+    constexpr int16_t sw(int lane) const
+    {
+        return static_cast<int16_t>(uw(lane));
+    }
+
+    constexpr int32_t sd(int lane) const
+    {
+        return static_cast<int32_t>(ud(lane));
+    }
+
+    // ---- lane writers ----
+    constexpr void
+    setB(int lane, uint8_t v)
+    {
+        int sh = 8 * lane;
+        bits = (bits & ~(0xffull << sh)) | (static_cast<uint64_t>(v) << sh);
+    }
+
+    constexpr void
+    setW(int lane, uint16_t v)
+    {
+        int sh = 16 * lane;
+        bits = (bits & ~(0xffffull << sh)) | (static_cast<uint64_t>(v) << sh);
+    }
+
+    constexpr void
+    setD(int lane, uint32_t v)
+    {
+        int sh = 32 * lane;
+        bits = (bits & ~(0xffffffffull << sh))
+               | (static_cast<uint64_t>(v) << sh);
+    }
+
+    // ---- whole-register constructors ----
+    static constexpr MmxReg
+    fromBytes(uint8_t b0, uint8_t b1, uint8_t b2, uint8_t b3,
+              uint8_t b4, uint8_t b5, uint8_t b6, uint8_t b7)
+    {
+        MmxReg r;
+        r.setB(0, b0); r.setB(1, b1); r.setB(2, b2); r.setB(3, b3);
+        r.setB(4, b4); r.setB(5, b5); r.setB(6, b6); r.setB(7, b7);
+        return r;
+    }
+
+    static constexpr MmxReg
+    fromWords(int16_t w0, int16_t w1, int16_t w2, int16_t w3)
+    {
+        MmxReg r;
+        r.setW(0, static_cast<uint16_t>(w0));
+        r.setW(1, static_cast<uint16_t>(w1));
+        r.setW(2, static_cast<uint16_t>(w2));
+        r.setW(3, static_cast<uint16_t>(w3));
+        return r;
+    }
+
+    static constexpr MmxReg
+    fromDwords(int32_t d0, int32_t d1)
+    {
+        MmxReg r;
+        r.setD(0, static_cast<uint32_t>(d0));
+        r.setD(1, static_cast<uint32_t>(d1));
+        return r;
+    }
+
+    /** Splat a 16-bit value into all four word lanes. */
+    static constexpr MmxReg
+    splatW(int16_t w)
+    {
+        return fromWords(w, w, w, w);
+    }
+
+    /** Splat an 8-bit value into all eight byte lanes. */
+    static constexpr MmxReg
+    splatB(uint8_t b)
+    {
+        return fromBytes(b, b, b, b, b, b, b, b);
+    }
+
+    /** Load 8 bytes from memory (unaligned allowed, little-endian). */
+    static MmxReg
+    load(const void *p)
+    {
+        MmxReg r;
+        std::memcpy(&r.bits, p, 8);
+        return r;
+    }
+
+    /** Store 8 bytes to memory. */
+    void store(void *p) const { std::memcpy(p, &bits, 8); }
+
+    constexpr bool operator==(const MmxReg &o) const = default;
+};
+
+} // namespace mmxdsp::mmx
+
+#endif // MMXDSP_MMX_MMX_REG_HH

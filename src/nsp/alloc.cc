@@ -1,0 +1,191 @@
+#include "alloc.hh"
+
+#include <cstdint>
+
+#include "support/logging.hh"
+
+namespace mmxdsp::nsp {
+
+using runtime::CallGuard;
+using runtime::R32;
+
+namespace {
+
+/** Block header preceding every arena chunk. */
+struct BlockHeader
+{
+    int32_t size = 0; ///< payload bytes
+    int32_t free = 1;
+    BlockHeader *next = nullptr;
+};
+
+constexpr size_t kArenaBytes = 512 * 1024;
+constexpr size_t kAlign = 8;
+
+alignas(8) uint8_t gArena[kArenaBytes];
+BlockHeader *gHead = nullptr;
+int gLive = 0;
+int32_t gHeapLock = 0;
+
+/** The multithread-safe CRT's heap lock (xchg spin, uncontended). */
+void
+acquireHeapLock(Cpu &cpu)
+{
+    R32 one = cpu.imm32(1);
+    R32 old = cpu.xchgMem(&gHeapLock, one);
+    cpu.test(old, old);
+    cpu.jcc(false); // uncontended: never spins here
+}
+
+void
+releaseHeapLock(Cpu &cpu)
+{
+    R32 zero = cpu.imm32(0);
+    cpu.store32(&gHeapLock, zero);
+}
+
+/** Size-class computation chain the CRT ran before the list walk. */
+void
+sizeClassChain(Cpu &cpu, int32_t want)
+{
+    R32 w = cpu.imm32(want);
+    w = cpu.addImm(w, 7);
+    w = cpu.sar(w, 3);
+    cpu.cmpImm(w, 4);
+    cpu.jcc(want / 8 >= 4);
+    cpu.cmpImm(w, 16);
+    cpu.jcc(want / 8 >= 16);
+    cpu.cmpImm(w, 64);
+    cpu.jcc(want / 8 >= 64);
+}
+
+size_t
+roundUp(size_t v)
+{
+    return (v + kAlign - 1) & ~(kAlign - 1);
+}
+
+void
+initArena()
+{
+    gHead = reinterpret_cast<BlockHeader *>(gArena);
+    gHead->size =
+        static_cast<int32_t>(kArenaBytes - roundUp(sizeof(BlockHeader)));
+    gHead->free = 1;
+    gHead->next = nullptr;
+    gLive = 0;
+}
+
+uint8_t *
+payloadOf(BlockHeader *h)
+{
+    return reinterpret_cast<uint8_t *>(h) + roundUp(sizeof(BlockHeader));
+}
+
+} // namespace
+
+void *
+tempAlloc(Cpu &cpu, size_t bytes)
+{
+    if (!gHead)
+        initArena();
+
+    CallGuard call(cpu, "nspAlloc", 1, 1);
+    const int32_t want = static_cast<int32_t>(roundUp(bytes ? bytes : 1));
+
+    acquireHeapLock(cpu);
+    sizeClassChain(cpu, want);
+
+    // First-fit walk: every probe is a real (instrumented) header read.
+    BlockHeader *h = gHead;
+    R32 cur = cpu.imm32(0);
+    while (h) {
+        R32 size = cpu.load32(&h->size);
+        R32 free_flag = cpu.load32(&h->free);
+        cpu.test(free_flag, free_flag);
+        cpu.cmpImm(size, want);
+        bool fits = h->free && h->size >= want;
+        cpu.jcc(fits);
+        if (fits)
+            break;
+        cur = cpu.addImm(cur, 1);
+        cpu.jcc(true); // loop back
+        h = h->next;
+    }
+    if (!h)
+        mmxdsp_fatal("nsp temp arena exhausted (%zu bytes requested)",
+                     bytes);
+
+    // Split if the remainder can hold another header + payload.
+    const int32_t hdr = static_cast<int32_t>(roundUp(sizeof(BlockHeader)));
+    if (h->size >= want + hdr + static_cast<int32_t>(kAlign)) {
+        BlockHeader *rest =
+            reinterpret_cast<BlockHeader *>(payloadOf(h) + want);
+        rest->size = h->size - want - hdr;
+        rest->free = 1;
+        rest->next = h->next;
+        R32 rs = cpu.imm32(rest->size);
+        cpu.store32(&rest->size, rs);
+        R32 rf = cpu.imm32(1);
+        cpu.store32(&rest->free, rf);
+        h->next = rest;
+        h->size = want;
+        R32 hs = cpu.imm32(want);
+        cpu.store32(&h->size, hs);
+    }
+    h->free = 0;
+    R32 zero = cpu.imm32(0);
+    cpu.store32(&h->free, zero);
+    releaseHeapLock(cpu);
+    ++gLive;
+    return payloadOf(h);
+}
+
+void
+tempFree(Cpu &cpu, void *ptr)
+{
+    if (!ptr)
+        return;
+    CallGuard call(cpu, "nspFree", 1, 1);
+    acquireHeapLock(cpu);
+    BlockHeader *h = reinterpret_cast<BlockHeader *>(
+        static_cast<uint8_t *>(ptr) - roundUp(sizeof(BlockHeader)));
+    R32 one = cpu.imm32(1);
+    cpu.store32(&h->free, one);
+    h->free = 1;
+    --gLive;
+
+    // Forward coalesce with an adjacent free block.
+    BlockHeader *next = h->next;
+    if (next) {
+        R32 nf = cpu.load32(&next->free);
+        cpu.test(nf, nf);
+        bool merge =
+            next->free
+            && reinterpret_cast<uint8_t *>(next)
+                   == payloadOf(h) + h->size;
+        cpu.jcc(merge);
+        if (merge) {
+            h->size += next->size
+                       + static_cast<int32_t>(roundUp(sizeof(BlockHeader)));
+            R32 hs = cpu.imm32(h->size);
+            cpu.store32(&h->size, hs);
+            h->next = next->next;
+        }
+    }
+    releaseHeapLock(cpu);
+}
+
+int
+tempLiveCount()
+{
+    return gLive;
+}
+
+void
+tempReset()
+{
+    initArena();
+}
+
+} // namespace mmxdsp::nsp

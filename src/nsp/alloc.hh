@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The NSP library's dynamic temporary-buffer allocator.
+ *
+ * The paper calls out that exploiting data parallelism through library
+ * calls forces "extra allocation of memory, especially if allocated
+ * dynamically" for the vector temporaries the library interfaces need
+ * (section 3.1). The MMX library routines here allocate their working
+ * buffers through this modeled heap: a real first-fit freelist over a
+ * static arena, with the list walk, header updates, and call linkage
+ * fully instrumented — the mid-90s `malloc` fast path an application
+ * developer actually paid per call.
+ */
+
+#ifndef MMXDSP_NSP_ALLOC_HH
+#define MMXDSP_NSP_ALLOC_HH
+
+#include <cstddef>
+
+#include "runtime/cpu.hh"
+
+namespace mmxdsp::nsp {
+
+using runtime::Cpu;
+
+/**
+ * Allocate @p bytes of 8-byte-aligned temporary storage from the
+ * library arena. Emits the instrumented freelist walk. Fatal if the
+ * arena is exhausted (library temporaries are small and short-lived).
+ */
+void *tempAlloc(Cpu &cpu, size_t bytes);
+
+/** Return a tempAlloc'd block to the freelist (coalesces forward). */
+void tempFree(Cpu &cpu, void *ptr);
+
+/** Number of live allocations (test hook; 0 when balanced). */
+int tempLiveCount();
+
+/** Reset the arena to a single free block (test hook). */
+void tempReset();
+
+} // namespace mmxdsp::nsp
+
+#endif // MMXDSP_NSP_ALLOC_HH

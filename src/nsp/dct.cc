@@ -1,0 +1,283 @@
+#include "dct.hh"
+
+#include "nsp/alloc.hh"
+#include "nsp/internal.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/fixed_point.hh"
+
+namespace mmxdsp::nsp {
+
+using runtime::CallGuard;
+using runtime::F64;
+using runtime::M64;
+using runtime::R32;
+
+namespace {
+
+/** Build the Q14 orthonormal DCT-II matrix once. */
+struct DctMatrix
+{
+    alignas(8) int16_t q14[64];
+
+    DctMatrix()
+    {
+        for (int u = 0; u < 8; ++u) {
+            double cu = (u == 0) ? std::sqrt(0.5) : 1.0;
+            for (int x = 0; x < 8; ++x) {
+                double v = 0.5 * cu
+                           * std::cos((2 * x + 1) * u * std::numbers::pi
+                                      / 16.0);
+                q14[u * 8 + x] = toQ(v, 14);
+            }
+        }
+    }
+};
+
+const DctMatrix &
+matrix()
+{
+    static const DctMatrix m;
+    return m;
+}
+
+/**
+ * The shared 8-sample DCT body: two pmaddwd per output coefficient.
+ * Emits straight-line code per output plus loop management.
+ */
+void
+dct1dBody(Cpu &cpu, const int16_t *in, int16_t *out)
+{
+    const int16_t *m = matrix().q14;
+    M64 in_lo = cpu.movqLoad(in);
+    M64 in_hi = cpu.movqLoad(in + 4);
+    R32 count = cpu.imm32(8);
+    for (int u = 0; u < 8; ++u) {
+        const int16_t *row = m + u * 8;
+        M64 p = cpu.pmaddwdLoad(cpu.movq(in_lo), row);
+        M64 q = cpu.pmaddwdLoad(cpu.movq(in_hi), row + 4);
+        p = cpu.paddd(p, q);
+        M64 hi = cpu.movq(p);
+        hi = cpu.psrlq(hi, 32);
+        p = cpu.paddd(p, hi);
+        R32 r = cpu.movdToR32(p);
+        r = cpu.addImm(r, 1 << 13); // round to nearest
+        r = cpu.sar(r, 14);
+        cpu.store16(out + u, r);
+        count = cpu.subImm(count, 1);
+        cpu.jcc(u + 1 < 8);
+    }
+}
+
+/**
+ * 8x8 int16 transpose with the classic punpck sequence: four 4x4
+ * quadrant transposes, eight shuffles each.
+ */
+void
+transpose8x8Mmx(Cpu &cpu, const int16_t *src, int16_t *dst)
+{
+    for (int qi = 0; qi < 2; ++qi) {
+        for (int qj = 0; qj < 2; ++qj) {
+            const int16_t *s = src + (4 * qi) * 8 + 4 * qj;
+            int16_t *d = dst + (4 * qj) * 8 + 4 * qi;
+            M64 r0 = cpu.movqLoad(s);
+            M64 r1 = cpu.movqLoad(s + 8);
+            M64 r2 = cpu.movqLoad(s + 16);
+            M64 r3 = cpu.movqLoad(s + 24);
+            M64 t0 = cpu.punpcklwd(cpu.movq(r0), r1);
+            M64 t1 = cpu.punpcklwd(cpu.movq(r2), r3);
+            M64 t2 = cpu.punpckhwd(r0, r1);
+            M64 t3 = cpu.punpckhwd(r2, r3);
+            cpu.movqStore(d, cpu.punpckldq(cpu.movq(t0), t1));
+            cpu.movqStore(d + 8, cpu.punpckhdq(t0, t1));
+            cpu.movqStore(d + 16, cpu.punpckldq(cpu.movq(t2), t3));
+            cpu.movqStore(d + 24, cpu.punpckhdq(t2, t3));
+        }
+    }
+}
+
+} // namespace
+
+const int16_t *
+dctMatrixQ14()
+{
+    return matrix().q14;
+}
+
+namespace {
+
+/** AAN per-output scale factors mapping to the orthonormal DCT. */
+struct AanScale
+{
+    double f[8];
+    float fF[8];
+
+    AanScale()
+    {
+        // Run the AAN flow graph on each basis vector once (doubles)
+        // and compare against the orthonormal matrix to extract the
+        // diagonal scale factors.
+        const int16_t *m = matrix().q14;
+        for (int u = 0; u < 8; ++u) {
+            double basis[8] = {0};
+            basis[0] = 1.0;
+            double aan[8];
+            aanFlow(basis, aan);
+            double ortho = static_cast<double>(m[u * 8 + 0]) / 16384.0;
+            f[u] = (aan[u] != 0.0) ? ortho / aan[u] : 0.0;
+            fF[u] = static_cast<float>(f[u]);
+        }
+    }
+
+    /** The jfdctflt AAN flow graph (5 multiplies, 29 adds). */
+    static void
+    aanFlow(const double d[8], double out[8])
+    {
+        double tmp0 = d[0] + d[7], tmp7 = d[0] - d[7];
+        double tmp1 = d[1] + d[6], tmp6 = d[1] - d[6];
+        double tmp2 = d[2] + d[5], tmp5 = d[2] - d[5];
+        double tmp3 = d[3] + d[4], tmp4 = d[3] - d[4];
+
+        double tmp10 = tmp0 + tmp3, tmp13 = tmp0 - tmp3;
+        double tmp11 = tmp1 + tmp2, tmp12 = tmp1 - tmp2;
+        out[0] = tmp10 + tmp11;
+        out[4] = tmp10 - tmp11;
+        double z1 = (tmp12 + tmp13) * 0.707106781;
+        out[2] = tmp13 + z1;
+        out[6] = tmp13 - z1;
+
+        tmp10 = tmp4 + tmp5;
+        tmp11 = tmp5 + tmp6;
+        tmp12 = tmp6 + tmp7;
+        double z5 = (tmp10 - tmp12) * 0.382683433;
+        double z2 = 0.541196100 * tmp10 + z5;
+        double z4 = 1.306562965 * tmp12 + z5;
+        double z3 = tmp11 * 0.707106781;
+        double z11 = tmp7 + z3, z13 = tmp7 - z3;
+        out[5] = z13 + z2;
+        out[3] = z13 - z2;
+        out[1] = z11 + z4;
+        out[7] = z11 - z4;
+    }
+};
+
+const AanScale &
+aanScale()
+{
+    static const AanScale s;
+    return s;
+}
+
+} // namespace
+
+void
+dct1dMmx(Cpu &cpu, const int16_t in[8], int16_t out[8])
+{
+    CallGuard guard(cpu, "nspsDct1dMmx", 4, 2);
+    detail::libCheckArgs(cpu, in, 8);
+
+    // Disassembling the shipping library's FFT showed Intel converting
+    // 16-bit samples to floating point internally and computing a
+    // float transform (paper, section 4.1); the fixed-point DCT entry
+    // point behaves the same way — which is why jpeg.mmx executes only
+    // ~6.5% MMX instructions. MMX moves the data; x87 does the math.
+    int16_t *lib_in = static_cast<int16_t *>(tempAlloc(cpu, 32));
+    float *flt = reinterpret_cast<float *>(
+        tempAlloc(cpu, 16 * sizeof(float)));
+    float *flt_out = flt + 8;
+    detail::libCopy16(cpu, in, lib_in, 8);
+
+    // int16 -> float.
+    R32 conv = cpu.imm32(8);
+    for (int i = 0; i < 8; ++i) {
+        F64 v = cpu.fild16(&lib_in[i]);
+        cpu.fstp32(&flt[i], v);
+        conv = cpu.subImm(conv, 1);
+        cpu.jcc(i + 1 < 8);
+    }
+
+    // AAN float DCT (5 multiplies, 29 adds), hand-scheduled x87.
+    {
+        F64 d0 = cpu.fld32(&flt[0]);
+        F64 d7 = cpu.fld32(&flt[7]);
+        F64 tmp0 = cpu.fadd(cpu.fmov(d0), d7);
+        F64 tmp7 = cpu.fsub(d0, d7);
+        F64 d1 = cpu.fld32(&flt[1]);
+        F64 d6 = cpu.fld32(&flt[6]);
+        F64 tmp1 = cpu.fadd(cpu.fmov(d1), d6);
+        F64 tmp6 = cpu.fsub(d1, d6);
+        F64 d2 = cpu.fld32(&flt[2]);
+        F64 d5 = cpu.fld32(&flt[5]);
+        F64 tmp2 = cpu.fadd(cpu.fmov(d2), d5);
+        F64 tmp5 = cpu.fsub(d2, d5);
+        F64 d3 = cpu.fld32(&flt[3]);
+        F64 d4 = cpu.fld32(&flt[4]);
+        F64 tmp3 = cpu.fadd(cpu.fmov(d3), d4);
+        F64 tmp4 = cpu.fsub(d3, d4);
+
+        F64 tmp10 = cpu.fadd(cpu.fmov(tmp0), tmp3);
+        F64 tmp13 = cpu.fsub(tmp0, tmp3);
+        F64 tmp11 = cpu.fadd(cpu.fmov(tmp1), tmp2);
+        F64 tmp12 = cpu.fsub(tmp1, tmp2);
+        cpu.fstp32(&flt_out[0], cpu.fadd(cpu.fmov(tmp10), tmp11));
+        cpu.fstp32(&flt_out[4], cpu.fsub(tmp10, tmp11));
+        F64 z1 = cpu.fadd(cpu.fmov(tmp12), cpu.fmov(tmp13));
+        z1 = cpu.fmul(z1, cpu.fimm(0.707106781));
+        cpu.fstp32(&flt_out[2], cpu.fadd(cpu.fmov(tmp13), cpu.fmov(z1)));
+        cpu.fstp32(&flt_out[6], cpu.fsub(tmp13, z1));
+
+        F64 otmp10 = cpu.fadd(cpu.fmov(tmp4), cpu.fmov(tmp5));
+        F64 otmp11 = cpu.fadd(tmp5, cpu.fmov(tmp6));
+        F64 otmp12 = cpu.fadd(tmp6, cpu.fmov(tmp7));
+        F64 z5 = cpu.fsub(cpu.fmov(otmp10), cpu.fmov(otmp12));
+        z5 = cpu.fmul(z5, cpu.fimm(0.382683433));
+        F64 z2 = cpu.fmul(otmp10, cpu.fimm(0.541196100));
+        z2 = cpu.fadd(z2, cpu.fmov(z5));
+        F64 z4 = cpu.fmul(otmp12, cpu.fimm(1.306562965));
+        z4 = cpu.fadd(z4, z5);
+        F64 z3 = cpu.fmul(otmp11, cpu.fimm(0.707106781));
+        F64 z11 = cpu.fadd(cpu.fmov(tmp7), cpu.fmov(z3));
+        F64 z13 = cpu.fsub(tmp7, z3);
+        cpu.fstp32(&flt_out[5], cpu.fadd(cpu.fmov(z13), cpu.fmov(z2)));
+        cpu.fstp32(&flt_out[3], cpu.fsub(z13, z2));
+        cpu.fstp32(&flt_out[1], cpu.fadd(cpu.fmov(z11), cpu.fmov(z4)));
+        cpu.fstp32(&flt_out[7], cpu.fsub(z11, z4));
+    }
+
+    // Scale to the orthonormal convention and convert back to int16.
+    const AanScale &sc = aanScale();
+    R32 back = cpu.imm32(8);
+    for (int u = 0; u < 8; ++u) {
+        F64 v = cpu.fld32(&flt_out[u]);
+        v = cpu.fmulLoad32(v, &sc.fF[u]);
+        cpu.fistp16(out + u, v);
+        back = cpu.subImm(back, 1);
+        cpu.jcc(u + 1 < 8);
+    }
+
+    tempFree(cpu, flt);
+    tempFree(cpu, lib_in);
+    cpu.emms();
+}
+
+void
+dct2dMmxDirect(Cpu &cpu, const int16_t in[64], int16_t out[64])
+{
+    CallGuard guard(cpu, "nspiDct2dMmx", 2);
+
+    alignas(8) int16_t rows[64];
+    alignas(8) int16_t trans[64];
+    alignas(8) int16_t cols[64];
+
+    for (int r = 0; r < 8; ++r)
+        dct1dBody(cpu, in + 8 * r, rows + 8 * r);
+    transpose8x8Mmx(cpu, rows, trans);
+    for (int r = 0; r < 8; ++r)
+        dct1dBody(cpu, trans + 8 * r, cols + 8 * r);
+    transpose8x8Mmx(cpu, cols, out);
+    cpu.emms();
+}
+
+} // namespace mmxdsp::nsp

@@ -1,0 +1,463 @@
+#include "fft.hh"
+
+#include "nsp/alloc.hh"
+#include "nsp/internal.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "support/fixed_point.hh"
+#include "support/logging.hh"
+
+namespace mmxdsp::nsp {
+
+using runtime::CallGuard;
+using runtime::F64;
+using runtime::M64;
+using runtime::R32;
+
+void
+fftInit(FftTables &tables, int n)
+{
+    if (n < 2 || (n & (n - 1)))
+        mmxdsp_fatal("FFT size %d is not a power of two", n);
+    tables.n = n;
+    tables.logn = 0;
+    while ((1 << tables.logn) < n)
+        ++tables.logn;
+
+    tables.bitrev.resize(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        int rev = 0;
+        for (int b = 0; b < tables.logn; ++b)
+            rev |= ((i >> b) & 1) << (tables.logn - 1 - b);
+        tables.bitrev[static_cast<size_t>(i)] = rev;
+    }
+
+    // Per-stage twiddles, contiguous per stage: w_k = e^{-j 2 pi k/len}
+    // stored as (cos, -sin).
+    tables.cosF.resize(static_cast<size_t>(n - 1));
+    tables.sinF.resize(static_cast<size_t>(n - 1));
+    tables.cosQ.resize(static_cast<size_t>(n - 1));
+    tables.sinQ.resize(static_cast<size_t>(n - 1));
+    tables.twid4.resize(static_cast<size_t>(n - 1) * 4);
+    for (int len = 2; len <= n; len <<= 1) {
+        int off = FftTables::stageOffset(len);
+        for (int k = 0; k < len / 2; ++k) {
+            double ang = 2.0 * std::numbers::pi * k / len;
+            double wr = std::cos(ang);
+            double wi = -std::sin(ang);
+            size_t idx = static_cast<size_t>(off + k);
+            tables.cosF[idx] = static_cast<float>(wr);
+            tables.sinF[idx] = static_cast<float>(wi);
+            tables.cosQ[idx] = toQ15(wr);
+            tables.sinQ[idx] = toQ15(wi);
+            tables.twid4[4 * idx + 0] = toQ15(wr);
+            tables.twid4[4 * idx + 1] = saturate16(-toQ15(wi));
+            tables.twid4[4 * idx + 2] = toQ15(wi);
+            tables.twid4[4 * idx + 3] = toQ15(wr);
+        }
+    }
+}
+
+namespace {
+
+/** One radix-2 float butterfly at (lo, hi) with twiddle (ct+k, st+k). */
+void
+floatButterfly(Cpu &cpu, const float *ct, const float *st, int k, float *re,
+               float *im, int lo, int hi)
+{
+    F64 wr = cpu.fld32(ct + k);
+    F64 wi = cpu.fld32(st + k);
+    F64 xr = cpu.fld32(re + hi);
+    F64 xi = cpu.fld32(im + hi);
+    // tr = wr*xr - wi*xi ; ti = wr*xi + wi*xr
+    F64 tr = cpu.fmul(cpu.fmov(wr), xr);
+    F64 t2 = cpu.fmul(cpu.fmov(wi), xi);
+    tr = cpu.fsub(tr, t2);
+    F64 ti = cpu.fmul(wr, xi);
+    F64 t3 = cpu.fmul(wi, xr);
+    ti = cpu.fadd(ti, t3);
+    F64 ur = cpu.fld32(re + lo);
+    F64 ui = cpu.fld32(im + lo);
+    cpu.fstp32(re + lo, cpu.fadd(cpu.fmov(ur), tr));
+    cpu.fstp32(im + lo, cpu.fadd(cpu.fmov(ui), ti));
+    cpu.fstp32(re + hi, cpu.fsub(ur, tr));
+    cpu.fstp32(im + hi, cpu.fsub(ui, ti));
+}
+
+/**
+ * Butterfly stages over bit-reversed data.
+ *
+ * @param optimized the newer library's scheduling: the two trivial-
+ *        twiddle stages (len 2 and 4) are fused into a single pass with
+ *        no multiplies or twiddle loads, and the remaining stages run
+ *        the inner loop unrolled by two. The plain form models the
+ *        older hand assembly the .fp library shipped with.
+ */
+void
+floatStages(Cpu &cpu, const FftTables &t, float *re, float *im,
+            bool optimized, int start_len = 2)
+{
+    const int n = t.n;
+
+    if (optimized && start_len == 2 && n >= 4) {
+        // Fused radix-4-style first pass: w = 1 and w = -j only.
+        R32 count = cpu.imm32(n / 4);
+        for (int i = 0; i < n; i += 4) {
+            F64 r0 = cpu.fld32(re + i);
+            F64 r1 = cpu.fld32(re + i + 1);
+            F64 a0 = cpu.fadd(cpu.fmov(r0), cpu.fmov(r1));
+            F64 a1 = cpu.fsub(r0, r1);
+            F64 r2 = cpu.fld32(re + i + 2);
+            F64 r3 = cpu.fld32(re + i + 3);
+            F64 a2 = cpu.fadd(cpu.fmov(r2), cpu.fmov(r3));
+            F64 a3 = cpu.fsub(r2, r3);
+            F64 i0 = cpu.fld32(im + i);
+            F64 i1 = cpu.fld32(im + i + 1);
+            F64 b0 = cpu.fadd(cpu.fmov(i0), cpu.fmov(i1));
+            F64 b1 = cpu.fsub(i0, i1);
+            F64 i2 = cpu.fld32(im + i + 2);
+            F64 i3 = cpu.fld32(im + i + 3);
+            F64 b2 = cpu.fadd(cpu.fmov(i2), cpu.fmov(i3));
+            F64 b3 = cpu.fsub(i2, i3);
+            // k=0 pair: (a0,b0) +- (a2,b2)
+            cpu.fstp32(re + i, cpu.fadd(cpu.fmov(a0), cpu.fmov(a2)));
+            cpu.fstp32(im + i, cpu.fadd(cpu.fmov(b0), cpu.fmov(b2)));
+            cpu.fstp32(re + i + 2, cpu.fsub(a0, a2));
+            cpu.fstp32(im + i + 2, cpu.fsub(b0, b2));
+            // k=1 pair with w = -j: t = (b3, -a3)
+            cpu.fstp32(re + i + 1, cpu.fadd(cpu.fmov(a1), cpu.fmov(b3)));
+            cpu.fstp32(im + i + 1, cpu.fsub(cpu.fmov(b1), cpu.fmov(a3)));
+            cpu.fstp32(re + i + 3, cpu.fsub(a1, b3));
+            cpu.fstp32(im + i + 3, cpu.fadd(b1, a3));
+            count = cpu.subImm(count, 1);
+            cpu.jcc(i + 4 < n);
+        }
+        start_len = 8;
+    }
+
+    if (start_len < 2)
+        start_len = 2;
+    for (int len = start_len; len <= n; len <<= 1) {
+        const int half = len / 2;
+        const float *ct = &t.cosF[static_cast<size_t>(
+            FftTables::stageOffset(len))];
+        const float *st = &t.sinF[static_cast<size_t>(
+            FftTables::stageOffset(len))];
+        for (int i = 0; i < n; i += len) {
+            if (optimized && half >= 2) {
+                R32 count = cpu.imm32(half / 2);
+                for (int k = 0; k < half; k += 2) {
+                    floatButterfly(cpu, ct, st, k, re, im, i + k,
+                                   i + k + half);
+                    floatButterfly(cpu, ct, st, k + 1, re, im, i + k + 1,
+                                   i + k + 1 + half);
+                    count = cpu.subImm(count, 1);
+                    cpu.jcc(k + 2 < half);
+                }
+            } else {
+                R32 count = cpu.imm32(half);
+                for (int k = 0; k < half; ++k) {
+                    floatButterfly(cpu, ct, st, k, re, im, i + k,
+                                   i + k + half);
+                    count = cpu.subImm(count, 1);
+                    cpu.jcc(k + 1 < half);
+                }
+            }
+        }
+    }
+}
+
+/**
+ * The plain float core used by the .fp library: the older hand assembly
+ * computes the bit-reversed index on the fly (no table) and runs the
+ * un-fused stage schedule.
+ */
+void
+floatCore(Cpu &cpu, const FftTables &t, float *re, float *im)
+{
+    const int n = t.n;
+    int j = 0;
+    R32 jr = cpu.imm32(0);
+    for (int i = 1; i < n; ++i) {
+        int m = n >> 1;
+        R32 mr = cpu.imm32(m);
+        while (m >= 1 && j >= m) {
+            cpu.cmp(jr, mr);
+            cpu.jcc(true);
+            jr = cpu.sub(jr, mr);
+            mr = cpu.sar(mr, 1);
+            j -= m;
+            m >>= 1;
+        }
+        if (m >= 1) {
+            cpu.cmp(jr, mr);
+            cpu.jcc(false);
+        }
+        jr = cpu.add(jr, mr);
+        j += m;
+        cpu.cmpImm(jr, i);
+        bool swap = j > i;
+        cpu.jcc(swap);
+        if (swap) {
+            F64 a = cpu.fld32(re + i);
+            F64 b = cpu.fld32(re + j);
+            cpu.fstp32(re + j, a);
+            cpu.fstp32(re + i, b);
+            F64 c = cpu.fld32(im + i);
+            F64 d = cpu.fld32(im + j);
+            cpu.fstp32(im + j, c);
+            cpu.fstp32(im + i, d);
+        }
+    }
+    floatStages(cpu, t, re, im, false);
+}
+
+} // namespace
+
+void
+fftFp(Cpu &cpu, const FftTables &tables, float *re, float *im)
+{
+    CallGuard guard(cpu, "nspsFftFp", 3);
+    floatCore(cpu, tables, re, im);
+}
+
+void
+fftMmxV2(Cpu &cpu, const FftTables &tables, int16_t *re, int16_t *im,
+         int scale_bits)
+{
+    CallGuard guard(cpu, "nspsFftMmx", 4);
+    const int n = tables.n;
+    detail::libCheckArgs(cpu, re, n);
+
+    // MMX pre-scale by the caller's a-priori scale factor.
+    if (scale_bits > 0) {
+        const int groups = n / 4;
+        for (int16_t *arr : {re, im}) {
+            R32 count = cpu.imm32(groups);
+            for (int k = 0; k < groups; ++k) {
+                M64 v = cpu.movqLoad(arr + 4 * k);
+                v = cpu.psraw(v, scale_bits);
+                cpu.movqStore(arr + 4 * k, v);
+                count = cpu.subImm(count, 1);
+                cpu.jcc(k + 1 < groups);
+            }
+        }
+        cpu.emms();
+    }
+
+    // Library-internal float working buffers ("library-specific data
+    // structures" the paper mentions having to create), dynamically
+    // allocated per call.
+    float *fre = static_cast<float *>(
+        tempAlloc(cpu, static_cast<size_t>(n) * sizeof(float)));
+    float *fim = static_cast<float *>(
+        tempAlloc(cpu, static_cast<size_t>(n) * sizeof(float)));
+    // The first pass fuses three jobs: the bit-reversed gather, the
+    // int16 -> float conversion, and the two trivial-twiddle butterfly
+    // stages — the samples are touched once where the older library
+    // made three passes. (Bit reversal is an involution, so for output
+    // position p the source index is simply bitrev[p].)
+    R32 conv = cpu.imm32(n / 4);
+    for (int i = 0; i < n; i += 4) {
+        F64 r[4], m[4];
+        for (int t = 0; t < 4; ++t) {
+            int j = tables.bitrev[static_cast<size_t>(i + t)];
+            cpu.load32(&tables.bitrev[static_cast<size_t>(i + t)]);
+            r[t] = cpu.fild16(re + j);
+            m[t] = cpu.fild16(im + j);
+        }
+        F64 a0 = cpu.fadd(cpu.fmov(r[0]), cpu.fmov(r[1]));
+        F64 a1 = cpu.fsub(r[0], r[1]);
+        F64 a2 = cpu.fadd(cpu.fmov(r[2]), cpu.fmov(r[3]));
+        F64 a3 = cpu.fsub(r[2], r[3]);
+        F64 b0 = cpu.fadd(cpu.fmov(m[0]), cpu.fmov(m[1]));
+        F64 b1 = cpu.fsub(m[0], m[1]);
+        F64 b2 = cpu.fadd(cpu.fmov(m[2]), cpu.fmov(m[3]));
+        F64 b3 = cpu.fsub(m[2], m[3]);
+        cpu.fstp32(&fre[i], cpu.fadd(cpu.fmov(a0), cpu.fmov(a2)));
+        cpu.fstp32(&fim[i], cpu.fadd(cpu.fmov(b0), cpu.fmov(b2)));
+        cpu.fstp32(&fre[i + 2], cpu.fsub(a0, a2));
+        cpu.fstp32(&fim[i + 2], cpu.fsub(b0, b2));
+        cpu.fstp32(&fre[i + 1], cpu.fadd(cpu.fmov(a1), cpu.fmov(b3)));
+        cpu.fstp32(&fim[i + 1], cpu.fsub(cpu.fmov(b1), cpu.fmov(a3)));
+        cpu.fstp32(&fre[i + 3], cpu.fsub(a1, b3));
+        cpu.fstp32(&fim[i + 3], cpu.fadd(b1, a3));
+        conv = cpu.subImm(conv, 1);
+        cpu.jcc(i + 4 < n);
+    }
+
+    // "The FFT is computed in a similar manner to the floating-point
+    // library version" — remaining stages with the newer scheduling.
+    floatStages(cpu, tables, fre, fim, true, 8);
+
+    // Convert to int32, then do the 1/n scaling with a packed
+    // arithmetic shift (n is a power of two) and pack back to 16 bits
+    // with MMX saturation — no per-element multiply at all. Another of
+    // the newest library's tricks.
+    alignas(8) int32_t wide[4];
+    R32 back = cpu.imm32(n / 4);
+    for (int16_t *arr : {re, im}) {
+        float *src = arr == re ? fre : fim;
+        for (int k = 0; k < n; k += 4) {
+            for (int j = 0; j < 4; ++j) {
+                F64 v = cpu.fld32(&src[k + j]);
+                cpu.fistp32(&wide[j], v);
+            }
+            M64 lo = cpu.movqLoad(&wide[0]);
+            lo = cpu.psrad(lo, tables.logn);
+            M64 hi = cpu.movqLoad(&wide[2]);
+            hi = cpu.psrad(hi, tables.logn);
+            cpu.movqStore(arr + k, cpu.packssdw(lo, hi));
+            back = cpu.subImm(back, 1);
+            cpu.jcc(k + 4 < n);
+        }
+    }
+    tempFree(cpu, fim);
+    tempFree(cpu, fre);
+}
+
+namespace {
+
+/**
+ * One 16-bit butterfly of the early MMX library: a scalar gather of
+ * (xr, xi) into a packed register, a single pmaddwd complex multiply
+ * against the [wr, -wi, wi, wr] twiddle record, and scalar adds/stores
+ * with a >>1 overflow guard. One complex point per multiply — which is
+ * why the early library measured ~40% MMX instructions and only a 1.49
+ * speedup: the other 60% is gather/scatter bookkeeping.
+ */
+void
+butterflyV1(Cpu &cpu, const FftTables &t, int16_t *re, int16_t *im, int len,
+            int i, int k, bool shift)
+{
+    const int half = len / 2;
+    const int off = FftTables::stageOffset(len);
+    const int16_t *tw = &t.twid4[static_cast<size_t>(off + k) * 4];
+
+    // Gather [xr, xi, xr, xi] through a stack pair.
+    alignas(8) int16_t pair[4];
+    R32 xr = cpu.load16s(re + i + k + half);
+    cpu.store16(&pair[0], xr);
+    R32 xi = cpu.load16s(im + i + k + half);
+    cpu.store16(&pair[1], xi);
+    M64 x = cpu.movdLoad(pair);
+    x = cpu.punpckldq(x, cpu.movq(x));
+
+    // (tr | ti) = x * w, Q15.
+    M64 prod = cpu.pmaddwdLoad(x, tw);
+    prod = cpu.psrad(prod, 15);
+    M64 tt = cpu.packssdw(prod, prod); // [tr, ti, tr, ti]
+
+    // Gather u = [ur, ui] the same way and finish packed: the adds,
+    // saturation, and the >>1 overflow guard all stay in MMX.
+    R32 ur = cpu.load16s(re + i + k);
+    cpu.store16(&pair[2], ur);
+    R32 ui = cpu.load16s(im + i + k);
+    cpu.store16(&pair[3], ui);
+    M64 u = cpu.movdLoad(&pair[2]);
+    M64 sum = cpu.paddsw(cpu.movq(u), cpu.movq(tt));
+    M64 dif = cpu.psubsw(u, tt);
+    if (shift) {
+        sum = cpu.psraw(sum, 1);
+        dif = cpu.psraw(dif, 1);
+    }
+
+    R32 s = cpu.movdToR32(sum);
+    cpu.store16(re + i + k, s);
+    s = cpu.sar(s, 16);
+    cpu.store16(im + i + k, s);
+    R32 d = cpu.movdToR32(dif);
+    cpu.store16(re + i + k + half, d);
+    d = cpu.sar(d, 16);
+    cpu.store16(im + i + k + half, d);
+}
+
+
+/**
+ * Block-floating-point guard scan: OR together |v| over both arrays
+ * and report whether the next stage's doubling could overflow 16 bits.
+ * This is the extra per-stage data pass fixed-point FFTs pay.
+ */
+bool
+bfpGuardScan(Cpu &cpu, const int16_t *re, const int16_t *im, int n)
+{
+    M64 acc = cpu.mmxZero();
+    for (const int16_t *arr : {re, im}) {
+        R32 count = cpu.imm32(n / 4);
+        for (int k = 0; k < n; k += 4) {
+            M64 v = cpu.movqLoad(arr + k);
+            M64 sgn = cpu.psraw(cpu.movq(v), 15);
+            v = cpu.pxor(v, cpu.movq(sgn));
+            v = cpu.psubw(v, sgn);
+            acc = cpu.por(acc, v);
+            count = cpu.subImm(count, 1);
+            cpu.jcc(k + 4 < n);
+        }
+    }
+    int16_t peak = 0;
+    for (int lane = 0; lane < 4; ++lane)
+        peak = std::max(peak, acc.v.sw(lane));
+    // The rotated term |t| can reach sqrt(2)*peak, so the stage is safe
+    // only while peak*(1 + sqrt(2)) < 32768.
+    R32 flag = cpu.movdToR32(acc);
+    cpu.cmpImm(flag, 0x3000);
+    bool shift = peak >= 0x3000;
+    cpu.jcc(shift);
+    return shift;
+}
+
+} // namespace
+
+int
+fftMmxV1(Cpu &cpu, const FftTables &tables, int16_t *re, int16_t *im)
+{
+    CallGuard guard(cpu, "nspsFftMmxOld", 3);
+    const int n = tables.n;
+    detail::libCheckArgs(cpu, re, n);
+
+    // Bit reversal on the 16-bit arrays.
+    R32 idx = cpu.imm32(0);
+    for (int ii = 0; ii < n; ++ii) {
+        R32 j = cpu.load32(&tables.bitrev[static_cast<size_t>(ii)]);
+        cpu.cmp(j, idx);
+        bool swap = tables.bitrev[static_cast<size_t>(ii)] > ii;
+        cpu.jcc(swap);
+        if (swap) {
+            int jj = tables.bitrev[static_cast<size_t>(ii)];
+            R32 a = cpu.load16s(re + ii);
+            R32 b = cpu.load16s(re + jj);
+            cpu.store16(re + jj, a);
+            cpu.store16(re + ii, b);
+            R32 c = cpu.load16s(im + ii);
+            R32 d = cpu.load16s(im + jj);
+            cpu.store16(im + jj, c);
+            cpu.store16(im + ii, d);
+        }
+        idx = cpu.addImm(idx, 1);
+        cpu.cmpImm(idx, n);
+        cpu.jcc(ii + 1 < n);
+    }
+
+    int exponent = 0;
+    for (int len = 2; len <= n; len <<= 1) {
+        const int half = len / 2;
+        bool shift = bfpGuardScan(cpu, re, im, n);
+        if (shift)
+            ++exponent;
+        for (int i = 0; i < n; i += len) {
+            R32 count = cpu.imm32(half);
+            for (int k = 0; k < half; ++k) {
+                butterflyV1(cpu, tables, re, im, len, i, k, shift);
+                count = cpu.subImm(count, 1);
+                cpu.jcc(k + 1 < half);
+            }
+        }
+    }
+    cpu.emms();
+    return exponent;
+}
+
+} // namespace mmxdsp::nsp

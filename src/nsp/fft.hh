@@ -1,0 +1,89 @@
+/**
+ * @file
+ * FFT routines of the NSP library — three variants that reproduce the
+ * paper's findings about Intel's FFT implementations:
+ *
+ *  - fftFp:     the hand-optimized floating-point library FFT.
+ *  - fftMmxV2:  the *shipping* Pentium II MMX library FFT. The paper
+ *               disassembled it and found "the samples are converted to
+ *               floating-point, and then the FFT is computed in a
+ *               similar manner to the floating-point library" — only a
+ *               few percent MMX instructions (4.69% in Table 2).
+ *  - fftMmxV1:  the *earlier* MMX library FFT: genuine 16-bit fixed
+ *               point butterflies, 40% MMX instructions, but only 1.49
+ *               speedup over C ("computing the FFT with MMX integer
+ *               calculations is not an efficient strategy").
+ *
+ * All variants run in place on split real/imaginary arrays, radix-2
+ * decimation-in-time, with precomputed per-stage twiddle tables.
+ */
+
+#ifndef MMXDSP_NSP_FFT_HH
+#define MMXDSP_NSP_FFT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/cpu.hh"
+
+namespace mmxdsp::nsp {
+
+using runtime::Cpu;
+
+/**
+ * Precomputed tables shared by the FFT variants: bit-reversal
+ * permutation and per-stage twiddles (float and Q15). Stage with
+ * butterfly span `len` stores its len/2 twiddles contiguously at
+ * stageOffset(len) — that contiguity is what lets the V1 code movq-load
+ * four twiddles at once.
+ */
+struct FftTables
+{
+    int n = 0;
+    int logn = 0;
+    std::vector<int32_t> bitrev;
+    std::vector<float> cosF, sinF;     ///< -sin convention (forward FFT)
+    std::vector<int16_t> cosQ, sinQ;   ///< Q15 versions for V1
+    /**
+     * Per-twiddle pmaddwd layout for V1: [wr, -wi, wi, wr] in Q15, so
+     * one pmaddwd of [xr, xi, xr, xi] yields (tr | ti).
+     */
+    std::vector<int16_t> twid4;
+
+    /** Offset of stage `len`'s twiddles within the tables. */
+    static int
+    stageOffset(int len)
+    {
+        return len / 2 - 1;
+    }
+};
+
+/** Build tables for an n-point FFT (n a power of two). */
+void fftInit(FftTables &tables, int n);
+
+/** Floating-point library FFT, in place over float arrays. */
+void fftFp(Cpu &cpu, const FftTables &tables, float *re, float *im);
+
+/**
+ * Shipping MMX library FFT over 16-bit data: MMX pre-scale, convert to
+ * float, float butterflies, convert back. @p scale_bits is the caller's
+ * a-priori scale factor (arithmetic right shift applied up front).
+ * Output is the FFT of the scaled input divided by n (so it fits in
+ * 16 bits), matching the library's fixed output scaling.
+ */
+void fftMmxV2(Cpu &cpu, const FftTables &tables, int16_t *re, int16_t *im,
+              int scale_bits);
+
+/**
+ * Early MMX library FFT: 16-bit saturating butterflies with
+ * block-floating-point scaling — before each stage a guard scan checks
+ * whether doubling could overflow and conditionally shifts the stage
+ * down by one. Heavy MMX usage, but one extra data pass per stage.
+ *
+ * @return the block exponent e: output = FFT / 2^e.
+ */
+int fftMmxV1(Cpu &cpu, const FftTables &tables, int16_t *re, int16_t *im);
+
+} // namespace mmxdsp::nsp
+
+#endif // MMXDSP_NSP_FFT_HH

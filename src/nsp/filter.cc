@@ -1,0 +1,332 @@
+#include "filter.hh"
+
+#include "nsp/alloc.hh"
+#include "nsp/internal.hh"
+
+#include "support/fixed_point.hh"
+#include "support/logging.hh"
+
+namespace mmxdsp::nsp {
+
+using runtime::CallGuard;
+using runtime::M64;
+
+// ================= FIR =================
+
+namespace {
+
+int
+padTo4(int taps)
+{
+    return (taps + 3) & ~3;
+}
+
+} // namespace
+
+void
+firInitMmx(FirStateMmx &state, const std::vector<double> &coeffs)
+{
+    state.taps = static_cast<int>(coeffs.size());
+    state.padded = padTo4(state.taps);
+    state.fracBits = chooseFracBits(coeffs);
+    state.revCoeffs.assign(static_cast<size_t>(state.padded), 0);
+    // revCoeffs[i] = c'[padded-1-i] with c' zero-padded beyond taps.
+    for (int i = 0; i < state.padded; ++i) {
+        int k = state.padded - 1 - i;
+        if (k < state.taps)
+            state.revCoeffs[static_cast<size_t>(i)] =
+                toQ(coeffs[static_cast<size_t>(k)], state.fracBits);
+    }
+    state.delay.assign(static_cast<size_t>(2 * state.padded), 0);
+    state.pos = 0;
+}
+
+R32
+firMmx(Cpu &cpu, FirStateMmx &state, R32 sample)
+{
+    CallGuard guard(cpu, "nspsFirMmx", 3);
+    detail::libCheckArgs(cpu, state.delay.data(), state.padded);
+
+    // Store the new sample twice so the window d[pos+1 .. pos+padded]
+    // is always contiguous — aligned moves, no pack/unpack.
+    int16_t *d = state.delay.data();
+    const int pad = state.padded;
+    cpu.store16(&d[state.pos], sample);
+    cpu.store16(&d[state.pos + pad], sample);
+
+    const int16_t *win = &d[state.pos + 1];
+    const int16_t *rev = state.revCoeffs.data();
+
+    M64 acc = cpu.mmxZero();
+    const int groups = pad / 4;
+    R32 count = cpu.imm32(groups);
+    for (int k = 0; k < groups; ++k) {
+        M64 va = cpu.movqLoad(win + 4 * k);
+        acc = cpu.paddd(acc, cpu.pmaddwdLoad(va, rev + 4 * k));
+        count = cpu.subImm(count, 1);
+        cpu.jcc(k + 1 < groups);
+    }
+
+    M64 hi = cpu.movq(acc);
+    hi = cpu.psrlq(hi, 32);
+    acc = cpu.paddd(acc, hi);
+    R32 y = cpu.movdToR32(acc);
+    y = cpu.sar(y, state.fracBits);
+
+    // Saturate to the 16-bit output range (rarely taken branches).
+    cpu.cmpImm(y, 32767);
+    cpu.jcc(y.v > 32767);
+    cpu.cmpImm(y, -32768);
+    cpu.jcc(y.v < -32768);
+    R32 result{saturate16(y.v), y.tag};
+
+    // pos = (pos + 1) % padded, as compiled: inc, cmp, conditional reset.
+    R32 p = cpu.load32(&state.pos);
+    p = cpu.addImm(p, 1);
+    cpu.cmpImm(p, pad);
+    bool wrap = p.v >= pad;
+    cpu.jcc(wrap);
+    if (wrap)
+        p = cpu.xor_(p, p);
+    cpu.store32(&state.pos, p);
+
+    cpu.emms();
+    return result;
+}
+
+void
+firInitFp(FirStateFp &state, const std::vector<double> &coeffs)
+{
+    state.taps = static_cast<int>(coeffs.size());
+    state.padded = padTo4(state.taps);
+    state.revCoeffs.assign(static_cast<size_t>(state.padded), 0.0f);
+    for (int i = 0; i < state.padded; ++i) {
+        int k = state.padded - 1 - i;
+        if (k < state.taps)
+            state.revCoeffs[static_cast<size_t>(i)] =
+                static_cast<float>(coeffs[static_cast<size_t>(k)]);
+    }
+    state.delay.assign(static_cast<size_t>(2 * state.padded), 0.0f);
+    state.pos = 0;
+}
+
+F64
+firFp(Cpu &cpu, FirStateFp &state, F64 sample)
+{
+    CallGuard guard(cpu, "nspsFirFp", 3);
+
+    float *d = state.delay.data();
+    const int pad = state.padded;
+    cpu.fstp32(&d[state.pos], sample);
+    cpu.fstp32(&d[state.pos + pad], sample);
+
+    const float *win = &d[state.pos + 1];
+    const float *rev = state.revCoeffs.data();
+
+    // Four independent accumulators to hide fadd latency.
+    F64 acc0 = cpu.fldz();
+    F64 acc1 = cpu.fldz();
+    F64 acc2 = cpu.fldz();
+    F64 acc3 = cpu.fldz();
+
+    const int groups = pad / 4;
+    R32 count = cpu.imm32(groups);
+    for (int k = 0; k < groups; ++k) {
+        F64 x0 = cpu.fld32(win + 4 * k);
+        acc0 = cpu.fadd(acc0, cpu.fmulLoad32(x0, rev + 4 * k));
+        F64 x1 = cpu.fld32(win + 4 * k + 1);
+        acc1 = cpu.fadd(acc1, cpu.fmulLoad32(x1, rev + 4 * k + 1));
+        F64 x2 = cpu.fld32(win + 4 * k + 2);
+        acc2 = cpu.fadd(acc2, cpu.fmulLoad32(x2, rev + 4 * k + 2));
+        F64 x3 = cpu.fld32(win + 4 * k + 3);
+        acc3 = cpu.fadd(acc3, cpu.fmulLoad32(x3, rev + 4 * k + 3));
+        count = cpu.subImm(count, 1);
+        cpu.jcc(k + 1 < groups);
+    }
+    acc0 = cpu.fadd(acc0, acc1);
+    acc2 = cpu.fadd(acc2, acc3);
+    acc0 = cpu.fadd(acc0, acc2);
+
+    R32 p = cpu.load32(&state.pos);
+    p = cpu.addImm(p, 1);
+    cpu.cmpImm(p, pad);
+    bool wrap = p.v >= pad;
+    cpu.jcc(wrap);
+    if (wrap)
+        p = cpu.xor_(p, p);
+    cpu.store32(&state.pos, p);
+
+    return acc0;
+}
+
+void
+firValidMmx(Cpu &cpu, const int16_t *x, const int16_t *coeffs, int taps,
+            int16_t *y, int n, int shift, int xstride)
+{
+    if (taps % 4 != 0)
+        mmxdsp_fatal("firValidMmx: taps must be a multiple of 4");
+    CallGuard guard(cpu, "nspsFirBlockMmx", 6, 2);
+    detail::libCheckArgs(cpu, x, n);
+
+    const int groups = taps / 4;
+    R32 count = cpu.imm32(n);
+    for (int k = 0; k < n; ++k) {
+        M64 acc = cpu.mmxZero();
+        for (int g = 0; g < groups; ++g) {
+            M64 v = cpu.movqLoad(x + k * xstride + 4 * g);
+            acc = cpu.paddd(acc, cpu.pmaddwdLoad(v, coeffs + 4 * g));
+            cpu.jcc(g + 1 < groups);
+        }
+        M64 hi = cpu.movq(acc);
+        hi = cpu.psrlq(hi, 32);
+        acc = cpu.paddd(acc, hi);
+        R32 r = cpu.movdToR32(acc);
+        r = cpu.sar(r, shift);
+        cpu.cmpImm(r, 32767);
+        cpu.jcc(r.v > 32767);
+        cpu.cmpImm(r, -32768);
+        cpu.jcc(r.v < -32768);
+        cpu.store16(y + k, R32{saturate16(r.v), r.tag});
+        count = cpu.subImm(count, 1);
+        cpu.jcc(k + 1 < n);
+    }
+    cpu.emms();
+}
+
+// ================= IIR =================
+
+void
+iirInitMmx(IirStateMmx &state, const std::vector<Biquad> &sections)
+{
+    state.sections.clear();
+    state.sections.reserve(sections.size());
+    for (const Biquad &s : sections) {
+        IirStateMmx::Section sec{};
+        const int fb = IirStateMmx::kFracBits;
+        sec.bCoeffs[0] = toQ(s.b2, fb);
+        sec.bCoeffs[1] = toQ(s.b1, fb);
+        sec.bCoeffs[2] = toQ(s.b0, fb);
+        sec.bCoeffs[3] = 0;
+        sec.aCoeffs[0] = toQ(s.a1, fb);
+        sec.aCoeffs[1] = toQ(s.a2, fb);
+        sec.aCoeffs[2] = 0;
+        sec.aCoeffs[3] = 0;
+        sec.yHist[0] = sec.yHist[1] = sec.yHist[2] = sec.yHist[3] = 0;
+        sec.xHist[0] = sec.xHist[1] = 0;
+        state.sections.push_back(sec);
+    }
+}
+
+void
+iirBlockMmx(Cpu &cpu, IirStateMmx &state, int16_t *samples, int n)
+{
+    if (n < 2)
+        mmxdsp_fatal("iirBlockMmx needs blocks of at least 2 samples");
+
+    CallGuard guard(cpu, "nspsIirMmx", 3);
+    detail::libCheckArgs(cpu, samples, n);
+
+    // Library-internal working buffer (dynamically allocated per call):
+    // block prefixed with two history samples so unaligned movq windows
+    // cover x(i-2)..x(i+1).
+    int16_t *bufp = static_cast<int16_t *>(
+        tempAlloc(cpu, (static_cast<size_t>(n) + 2) * sizeof(int16_t)));
+    // Narrow RAII-free usage; freed at the end of the call.
+    struct BufView { int16_t *p; int16_t &operator[](size_t i) { return p[i]; } };
+    BufView buf{bufp};
+
+    for (auto &sec : state.sections) {
+        // Format the input for this section (the data-formatting
+        // overhead the paper attributes to library use).
+        buf[0] = 0;
+        buf[1] = 0;
+        R32 h0 = cpu.load16s(&sec.xHist[1]);
+        cpu.store16(&buf[0], h0);
+        R32 h1 = cpu.load16s(&sec.xHist[0]);
+        cpu.store16(&buf[1], h1);
+        detail::libCopy16(cpu, samples, &buf[2], n);
+
+        // New input history = last two samples of this section's input.
+        R32 nh0 = cpu.load16s(&buf[static_cast<size_t>(n) + 1]);
+        cpu.store16(&sec.xHist[0], nh0);
+        R32 nh1 = cpu.load16s(&buf[static_cast<size_t>(n)]);
+        cpu.store16(&sec.xHist[1], nh1);
+
+        M64 bco = cpu.movqLoad(sec.bCoeffs);
+        M64 aco = cpu.movqLoad(sec.aCoeffs);
+        M64 yh = cpu.movqLoad(sec.yHist);
+
+        R32 count = cpu.imm32(n);
+        for (int i = 0; i < n; ++i) {
+            // Feed-forward and feedback pmaddwds issue back to back so
+            // their 3-cycle latencies overlap.
+            M64 v = cpu.movqLoad(&buf[static_cast<size_t>(i)]);
+            M64 ff = cpu.pmaddwd(v, bco);     // [b2x+b1x | b0x]
+            M64 fbv = cpu.movq(yh);
+            fbv = cpu.pmaddwd(fbv, aco);      // [a1y1+a2y2 | 0]
+            M64 hi = cpu.movq(ff);
+            hi = cpu.psrlq(hi, 32);
+            ff = cpu.paddd(ff, hi);
+            ff = cpu.psubd(ff, fbv);          // lane0 = y in Q13
+            M64 y32 = cpu.psrad(ff, IirStateMmx::kFracBits);
+            // packssdw saturates to 16 bits — the library's overflow
+            // behaviour (rails rather than wraps).
+            M64 ysat = cpu.packssdw(cpu.movq(y32), y32);
+            R32 out = cpu.movdToR32(ysat);
+            cpu.store16(samples + i, out);
+            // History shift in one shuffle: [y, y1, ...].
+            yh = cpu.punpcklwd(ysat, yh);
+
+            count = cpu.subImm(count, 1);
+            cpu.jcc(i + 1 < n);
+        }
+        cpu.movqStore(sec.yHist, yh);
+    }
+    tempFree(cpu, bufp);
+    cpu.emms();
+}
+
+void
+iirInitFp(IirStateFp &state, const std::vector<Biquad> &sections)
+{
+    state.sections.clear();
+    for (const Biquad &s : sections)
+        state.sections.push_back(IirStateFp::Section{s, 0.0, 0.0});
+}
+
+void
+iirBlockFp(Cpu &cpu, IirStateFp &state, double *samples, int n)
+{
+    CallGuard guard(cpu, "nspsIirFp", 3);
+
+    for (auto &sec : state.sections) {
+        const Biquad &c = sec.coeffs;
+        // Keep the DF2T state in registers across the block.
+        F64 d1 = cpu.fld64(&sec.d1);
+        F64 d2 = cpu.fld64(&sec.d2);
+        R32 count = cpu.imm32(n);
+        for (int i = 0; i < n; ++i) {
+            F64 x = cpu.fld64(samples + i);
+            F64 out = cpu.fmulLoad64(x, &c.b0);
+            out = cpu.fadd(out, d1);
+            // d1 = b1*x - a1*out + d2
+            F64 t1 = cpu.fld64(samples + i);
+            t1 = cpu.fmulLoad64(t1, &c.b1);
+            F64 a1y = cpu.fmulLoad64(cpu.fmov(out), &c.a1);
+            t1 = cpu.fsub(t1, a1y);
+            d1 = cpu.fadd(t1, d2);
+            // d2 = b2*x - a2*out
+            F64 t2 = cpu.fld64(samples + i);
+            t2 = cpu.fmulLoad64(t2, &c.b2);
+            F64 a2y = cpu.fmulLoad64(cpu.fmov(out), &c.a2);
+            d2 = cpu.fsub(t2, a2y);
+            cpu.fstp64(samples + i, out);
+            count = cpu.subImm(count, 1);
+            cpu.jcc(i + 1 < n);
+        }
+        cpu.fstp64(&sec.d1, d1);
+        cpu.fstp64(&sec.d2, d2);
+    }
+}
+
+} // namespace mmxdsp::nsp

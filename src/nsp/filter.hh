@@ -1,0 +1,135 @@
+/**
+ * @file
+ * FIR and IIR filter routines of the NSP library.
+ *
+ * Mirrors the Intel Signal Processing Library structure the paper used:
+ * callers must create and initialize a library-specific state object
+ * before calling the filter (an overhead the paper calls out), the MMX
+ * forms take 16-bit fixed-point data with an a-priori scale factor, and
+ * the floating-point forms are hand-unrolled x87 code.
+ *
+ * The FIR processes one sample per call (as the paper's fir benchmark
+ * does); the IIR processes blocks (the paper's iir passes 8 samples per
+ * invocation — the source of its higher MMX utilization).
+ */
+
+#ifndef MMXDSP_NSP_FILTER_HH
+#define MMXDSP_NSP_FILTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/cpu.hh"
+#include "support/signal_math.hh"
+
+namespace mmxdsp::nsp {
+
+using runtime::Cpu;
+using runtime::F64;
+using runtime::R32;
+
+// ================= FIR =================
+
+/**
+ * State for the MMX FIR: reversed, zero-padded Q-format coefficients and
+ * a double-length delay buffer so a contiguous window always exists
+ * (each new sample is stored twice; no data shuffling, no pack/unpack —
+ * the "properly aligned stores and moves" the paper observed).
+ */
+struct FirStateMmx
+{
+    int taps = 0;
+    int padded = 0;    ///< taps rounded up to a multiple of 4
+    int fracBits = 0;  ///< coefficient Q-format (the scale factor)
+    std::vector<int16_t> revCoeffs; ///< c'[padded-1-i], zero-padded
+    std::vector<int16_t> delay;     ///< 2 * padded entries
+    int pos = 0;                    ///< next write index in [0, padded)
+};
+
+/** Quantize and lay out coefficients; clears the delay line. */
+void firInitMmx(FirStateMmx &state, const std::vector<double> &coeffs);
+
+/**
+ * Filter one sample (Q0 in, Q0 out). The caller passes the sample in a
+ * register, as the real library took it as an argument.
+ */
+R32 firMmx(Cpu &cpu, FirStateMmx &state, R32 sample);
+
+/** State for the hand-optimized floating-point FIR. */
+struct FirStateFp
+{
+    int taps = 0;
+    int padded = 0; ///< taps rounded up to a multiple of 4
+    std::vector<float> revCoeffs;
+    std::vector<float> delay;
+    int pos = 0;
+};
+
+void firInitFp(FirStateFp &state, const std::vector<double> &coeffs);
+
+/** Filter one sample through the unrolled x87 FIR. */
+F64 firFp(Cpu &cpu, FirStateFp &state, F64 sample);
+
+/**
+ * Block "valid" convolution: y[k] = sat((sum_i coeffs[i] * x[k+i]) >>
+ * shift) for k in [0, n). Coefficients are in ascending-window order
+ * (i.e. the time-reversed impulse response); taps must be a multiple
+ * of 4. One library call processes the whole block — the batched form
+ * the paper's conclusions ask for ("operating on blocks of data at
+ * once would definitely increase the opportunity to use MMX code").
+ */
+void firValidMmx(Cpu &cpu, const int16_t *x, const int16_t *coeffs,
+                 int taps, int16_t *y, int n, int shift, int xstride = 1);
+
+// ================= IIR (biquad cascade, block processing) =================
+
+/**
+ * State for the MMX IIR. Coefficients are quantized to Q13 (|a1| can
+ * reach 2 for a bandpass); per-section histories are kept in the packed
+ * layouts the inner loop consumes. The 16-bit feedback path is exactly
+ * what made the paper's iir.mmx output "unstable ... the loss of
+ * precision compounds iteration after iteration".
+ */
+struct IirStateMmx
+{
+    struct Section
+    {
+        /** [b2, b1, b0, 0] in Q13, for the feed-forward pmaddwd. */
+        alignas(8) int16_t bCoeffs[4];
+        /** [a1, a2, 0, 0] in Q13, for the feedback pmaddwd. */
+        alignas(8) int16_t aCoeffs[4];
+        /** [y(n-1), y(n-2), 0, 0] packed output history. */
+        alignas(8) int16_t yHist[4];
+        /** x(n-1), x(n-2) input history, prepended to each block. */
+        int16_t xHist[2];
+    };
+
+    static constexpr int kFracBits = 13;
+    std::vector<Section> sections;
+};
+
+void iirInitMmx(IirStateMmx &state, const std::vector<Biquad> &sections);
+
+/** Filter @p n samples in place (Q0 audio). */
+void iirBlockMmx(Cpu &cpu, IirStateMmx &state, int16_t *samples, int n);
+
+/** State for the hand-optimized double-precision IIR. */
+struct IirStateFp
+{
+    struct Section
+    {
+        Biquad coeffs;
+        double d1 = 0.0; ///< DF2-transposed state
+        double d2 = 0.0;
+    };
+    std::vector<Section> sections;
+};
+
+void iirInitFp(IirStateFp &state, const std::vector<Biquad> &sections);
+
+/** Filter @p n samples in place (doubles). */
+void iirBlockFp(Cpu &cpu, IirStateFp &state, double *samples, int n);
+
+} // namespace mmxdsp::nsp
+
+#endif // MMXDSP_NSP_FILTER_HH

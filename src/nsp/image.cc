@@ -1,0 +1,96 @@
+#include "image.hh"
+
+#include "nsp/internal.hh"
+
+#include "support/logging.hh"
+
+namespace mmxdsp::nsp {
+
+using runtime::CallGuard;
+using runtime::M64;
+using runtime::R32;
+
+void
+imageScaleU8Mmx(Cpu &cpu, const uint8_t *src, uint8_t *dst, int n,
+                uint16_t scale_q8)
+{
+    CallGuard guard(cpu, "nspiScaleU8Mmx", 4);
+    detail::libCheckArgs(cpu, src, n);
+
+    alignas(8) int16_t splat[4];
+    R32 s = cpu.imm32(scale_q8);
+    for (int i = 0; i < 4; ++i)
+        cpu.store16(&splat[i], s);
+    M64 vscale = cpu.movqLoad(splat);
+    M64 zero = cpu.mmxZero();
+
+    const int groups = n / 8;
+    if (groups > 0) {
+        R32 count = cpu.imm32(groups);
+        for (int k = 0; k < groups; ++k) {
+            M64 px = cpu.movqLoad(src + 8 * k);
+            M64 lo = cpu.punpcklbw(cpu.movq(px), zero);
+            M64 hi = cpu.punpckhbw(px, zero);
+            lo = cpu.pmullw(lo, vscale);
+            hi = cpu.pmullw(hi, vscale);
+            lo = cpu.psrlw(lo, 8);
+            hi = cpu.psrlw(hi, 8);
+            cpu.movqStore(dst + 8 * k, cpu.packuswb(lo, hi));
+            count = cpu.subImm(count, 1);
+            cpu.jcc(k + 1 < groups);
+        }
+    }
+    // Scalar tail.
+    for (int k = groups * 8; k < n; ++k) {
+        R32 p = cpu.load8u(src + k);
+        p = cpu.imulImm(p, scale_q8);
+        p = cpu.shr(p, 8);
+        cpu.store8(dst + k, p);
+        cpu.jcc(k + 1 < n);
+    }
+    cpu.emms();
+}
+
+void
+imageColorShiftU8Mmx(Cpu &cpu, const uint8_t *src, uint8_t *dst, int n,
+                     const uint8_t *add_pattern, const uint8_t *sub_pattern)
+{
+    if (n % 24 != 0)
+        mmxdsp_fatal("imageColorShiftU8Mmx: n must be a multiple of 24");
+
+    CallGuard guard(cpu, "nspiColorShiftU8Mmx", 5);
+    detail::libCheckArgs(cpu, src, n);
+
+    // The 24-byte patterns live in three registers each; with eight MMX
+    // registers this just fits (3 + 3 + working registers).
+    M64 add0 = cpu.movqLoad(add_pattern);
+    M64 add1 = cpu.movqLoad(add_pattern + 8);
+    M64 add2 = cpu.movqLoad(add_pattern + 16);
+    M64 sub0 = cpu.movqLoad(sub_pattern);
+    M64 sub1 = cpu.movqLoad(sub_pattern + 8);
+    M64 sub2 = cpu.movqLoad(sub_pattern + 16);
+
+    const int groups = n / 24;
+    R32 count = cpu.imm32(groups);
+    for (int k = 0; k < groups; ++k) {
+        const uint8_t *s = src + 24 * k;
+        uint8_t *d = dst + 24 * k;
+        M64 p0 = cpu.movqLoad(s);
+        p0 = cpu.paddusb(p0, add0);
+        p0 = cpu.psubusb(p0, sub0);
+        cpu.movqStore(d, p0);
+        M64 p1 = cpu.movqLoad(s + 8);
+        p1 = cpu.paddusb(p1, add1);
+        p1 = cpu.psubusb(p1, sub1);
+        cpu.movqStore(d + 8, p1);
+        M64 p2 = cpu.movqLoad(s + 16);
+        p2 = cpu.paddusb(p2, add2);
+        p2 = cpu.psubusb(p2, sub2);
+        cpu.movqStore(d + 16, p2);
+        count = cpu.subImm(count, 1);
+        cpu.jcc(k + 1 < groups);
+    }
+    cpu.emms();
+}
+
+} // namespace mmxdsp::nsp

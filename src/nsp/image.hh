@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Image-processing routines of the NSP library (the Image Processing
+ * Library 2.0 analogue). These are the routines behind the paper's
+ * best-case benchmark: 8-bit pixels, properly aligned, loaded eight at a
+ * time with "automatic" packing — quad-word loads and stores with no
+ * explicit pack/unpack for the add/sub case.
+ */
+
+#ifndef MMXDSP_NSP_IMAGE_HH
+#define MMXDSP_NSP_IMAGE_HH
+
+#include <cstdint>
+
+#include "runtime/cpu.hh"
+
+namespace mmxdsp::nsp {
+
+using runtime::Cpu;
+
+/**
+ * Scale 8-bit pixels by a Q8 factor: dst = (src * scale) >> 8 (the
+ * "dimming" operation). Unpacks to 16 bits for the multiply and packs
+ * back with unsigned saturation, eight pixels per iteration.
+ */
+void imageScaleU8Mmx(Cpu &cpu, const uint8_t *src, uint8_t *dst, int n,
+                     uint16_t scale_q8);
+
+/**
+ * Per-channel color shift over interleaved RGB24 ("switching the
+ * colors"): dst = sat(src + add_pattern - sub_pattern), where the
+ * patterns repeat every 24 bytes (= lcm of the 3-byte pixel and the
+ * 8-byte MMX register). Pure paddusb/psubusb — no pack/unpack at all.
+ *
+ * @param add_pattern 24-byte additive pattern (8-byte aligned)
+ * @param sub_pattern 24-byte subtractive pattern (8-byte aligned)
+ * @param n           byte count; must be a multiple of 24
+ */
+void imageColorShiftU8Mmx(Cpu &cpu, const uint8_t *src, uint8_t *dst, int n,
+                          const uint8_t *add_pattern,
+                          const uint8_t *sub_pattern);
+
+} // namespace mmxdsp::nsp
+
+#endif // MMXDSP_NSP_IMAGE_HH

@@ -1,0 +1,51 @@
+#include "internal.hh"
+
+#include "support/logging.hh"
+
+namespace mmxdsp::nsp::detail {
+
+using runtime::CallGuard;
+using runtime::M64;
+using runtime::R32;
+
+void
+libCheckArgs(Cpu &cpu, const void *ptr, int n)
+{
+    CallGuard call(cpu, "nspCheckArgs", 2, 0);
+    if (ptr == nullptr || n < 0)
+        mmxdsp_fatal("NSP library called with bad arguments");
+    // test ptr, ptr ; jz -> error path (never taken here)
+    R32 p = cpu.imm32(1);
+    cpu.test(p, p);
+    cpu.jcc(false);
+    // cmp n, 0 ; jl -> error path
+    R32 len = cpu.imm32(n);
+    cpu.cmpImm(len, 0);
+    cpu.jcc(false);
+    // cmp n, MAX ; jg -> error path
+    cpu.cmpImm(len, 1 << 24);
+    cpu.jcc(false);
+}
+
+void
+libCopy16(Cpu &cpu, const int16_t *src, int16_t *dst, int n)
+{
+    CallGuard call(cpu, "nspsbCopy_16s", 3, 1);
+    const int groups = n / 4;
+    if (groups > 0) {
+        R32 count = cpu.imm32(groups);
+        for (int k = 0; k < groups; ++k) {
+            M64 v = cpu.movqLoad(src + 4 * k);
+            cpu.movqStore(dst + 4 * k, v);
+            count = cpu.subImm(count, 1);
+            cpu.jcc(k + 1 < groups);
+        }
+    }
+    for (int k = groups * 4; k < n; ++k) {
+        R32 v = cpu.load16s(src + k);
+        cpu.store16(dst + k, v);
+        cpu.jcc(k + 1 < n);
+    }
+}
+
+} // namespace mmxdsp::nsp::detail

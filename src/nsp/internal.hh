@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Internal NSP library primitives.
+ *
+ * The paper observes that the libraries performed "hierarchical
+ * function calling": each public entry point invoked internal helpers
+ * for argument validation and buffer movement, producing function calls
+ * "unseen to the user because they are called within the libraries
+ * themselves" (radar made 27x more calls than its C version this way),
+ * and its conclusions explicitly recommend "refraining from
+ * hierarchical function calling". These are those internal helpers.
+ */
+
+#ifndef MMXDSP_NSP_INTERNAL_HH
+#define MMXDSP_NSP_INTERNAL_HH
+
+#include <cstdint>
+
+#include "runtime/cpu.hh"
+
+namespace mmxdsp::nsp::detail {
+
+using runtime::Cpu;
+
+/**
+ * Argument validation every public MMX entry point runs: null checks
+ * and a range check on the element count.
+ */
+void libCheckArgs(Cpu &cpu, const void *ptr, int n);
+
+/** Internal 16-bit buffer copy primitive (nspsbCopy_16s analogue). */
+void libCopy16(Cpu &cpu, const int16_t *src, int16_t *dst, int n);
+
+} // namespace mmxdsp::nsp::detail
+
+#endif // MMXDSP_NSP_INTERNAL_HH

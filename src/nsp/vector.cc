@@ -1,0 +1,312 @@
+#include "vector.hh"
+
+#include "nsp/internal.hh"
+
+#include "support/fixed_point.hh"
+
+namespace mmxdsp::nsp {
+
+using runtime::CallGuard;
+using runtime::M64;
+
+R32
+dotProdMmx(Cpu &cpu, const int16_t *a, const int16_t *b, int n)
+{
+    CallGuard guard(cpu, "nspsDotProdMmx", 3);
+    detail::libCheckArgs(cpu, a, n);
+
+    // Two accumulators, unrolled 2x: the hand-scheduled inner loop
+    // that keeps the single MMX multiplier saturated.
+    M64 acc = cpu.mmxZero();
+    M64 acc2 = cpu.mmxZero();
+    const int n8 = n / 8;
+    const int n4 = n / 4;
+    if (n8 > 0) {
+        R32 count = cpu.imm32(n8);
+        for (int k = 0; k < n8; ++k) {
+            M64 va = cpu.movqLoad(a + 8 * k);
+            acc = cpu.paddd(acc, cpu.pmaddwdLoad(va, b + 8 * k));
+            M64 vb = cpu.movqLoad(a + 8 * k + 4);
+            acc2 = cpu.paddd(acc2, cpu.pmaddwdLoad(vb, b + 8 * k + 4));
+            count = cpu.subImm(count, 1);
+            cpu.jcc(k + 1 < n8);
+        }
+    }
+    for (int k = n8 * 2; k < n4; ++k) {
+        M64 va = cpu.movqLoad(a + 4 * k);
+        acc = cpu.paddd(acc, cpu.pmaddwdLoad(va, b + 4 * k));
+        cpu.jcc(k + 1 < n4);
+    }
+    acc = cpu.paddd(acc, acc2);
+
+    // Horizontal sum of the two dword lanes.
+    M64 hi = cpu.movq(acc);
+    hi = cpu.psrlq(hi, 32);
+    acc = cpu.paddd(acc, hi);
+    R32 result = cpu.movdToR32(acc);
+
+    // Scalar tail for n % 4 leftovers.
+    for (int k = n4 * 4; k < n; ++k) {
+        R32 x = cpu.load16s(a + k);
+        x = cpu.imulLoad16(x, b + k);
+        result = cpu.add(result, x);
+        cpu.jcc(k + 1 < n);
+    }
+
+    cpu.emms();
+    return result;
+}
+
+namespace {
+
+/** Shared driver for the element-wise saturating add/sub MMX loops. */
+template <typename MmxOp, typename ScalarOp>
+void
+elementwiseMmx(Cpu &cpu, const int16_t *a, const int16_t *b, int16_t *dst,
+               int n, MmxOp mmx_op, ScalarOp scalar_op)
+{
+    const int n4 = n / 4;
+    if (n4 > 0) {
+        R32 count = cpu.imm32(n4);
+        for (int k = 0; k < n4; ++k) {
+            M64 va = cpu.movqLoad(a + 4 * k);
+            M64 vb = cpu.movqLoad(b + 4 * k);
+            M64 r = mmx_op(va, vb);
+            cpu.movqStore(dst + 4 * k, r);
+            count = cpu.subImm(count, 1);
+            cpu.jcc(k + 1 < n4);
+        }
+    }
+    for (int k = n4 * 4; k < n; ++k) {
+        R32 x = cpu.load16s(a + k);
+        R32 y = cpu.load16s(b + k);
+        R32 s = scalar_op(x, y);
+        // Saturation check the scalar way: two compare-and-branch pairs
+        // that almost never take the clamp path.
+        cpu.cmpImm(s, 32767);
+        cpu.jcc(s.v > 32767);
+        cpu.cmpImm(s, -32768);
+        cpu.jcc(s.v < -32768);
+        R32 sat{saturate16(s.v), s.tag};
+        cpu.store16(dst + k, sat);
+        cpu.jcc(k + 1 < n);
+    }
+    cpu.emms();
+}
+
+} // namespace
+
+void
+vectorAddMmx(Cpu &cpu, const int16_t *a, const int16_t *b, int16_t *dst,
+             int n)
+{
+    CallGuard guard(cpu, "nspsVectorAddMmx", 4);
+    detail::libCheckArgs(cpu, a, n);
+    elementwiseMmx(
+        cpu, a, b, dst, n,
+        [&](M64 x, M64 y) { return cpu.paddsw(x, y); },
+        [&](R32 x, R32 y) { return cpu.add(x, y); });
+}
+
+void
+vectorSubMmx(Cpu &cpu, const int16_t *a, const int16_t *b, int16_t *dst,
+             int n)
+{
+    CallGuard guard(cpu, "nspsVectorSubMmx", 4);
+    detail::libCheckArgs(cpu, a, n);
+    elementwiseMmx(
+        cpu, a, b, dst, n,
+        [&](M64 x, M64 y) { return cpu.psubsw(x, y); },
+        [&](R32 x, R32 y) { return cpu.sub(x, y); });
+}
+
+namespace {
+
+/**
+ * The Q15 product of two packed-word registers: recombine pmulhw/pmullw
+ * halves into (a*b) >> 15. The recombination is the "interleaving of
+ * high and low words" overhead the paper complains about.
+ */
+M64
+mulQ15(Cpu &cpu, M64 va, M64 vb)
+{
+    M64 hi = cpu.pmulhw(va, vb);
+    M64 lo = cpu.pmullw(cpu.movq(va), vb);
+    hi = cpu.psllw(hi, 1);
+    lo = cpu.psrlw(lo, 15);
+    return cpu.por(hi, lo);
+}
+
+} // namespace
+
+void
+vectorMulQ15Mmx(Cpu &cpu, const int16_t *a, const int16_t *b, int16_t *dst,
+                int n)
+{
+    CallGuard guard(cpu, "nspsVectorMulQ15Mmx", 4);
+    detail::libCheckArgs(cpu, a, n);
+    const int n4 = n / 4;
+    if (n4 > 0) {
+        R32 count = cpu.imm32(n4);
+        for (int k = 0; k < n4; ++k) {
+            M64 va = cpu.movqLoad(a + 4 * k);
+            M64 vb = cpu.movqLoad(b + 4 * k);
+            cpu.movqStore(dst + 4 * k, mulQ15(cpu, va, vb));
+            count = cpu.subImm(count, 1);
+            cpu.jcc(k + 1 < n4);
+        }
+    }
+    for (int k = n4 * 4; k < n; ++k) {
+        R32 x = cpu.load16s(a + k);
+        x = cpu.imulLoad16(x, b + k);
+        x = cpu.sar(x, 15);
+        cpu.store16(dst + k, x);
+        cpu.jcc(k + 1 < n);
+    }
+    cpu.emms();
+}
+
+void
+vectorScaleQ15Mmx(Cpu &cpu, const int16_t *a, int16_t scale, int16_t *dst,
+                  int n)
+{
+    CallGuard guard(cpu, "nspsVectorScaleQ15Mmx", 4);
+    detail::libCheckArgs(cpu, a, n);
+
+    // Splat the scale through memory (the library builds a 4-lane
+    // constant on the stack and movq-loads it).
+    alignas(8) int16_t splat[4] = {scale, scale, scale, scale};
+    R32 s = cpu.imm32(scale);
+    cpu.store16(&splat[0], s);
+    cpu.store16(&splat[1], s);
+    cpu.store16(&splat[2], s);
+    cpu.store16(&splat[3], s);
+    M64 vs = cpu.movqLoad(splat);
+
+    const int n4 = n / 4;
+    if (n4 > 0) {
+        R32 count = cpu.imm32(n4);
+        for (int k = 0; k < n4; ++k) {
+            M64 va = cpu.movqLoad(a + 4 * k);
+            cpu.movqStore(dst + 4 * k, mulQ15(cpu, va, cpu.movq(vs)));
+            count = cpu.subImm(count, 1);
+            cpu.jcc(k + 1 < n4);
+        }
+    }
+    for (int k = n4 * 4; k < n; ++k) {
+        R32 x = cpu.load16s(a + k);
+        x = cpu.imulImm(x, scale);
+        x = cpu.sar(x, 15);
+        cpu.store16(dst + k, x);
+        cpu.jcc(k + 1 < n);
+    }
+    cpu.emms();
+}
+
+F64
+dotProdFp(Cpu &cpu, const float *a, const float *b, int n)
+{
+    CallGuard guard(cpu, "nspsDotProdFp", 3);
+
+    // Four independent accumulators hide the 3-cycle fadd latency —
+    // this is what "hand-optimized" buys over compiled C.
+    F64 acc0 = cpu.fldz();
+    F64 acc1 = cpu.fldz();
+    F64 acc2 = cpu.fldz();
+    F64 acc3 = cpu.fldz();
+
+    const int n4 = n / 4;
+    if (n4 > 0) {
+        R32 count = cpu.imm32(n4);
+        for (int k = 0; k < n4; ++k) {
+            F64 x0 = cpu.fld32(a + 4 * k);
+            x0 = cpu.fmulLoad32(x0, b + 4 * k);
+            acc0 = cpu.fadd(acc0, x0);
+            F64 x1 = cpu.fld32(a + 4 * k + 1);
+            x1 = cpu.fmulLoad32(x1, b + 4 * k + 1);
+            acc1 = cpu.fadd(acc1, x1);
+            F64 x2 = cpu.fld32(a + 4 * k + 2);
+            x2 = cpu.fmulLoad32(x2, b + 4 * k + 2);
+            acc2 = cpu.fadd(acc2, x2);
+            F64 x3 = cpu.fld32(a + 4 * k + 3);
+            x3 = cpu.fmulLoad32(x3, b + 4 * k + 3);
+            acc3 = cpu.fadd(acc3, x3);
+            count = cpu.subImm(count, 1);
+            cpu.jcc(k + 1 < n4);
+        }
+    }
+
+    acc0 = cpu.fadd(acc0, acc1);
+    acc2 = cpu.fadd(acc2, acc3);
+    acc0 = cpu.fadd(acc0, acc2);
+
+    for (int k = n4 * 4; k < n; ++k) {
+        F64 x = cpu.fld32(a + k);
+        x = cpu.fmulLoad32(x, b + k);
+        acc0 = cpu.fadd(acc0, x);
+        cpu.jcc(k + 1 < n);
+    }
+    return acc0;
+}
+
+namespace {
+
+/** Shared driver for the element-wise floating-point loops. */
+template <typename FpOp>
+void
+elementwiseFp(Cpu &cpu, const float *a, const float *b, float *dst, int n,
+              FpOp fp_op)
+{
+    const int n2 = n / 2;
+    if (n2 > 0) {
+        R32 count = cpu.imm32(n2);
+        for (int k = 0; k < n2; ++k) {
+            F64 x0 = cpu.fld32(a + 2 * k);
+            x0 = fp_op(x0, b + 2 * k);
+            F64 x1 = cpu.fld32(a + 2 * k + 1);
+            x1 = fp_op(x1, b + 2 * k + 1);
+            cpu.fstp32(dst + 2 * k, x0);
+            cpu.fstp32(dst + 2 * k + 1, x1);
+            count = cpu.subImm(count, 1);
+            cpu.jcc(k + 1 < n2);
+        }
+    }
+    for (int k = n2 * 2; k < n; ++k) {
+        F64 x = cpu.fld32(a + k);
+        x = fp_op(x, b + k);
+        cpu.fstp32(dst + k, x);
+        cpu.jcc(k + 1 < n);
+    }
+}
+
+} // namespace
+
+void
+vectorAddFp(Cpu &cpu, const float *a, const float *b, float *dst, int n)
+{
+    CallGuard guard(cpu, "nspsVectorAddFp", 4);
+    elementwiseFp(cpu, a, b, dst, n, [&](F64 x, const float *p) {
+        return cpu.faddLoad32(x, p);
+    });
+}
+
+void
+vectorSubFp(Cpu &cpu, const float *a, const float *b, float *dst, int n)
+{
+    CallGuard guard(cpu, "nspsVectorSubFp", 4);
+    elementwiseFp(cpu, a, b, dst, n, [&](F64 x, const float *p) {
+        F64 neg = cpu.fld32(p);
+        return cpu.fsub(x, neg);
+    });
+}
+
+void
+vectorMulFp(Cpu &cpu, const float *a, const float *b, float *dst, int n)
+{
+    CallGuard guard(cpu, "nspsVectorMulFp", 4);
+    elementwiseFp(cpu, a, b, dst, n, [&](F64 x, const float *p) {
+        return cpu.fmulLoad32(x, p);
+    });
+}
+
+} // namespace mmxdsp::nsp

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Vector-arithmetic routines of the NSP library.
+ *
+ * This module stands in for the vector functions of Intel's Signal
+ * Processing Library 4.0 the paper benchmarked against: hand-optimized
+ * assembly routines behind C-callable entry points. Each function models
+ * the full call: argument pushes, call/ret linkage, a hand-scheduled
+ * inner loop, and (for MMX routines) the trailing `emms`.
+ *
+ * MMX routines operate on 16-bit fixed point (the library provided no
+ * 32-bit integer forms — a limitation the paper discusses); the
+ * floating-point routines are the "hand-optimized floating-point
+ * library" (.fp) comparison points.
+ */
+
+#ifndef MMXDSP_NSP_VECTOR_HH
+#define MMXDSP_NSP_VECTOR_HH
+
+#include <cstdint>
+
+#include "runtime/cpu.hh"
+
+namespace mmxdsp::nsp {
+
+using runtime::Cpu;
+using runtime::F64;
+using runtime::R32;
+
+/**
+ * MMX dot product of two 16-bit vectors (pmaddwd kernel).
+ *
+ * @return the 32-bit accumulated sum (wraparound on overflow, as the
+ *         hardware accumulator behaves).
+ */
+R32 dotProdMmx(Cpu &cpu, const int16_t *a, const int16_t *b, int n);
+
+/** MMX element-wise saturating add: dst = a +sat b (16-bit lanes). */
+void vectorAddMmx(Cpu &cpu, const int16_t *a, const int16_t *b, int16_t *dst,
+                  int n);
+
+/** MMX element-wise saturating subtract: dst = a -sat b. */
+void vectorSubMmx(Cpu &cpu, const int16_t *a, const int16_t *b, int16_t *dst,
+                  int n);
+
+/**
+ * MMX element-wise Q15 multiply: dst = (a * b) >> 15.
+ *
+ * Uses the pmulhw/pmullw high/low split; the paper calls the interleaving
+ * of high and low words "a significant problem" — visible here as the
+ * extra instructions spent recombining halves.
+ */
+void vectorMulQ15Mmx(Cpu &cpu, const int16_t *a, const int16_t *b,
+                     int16_t *dst, int n);
+
+/** MMX scale by a Q15 constant: dst = (a * scale) >> 15. */
+void vectorScaleQ15Mmx(Cpu &cpu, const int16_t *a, int16_t scale,
+                       int16_t *dst, int n);
+
+/**
+ * Hand-optimized floating-point dot product (4x unrolled x87 code),
+ * the .fp-library comparison point.
+ */
+F64 dotProdFp(Cpu &cpu, const float *a, const float *b, int n);
+
+/** Hand-optimized floating-point vector add. */
+void vectorAddFp(Cpu &cpu, const float *a, const float *b, float *dst,
+                 int n);
+
+/** Hand-optimized floating-point vector subtract. */
+void vectorSubFp(Cpu &cpu, const float *a, const float *b, float *dst,
+                 int n);
+
+/** Hand-optimized floating-point element-wise multiply. */
+void vectorMulFp(Cpu &cpu, const float *a, const float *b, float *dst,
+                 int n);
+
+} // namespace mmxdsp::nsp
+
+#endif // MMXDSP_NSP_VECTOR_HH

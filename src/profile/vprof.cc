@@ -1,0 +1,271 @@
+#include "vprof.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "runtime/cpu.hh"
+#include "sim/uop.hh"
+#include "support/table.hh"
+
+namespace mmxdsp::profile {
+
+using isa::InstrEvent;
+using isa::MemMode;
+using isa::Op;
+
+namespace {
+
+const char *kRootName = "<measured-root>";
+
+} // namespace
+
+double
+ProfileResult::pctMemoryReferences() const
+{
+    return dynamicInstructions
+               ? static_cast<double>(memoryReferences)
+                     / static_cast<double>(dynamicInstructions)
+               : 0.0;
+}
+
+double
+ProfileResult::pctMmx() const
+{
+    return dynamicInstructions
+               ? static_cast<double>(mmxInstructions)
+                     / static_cast<double>(dynamicInstructions)
+               : 0.0;
+}
+
+double
+ProfileResult::pctMmxOfCategory(isa::MmxCategory cat) const
+{
+    return dynamicInstructions
+               ? static_cast<double>(
+                     mmxByCategory[static_cast<size_t>(cat)])
+                     / static_cast<double>(dynamicInstructions)
+               : 0.0;
+}
+
+double
+ProfileResult::pctCallRetCycles() const
+{
+    return cycles ? static_cast<double>(callRetCycles)
+                        / static_cast<double>(cycles)
+                  : 0.0;
+}
+
+double
+ProfileResult::instructionsPerCycle() const
+{
+    return cycles ? static_cast<double>(dynamicInstructions)
+                        / static_cast<double>(cycles)
+                  : 0.0;
+}
+
+VProf::VProf(const sim::TimerConfig &config)
+    : timer_(config)
+{
+}
+
+void
+VProf::reset()
+{
+    timer_.reset();
+    dynamicInstructions_ = 0;
+    uops_ = 0;
+    memoryReferences_ = 0;
+    functionCalls_ = 0;
+    callRetCycles_ = 0;
+    callOverheadCycles_ = 0;
+    opCounts_.fill(0);
+    opCycles_.fill(0);
+    mmxByCategory_.fill(0);
+    staticSites_.clear();
+    sites_.clear();
+    functionStack_.clear();
+    functions_.clear();
+}
+
+void
+VProf::onInstr(const InstrEvent &event)
+{
+    const isa::OpInfo &info = isa::opInfo(event.op);
+    const uint64_t cost = timer_.consume(event);
+
+    ++dynamicInstructions_;
+    uops_ += sim::uopCount(event);
+    if (event.mem != MemMode::None)
+        ++memoryReferences_;
+
+    const size_t op_idx = static_cast<size_t>(event.op);
+    ++opCounts_[op_idx];
+    opCycles_[op_idx] += cost;
+
+    if (info.mmx != isa::MmxCategory::None)
+        ++mmxByCategory_[static_cast<size_t>(info.mmx)];
+
+    staticSites_.insert(event.site);
+    SiteStats &site = sites_[event.site];
+    ++site.instructions;
+    site.cycles += cost;
+
+    const std::string &fn =
+        functionStack_.empty() ? kRootName : functionStack_.back();
+    FunctionStats &fstats = functions_[fn];
+    ++fstats.instructions;
+    fstats.cycles += cost;
+
+    switch (event.op) {
+      case Op::Call:
+        ++functionCalls_;
+        callRetCycles_ += cost;
+        callOverheadCycles_ += cost;
+        break;
+      case Op::Ret:
+        callRetCycles_ += cost;
+        callOverheadCycles_ += cost;
+        break;
+      case Op::Push:
+      case Op::Pop:
+        // All push/pop traffic in this runtime is call-linkage overhead
+        // (argument passing, saved registers, frame pointers).
+        callOverheadCycles_ += cost;
+        break;
+      default:
+        break;
+    }
+}
+
+void
+VProf::onEnterFunction(const char *name)
+{
+    functionStack_.emplace_back(name);
+    ++functions_[functionStack_.back()].calls;
+}
+
+void
+VProf::onLeaveFunction()
+{
+    if (!functionStack_.empty())
+        functionStack_.pop_back();
+}
+
+ProfileResult
+VProf::result() const
+{
+    ProfileResult r;
+    r.dynamicInstructions = dynamicInstructions_;
+    r.staticInstructions = staticSites_.size();
+    r.uops = uops_;
+    r.cycles = timer_.cycles();
+    r.memoryReferences = memoryReferences_;
+    for (size_t c = 1; c < mmxByCategory_.size(); ++c)
+        r.mmxInstructions += mmxByCategory_[c];
+    r.mmxByCategory = mmxByCategory_;
+    r.functionCalls = functionCalls_;
+    r.callRetCycles = callRetCycles_;
+    r.callOverheadCycles = callOverheadCycles_;
+    r.opCounts = opCounts_;
+    r.functions = functions_;
+    r.timer = timer_.stats();
+    r.l1 = timer_.memory().l1().stats();
+    r.l2 = timer_.memory().l2().stats();
+    r.btb = timer_.btb().stats();
+    return r;
+}
+
+void
+VProf::printReport(const runtime::Cpu &cpu, size_t top_sites) const
+{
+    ProfileResult r = result();
+
+    std::printf("=== VProf report ===\n");
+    std::printf("cycles               %llu\n",
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("dynamic instructions %llu  (IPC %.2f)\n",
+                static_cast<unsigned long long>(r.dynamicInstructions),
+                r.instructionsPerCycle());
+    std::printf("static instructions  %llu\n",
+                static_cast<unsigned long long>(r.staticInstructions));
+    std::printf("dynamic micro-ops    %llu\n",
+                static_cast<unsigned long long>(r.uops));
+    std::printf("memory references    %llu  (%.2f%%)\n",
+                static_cast<unsigned long long>(r.memoryReferences),
+                100.0 * r.pctMemoryReferences());
+    std::printf("MMX instructions     %llu  (%.2f%%)\n",
+                static_cast<unsigned long long>(r.mmxInstructions),
+                100.0 * r.pctMmx());
+    std::printf("function calls       %llu  (call/ret %.2f%% of cycles)\n",
+                static_cast<unsigned long long>(r.functionCalls),
+                100.0 * r.pctCallRetCycles());
+    std::printf("L1D miss rate        %.3f%%   L2 miss rate %.3f%%\n",
+                100.0 * r.l1.missRate(), 100.0 * r.l2.missRate());
+    std::printf("branch mispredicts   %llu of %llu (%.2f%%)\n",
+                static_cast<unsigned long long>(r.btb.mispredicts),
+                static_cast<unsigned long long>(r.btb.branches),
+                100.0 * r.btb.mispredictRate());
+
+    // Instruction mix, most frequent first.
+    std::vector<size_t> order;
+    for (size_t i = 0; i < isa::kNumOps; ++i) {
+        if (opCounts_[i])
+            order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return opCounts_[a] > opCounts_[b];
+    });
+    Table mix({"op", "count", "% dyn", "cycles"});
+    for (size_t i : order) {
+        mix.addRow({isa::opName(static_cast<Op>(i)),
+                    Table::fmtCount(static_cast<int64_t>(opCounts_[i])),
+                    Table::fmtPercent(static_cast<double>(opCounts_[i])
+                                      / static_cast<double>(
+                                            r.dynamicInstructions)),
+                    Table::fmtCount(static_cast<int64_t>(opCycles_[i]))});
+    }
+    std::printf("\n-- instruction mix --\n");
+    mix.print();
+
+    if (!functions_.empty()) {
+        Table fns({"function", "calls", "instructions", "cycles",
+                   "% cycles"});
+        for (const auto &[name, st] : functions_) {
+            fns.addRow({name, Table::fmtCount(static_cast<int64_t>(st.calls)),
+                        Table::fmtCount(
+                            static_cast<int64_t>(st.instructions)),
+                        Table::fmtCount(static_cast<int64_t>(st.cycles)),
+                        Table::fmtPercent(
+                            r.cycles ? static_cast<double>(st.cycles)
+                                           / static_cast<double>(r.cycles)
+                                     : 0.0)});
+        }
+        std::printf("\n-- function breakdown --\n");
+        fns.print();
+    }
+
+    // Hottest static sites.
+    std::vector<std::pair<uint32_t, SiteStats>> hot(sites_.begin(),
+                                                    sites_.end());
+    std::sort(hot.begin(), hot.end(), [](const auto &a, const auto &b) {
+        return a.second.cycles > b.second.cycles;
+    });
+    if (hot.size() > top_sites)
+        hot.resize(top_sites);
+    Table sites({"site", "instructions", "cycles"});
+    for (const auto &[id, st] : hot) {
+        const runtime::SiteInfo &info = cpu.siteInfo(id);
+        const char *file = info.file;
+        if (const char *slash = strrchr(file, '/'))
+            file = slash + 1;
+        char buf[256];
+        std::snprintf(buf, sizeof(buf), "%s:%u", file, info.line);
+        sites.addRow({buf,
+                      Table::fmtCount(static_cast<int64_t>(st.instructions)),
+                      Table::fmtCount(static_cast<int64_t>(st.cycles))});
+    }
+    std::printf("\n-- hottest static sites --\n");
+    sites.print();
+}
+
+} // namespace mmxdsp::profile

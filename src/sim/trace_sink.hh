@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Consumer interface for the instruction-event stream.
+ *
+ * The runtime (runtime/cpu.hh) produces InstrEvents; anything that wants
+ * to observe them — the profiler, the timing model, a raw trace dumper —
+ * implements TraceSink. The profiler owns a PentiumTimer internally, so
+ * most programs attach a single sink.
+ */
+
+#ifndef MMXDSP_SIM_TRACE_SINK_HH
+#define MMXDSP_SIM_TRACE_SINK_HH
+
+#include "isa/event.hh"
+
+namespace mmxdsp::sim {
+
+/** Receives one callback per executed instruction. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Called in program order for every executed instruction. */
+    virtual void onInstr(const isa::InstrEvent &event) = 0;
+
+    /** Called when the runtime enters a named function (after `call`). */
+    virtual void onEnterFunction(const char *name) { (void)name; }
+
+    /** Called when the runtime leaves a function (after `ret`). */
+    virtual void onLeaveFunction() {}
+};
+
+} // namespace mmxdsp::sim
+
+#endif // MMXDSP_SIM_TRACE_SINK_HH

@@ -1,0 +1,69 @@
+#include "uop.hh"
+
+#include "isa/op.hh"
+
+namespace mmxdsp::sim {
+
+namespace {
+
+using isa::MemMode;
+using isa::Op;
+
+/** Ops whose memory-source form is a single load micro-op. */
+bool
+isPureLoad(Op op)
+{
+    switch (op) {
+      case Op::Mov:
+      case Op::Movzx:
+      case Op::Movsx:
+      case Op::Fld:
+      case Op::Fild:
+      case Op::Movd:
+      case Op::Movq:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Ops whose memory-destination form is exactly store-address+data. */
+bool
+isPureStore(Op op)
+{
+    switch (op) {
+      case Op::Mov:
+      case Op::Fst:
+      case Op::Fstp:
+      case Op::Fistp:
+      case Op::Movd:
+      case Op::Movq:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+uint32_t
+uopCount(const isa::InstrEvent &event)
+{
+    const isa::OpInfo &info = isa::opInfo(event.op);
+
+    switch (event.mem) {
+      case MemMode::None:
+        return info.uops;
+      case MemMode::Load:
+        return isPureLoad(event.op) ? 1u : info.uops + 1u;
+      case MemMode::Store:
+        if (event.op == Op::Push)
+            return 3; // store-address, store-data, ESP update
+        if (isPureStore(event.op))
+            return 2;
+        return info.uops + 2u;
+    }
+    return info.uops;
+}
+
+} // namespace mmxdsp::sim

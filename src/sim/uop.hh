@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Pentium II micro-op decode model.
+ *
+ * The P6 front end decodes each x86 instruction into one or more
+ * micro-ops. The paper reports dynamic micro-op counts for the Pentium II
+ * alongside Pentium cycle counts; this model reproduces that column of
+ * Table 2 from the event stream.
+ */
+
+#ifndef MMXDSP_SIM_UOP_HH
+#define MMXDSP_SIM_UOP_HH
+
+#include <cstdint>
+
+#include "isa/event.hh"
+
+namespace mmxdsp::sim {
+
+/**
+ * Micro-ops the Pentium II decoder produces for one executed instruction.
+ *
+ * Decode rules:
+ *  - pure loads (mov/movzx/movsx/fld/fild/movd/movq from memory) are a
+ *    single load micro-op;
+ *  - other instructions with a memory source add one load micro-op;
+ *  - stores split into store-address + store-data (2 micro-ops); push
+ *    additionally carries the ESP update;
+ *  - reg-reg forms use the per-op table value (isa::OpInfo::uops).
+ */
+uint32_t uopCount(const isa::InstrEvent &event);
+
+} // namespace mmxdsp::sim
+
+#endif // MMXDSP_SIM_UOP_HH

@@ -1,0 +1,86 @@
+#include "rng.hh"
+
+namespace mmxdsp {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t v, int k)
+{
+    return (v << k) | (v >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : state_)
+        s = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+uint32_t
+Rng::nextBelow(uint32_t bound)
+{
+    if (bound == 0)
+        return 0;
+    // Lemire's multiply-shift mapping; bias is negligible for our uses.
+    return static_cast<uint32_t>(
+        (static_cast<uint64_t>(static_cast<uint32_t>(next())) * bound) >> 32);
+}
+
+int
+Rng::nextInRange(int lo, int hi)
+{
+    return lo + static_cast<int>(nextBelow(static_cast<uint32_t>(hi - lo + 1)));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextDouble(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+double
+Rng::nextGaussian()
+{
+    // Irwin-Hall with 12 uniforms: mean 6, variance 1.
+    double acc = 0.0;
+    for (int i = 0; i < 12; ++i)
+        acc += nextDouble();
+    return acc - 6.0;
+}
+
+} // namespace mmxdsp

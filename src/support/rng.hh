@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * All synthetic workloads (images, speech, radar echoes) must be
+ * reproducible across runs and platforms, so we use a fixed xoshiro256**
+ * generator seeded through splitmix64 instead of std::mt19937 (whose
+ * distributions are not guaranteed identical across standard libraries).
+ */
+
+#ifndef MMXDSP_SUPPORT_RNG_HH
+#define MMXDSP_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+namespace mmxdsp {
+
+/**
+ * Small, fast, reproducible PRNG (xoshiro256**).
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 so that nearby seeds give unrelated streams. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound) using rejection-free Lemire mapping. */
+    uint32_t nextBelow(uint32_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int nextInRange(int lo, int hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform double in [lo, hi). */
+    double nextDouble(double lo, double hi);
+
+    /** Approximately standard-normal deviate (sum of uniforms, CLT). */
+    double nextGaussian();
+
+  private:
+    uint64_t state_[4];
+};
+
+} // namespace mmxdsp
+
+#endif // MMXDSP_SUPPORT_RNG_HH

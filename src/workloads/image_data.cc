@@ -1,0 +1,213 @@
+#include "image_data.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "support/fixed_point.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "support/signal_math.hh"
+
+namespace mmxdsp::workloads {
+
+Image
+makeTestImage(int width, int height, uint64_t seed)
+{
+    Image img;
+    img.width = width;
+    img.height = height;
+    img.rgb.resize(static_cast<size_t>(width) * height * 3);
+
+    Rng rng(seed);
+
+    // Base gradients.
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            img.at(x, y, 0) =
+                static_cast<uint8_t>(40 + (x * 160) / std::max(width, 1));
+            img.at(x, y, 1) =
+                static_cast<uint8_t>(30 + (y * 180) / std::max(height, 1));
+            img.at(x, y, 2) = static_cast<uint8_t>(
+                60 + ((x + y) * 120) / std::max(width + height, 1));
+        }
+    }
+
+    // A few filled disks (smooth objects with hard edges).
+    for (int d = 0; d < 5; ++d) {
+        int cx = rng.nextInRange(0, width - 1);
+        int cy = rng.nextInRange(0, height - 1);
+        int r = rng.nextInRange(width / 16 + 1, width / 6 + 2);
+        uint8_t color[3] = {static_cast<uint8_t>(rng.nextBelow(256)),
+                            static_cast<uint8_t>(rng.nextBelow(256)),
+                            static_cast<uint8_t>(rng.nextBelow(256))};
+        for (int y = std::max(0, cy - r); y < std::min(height, cy + r); ++y) {
+            for (int x = std::max(0, cx - r); x < std::min(width, cx + r);
+                 ++x) {
+                int dx = x - cx;
+                int dy = y - cy;
+                if (dx * dx + dy * dy <= r * r) {
+                    for (int c = 0; c < 3; ++c)
+                        img.at(x, y, c) = color[c];
+                }
+            }
+        }
+    }
+
+    // Rectangles.
+    for (int d = 0; d < 3; ++d) {
+        int x0 = rng.nextInRange(0, width - 2);
+        int y0 = rng.nextInRange(0, height - 2);
+        int x1 = std::min(width - 1, x0 + rng.nextInRange(8, width / 4 + 8));
+        int y1 =
+            std::min(height - 1, y0 + rng.nextInRange(8, height / 4 + 8));
+        uint8_t color[3] = {static_cast<uint8_t>(rng.nextBelow(256)),
+                            static_cast<uint8_t>(rng.nextBelow(256)),
+                            static_cast<uint8_t>(rng.nextBelow(256))};
+        for (int y = y0; y <= y1; ++y) {
+            for (int x = x0; x <= x1; ++x) {
+                for (int c = 0; c < 3; ++c)
+                    img.at(x, y, c) = color[c];
+            }
+        }
+    }
+
+    // Mild sensor noise.
+    for (auto &b : img.rgb) {
+        int v = b + rng.nextInRange(-6, 6);
+        b = saturateU8(v);
+    }
+    return img;
+}
+
+namespace {
+
+void
+put16(std::vector<uint8_t> &buf, uint16_t v)
+{
+    buf.push_back(static_cast<uint8_t>(v));
+    buf.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void
+put32(std::vector<uint8_t> &buf, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint32_t
+get32(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8)
+           | (static_cast<uint32_t>(p[2]) << 16)
+           | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+} // namespace
+
+void
+writeBmp(const std::string &path, const Image &image)
+{
+    const int w = image.width;
+    const int h = image.height;
+    const uint32_t row_bytes = (static_cast<uint32_t>(w) * 3 + 3) & ~3u;
+    const uint32_t data_bytes = row_bytes * static_cast<uint32_t>(h);
+    const uint32_t offset = 14 + 40;
+
+    std::vector<uint8_t> buf;
+    buf.reserve(offset + data_bytes);
+    // BITMAPFILEHEADER
+    buf.push_back('B');
+    buf.push_back('M');
+    put32(buf, offset + data_bytes);
+    put32(buf, 0);
+    put32(buf, offset);
+    // BITMAPINFOHEADER
+    put32(buf, 40);
+    put32(buf, static_cast<uint32_t>(w));
+    put32(buf, static_cast<uint32_t>(h));
+    put16(buf, 1);
+    put16(buf, 24);
+    put32(buf, 0); // BI_RGB
+    put32(buf, data_bytes);
+    put32(buf, 2835);
+    put32(buf, 2835);
+    put32(buf, 0);
+    put32(buf, 0);
+
+    // Pixel data: bottom-up rows, BGR order, padded to 4 bytes.
+    for (int y = h - 1; y >= 0; --y) {
+        size_t row_start = buf.size();
+        for (int x = 0; x < w; ++x) {
+            buf.push_back(image.at(x, y, 2));
+            buf.push_back(image.at(x, y, 1));
+            buf.push_back(image.at(x, y, 0));
+        }
+        while (buf.size() - row_start < row_bytes)
+            buf.push_back(0);
+    }
+
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        mmxdsp_fatal("cannot open %s for writing", path.c_str());
+    size_t written = std::fwrite(buf.data(), 1, buf.size(), f);
+    std::fclose(f);
+    if (written != buf.size())
+        mmxdsp_fatal("short write to %s", path.c_str());
+}
+
+Image
+readBmp(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        mmxdsp_fatal("cannot open %s for reading", path.c_str());
+    std::vector<uint8_t> buf;
+    uint8_t chunk[4096];
+    size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        buf.insert(buf.end(), chunk, chunk + n);
+    std::fclose(f);
+
+    if (buf.size() < 54 || buf[0] != 'B' || buf[1] != 'M')
+        mmxdsp_fatal("%s is not a BMP file", path.c_str());
+    uint32_t offset = get32(&buf[10]);
+    int w = static_cast<int32_t>(get32(&buf[18]));
+    int h = static_cast<int32_t>(get32(&buf[22]));
+    uint16_t bpp = static_cast<uint16_t>(buf[28] | (buf[29] << 8));
+    if (bpp != 24)
+        mmxdsp_fatal("%s: only 24-bit BMP supported (got %u bpp)",
+                     path.c_str(), bpp);
+
+    Image img;
+    img.width = w;
+    img.height = h;
+    img.rgb.resize(static_cast<size_t>(w) * h * 3);
+    const uint32_t row_bytes = (static_cast<uint32_t>(w) * 3 + 3) & ~3u;
+    for (int y = 0; y < h; ++y) {
+        const uint8_t *row =
+            &buf[offset + static_cast<size_t>(h - 1 - y) * row_bytes];
+        for (int x = 0; x < w; ++x) {
+            img.at(x, y, 2) = row[3 * x + 0];
+            img.at(x, y, 1) = row[3 * x + 1];
+            img.at(x, y, 0) = row[3 * x + 2];
+        }
+    }
+    return img;
+}
+
+double
+imagePsnr(const Image &a, const Image &b)
+{
+    if (a.width != b.width || a.height != b.height)
+        mmxdsp_fatal("imagePsnr: size mismatch");
+    double mse = 0.0;
+    for (size_t i = 0; i < a.rgb.size(); ++i) {
+        double d = static_cast<double>(a.rgb[i]) - b.rgb[i];
+        mse += d * d;
+    }
+    mse /= static_cast<double>(a.rgb.size());
+    return psnrDb(mse);
+}
+
+} // namespace mmxdsp::workloads

@@ -1,0 +1,142 @@
+#include "signal_data.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/fixed_point.hh"
+#include "support/rng.hh"
+
+namespace mmxdsp::workloads {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/** A simple two-pole resonator (formant filter). */
+class Resonator
+{
+  public:
+    Resonator(double freq_hz, double bandwidth_hz, double fs)
+    {
+        double r = std::exp(-kPi * bandwidth_hz / fs);
+        a1_ = -2.0 * r * std::cos(2.0 * kPi * freq_hz / fs);
+        a2_ = r * r;
+        gain_ = 1.0 + a1_ + a2_; // unity DC-ish normalization
+    }
+
+    double
+    step(double x)
+    {
+        double y = gain_ * x - a1_ * y1_ - a2_ * y2_;
+        y2_ = y1_;
+        y1_ = y;
+        return y;
+    }
+
+  private:
+    double a1_, a2_, gain_;
+    double y1_ = 0.0, y2_ = 0.0;
+};
+
+} // namespace
+
+std::vector<int16_t>
+makeSpeech(int samples, uint64_t seed)
+{
+    const double fs = 16000.0;
+    Rng rng(seed);
+    std::vector<double> raw(static_cast<size_t>(samples), 0.0);
+
+    Resonator f1(700.0, 130.0, fs);
+    Resonator f2(1220.0, 170.0, fs);
+    Resonator f3(2600.0, 250.0, fs);
+
+    double pitch = 120.0;
+    double phase = 0.0;
+    const int segment = static_cast<int>(fs * 0.08); // 80 ms segments
+    double peak = 1e-9;
+
+    for (int n = 0; n < samples; ++n) {
+        int seg = n / segment;
+        bool voiced = (seg % 4) != 3; // 3 voiced : 1 unvoiced
+        // Syllabic envelope: raised cosine per segment.
+        double t = static_cast<double>(n % segment) / segment;
+        double env = 0.15 + 0.85 * 0.5 * (1.0 - std::cos(2.0 * kPi * t));
+
+        double excitation;
+        if (voiced) {
+            // Glottal pulse train with slow pitch drift.
+            pitch += rng.nextDouble(-0.02, 0.02);
+            phase += pitch / fs;
+            if (phase >= 1.0) {
+                phase -= 1.0;
+                excitation = 1.0;
+            } else {
+                excitation = -0.02;
+            }
+        } else {
+            excitation = 0.35 * rng.nextGaussian();
+        }
+
+        double s = 0.6 * f1.step(excitation) + 0.3 * f2.step(excitation)
+                   + 0.15 * f3.step(excitation);
+        s *= env;
+        raw[static_cast<size_t>(n)] = s;
+        peak = std::max(peak, std::fabs(s));
+    }
+
+    // Normalize to ~70% full scale.
+    std::vector<int16_t> out(static_cast<size_t>(samples));
+    const double scale = 0.7 * 32767.0 / peak;
+    for (int n = 0; n < samples; ++n)
+        out[static_cast<size_t>(n)] =
+            saturate16(static_cast<int32_t>(raw[static_cast<size_t>(n)]
+                                            * scale));
+    return out;
+}
+
+RadarData
+makeRadarEchoes(const RadarScenario &sc)
+{
+    Rng rng(sc.seed);
+    RadarData data;
+    data.num_ranges = sc.num_ranges;
+    data.num_echoes = sc.num_echoes;
+    const size_t total =
+        static_cast<size_t>(sc.num_ranges) * sc.num_echoes;
+    data.i.resize(total);
+    data.q.resize(total);
+
+    // Stationary clutter: fixed complex reflectivity per range gate.
+    std::vector<double> clutter_i(static_cast<size_t>(sc.num_ranges));
+    std::vector<double> clutter_q(static_cast<size_t>(sc.num_ranges));
+    for (int r = 0; r < sc.num_ranges; ++r) {
+        double amp = sc.clutter_amp * rng.nextDouble(0.5, 1.0);
+        double ph = rng.nextDouble(0.0, 2.0 * kPi);
+        clutter_i[static_cast<size_t>(r)] = amp * std::cos(ph);
+        clutter_q[static_cast<size_t>(r)] = amp * std::sin(ph);
+    }
+    double target_phase0 = rng.nextDouble(0.0, 2.0 * kPi);
+
+    for (int e = 0; e < sc.num_echoes; ++e) {
+        for (int r = 0; r < sc.num_ranges; ++r) {
+            double vi = clutter_i[static_cast<size_t>(r)];
+            double vq = clutter_q[static_cast<size_t>(r)];
+            if (r == sc.target_range) {
+                double ph = target_phase0
+                            + 2.0 * kPi * sc.doppler_norm * e;
+                vi += sc.target_amp * std::cos(ph);
+                vq += sc.target_amp * std::sin(ph);
+            }
+            vi += sc.noise_amp * rng.nextGaussian();
+            vq += sc.noise_amp * rng.nextGaussian();
+            size_t idx = static_cast<size_t>(e) * sc.num_ranges
+                         + static_cast<size_t>(r);
+            data.i[idx] = toQ15(vi * 0.5);
+            data.q[idx] = toQ15(vq * 0.5);
+        }
+    }
+    return data;
+}
+
+} // namespace mmxdsp::workloads

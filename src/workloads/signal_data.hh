@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Synthetic speech and radar-echo generation.
+ *
+ * The paper encoded a 6 kB speech file with G.722 and processed complex
+ * radar echoes from 12 range locations. Neither data set is available,
+ * so we synthesize equivalents: speech-like audio (pitch harmonics
+ * shaped by formant resonances, with voiced/unvoiced segments) and
+ * coherent radar returns (stationary clutter + a moving target +
+ * receiver noise), both deterministic given a seed.
+ */
+
+#ifndef MMXDSP_WORKLOADS_SIGNAL_DATA_HH
+#define MMXDSP_WORKLOADS_SIGNAL_DATA_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace mmxdsp::workloads {
+
+/**
+ * Speech-like waveform at 16 kHz, 16-bit: a pulse train at a drifting
+ * pitch filtered through three formant resonators, alternating with
+ * unvoiced (noise) segments, under a syllabic amplitude envelope.
+ */
+std::vector<int16_t> makeSpeech(int samples, uint64_t seed);
+
+/** Parameters of a synthetic radar scenario. */
+struct RadarScenario
+{
+    int num_ranges = 12;     ///< range gates per echo (paper: 12)
+    int num_echoes = 1024;   ///< number of pulses
+    int target_range = 5;    ///< range gate containing the mover
+    double doppler_norm = 0.19; ///< target Doppler as fraction of PRF
+    double clutter_amp = 0.45;  ///< stationary clutter amplitude (of FS)
+    double target_amp = 0.18;   ///< moving-target amplitude (of FS)
+    double noise_amp = 0.01;    ///< receiver noise amplitude (of FS)
+    uint64_t seed = 42;
+};
+
+/**
+ * Complex echo samples, echo-major layout:
+ * i[e * num_ranges + r], q[e * num_ranges + r].
+ */
+struct RadarData
+{
+    int num_ranges = 0;
+    int num_echoes = 0;
+    std::vector<int16_t> i;
+    std::vector<int16_t> q;
+};
+
+RadarData makeRadarEchoes(const RadarScenario &scenario);
+
+} // namespace mmxdsp::workloads
+
+#endif // MMXDSP_WORKLOADS_SIGNAL_DATA_HH

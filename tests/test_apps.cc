@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the image and radar applications: functional equivalence
+ * between versions, oracle agreement, and the paper's profile shapes
+ * (image = best case for MMX; radar = modest win eaten by call
+ * overhead).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/image/image_app.hh"
+#include "apps/radar/radar_app.hh"
+#include "profile/vprof.hh"
+#include "runtime/cpu.hh"
+#include "workloads/image_data.hh"
+
+namespace mmxdsp::apps {
+namespace {
+
+using profile::VProf;
+using runtime::Cpu;
+
+// ---------------- image ----------------
+
+TEST(ImageApp, BothVersionsMatchOracleExactly)
+{
+    auto img = workloads::makeTestImage(64, 48, 17);
+    image::ImageBenchmark bench;
+    bench.setup(img);
+    Cpu cpu;
+    bench.runC(cpu);
+    bench.runMmx(cpu);
+    auto ref = bench.reference();
+    // Paper: "no loss of quality between the MMX and C-only versions".
+    EXPECT_EQ(bench.outC().rgb, ref.rgb);
+    EXPECT_EQ(bench.outMmx().rgb, ref.rgb);
+}
+
+TEST(ImageApp, SaturationCases)
+{
+    workloads::Image img;
+    img.width = 8;
+    img.height = 1;
+    img.rgb.assign(24, 0);
+    // One pixel near white, one near black.
+    img.rgb[0] = 250;
+    img.rgb[2] = 5;
+    image::ImageBenchmark bench;
+    bench.setup(img, 256 /* no dim */, 40, 25);
+    Cpu cpu;
+    bench.runC(cpu);
+    bench.runMmx(cpu);
+    EXPECT_EQ(bench.outC().rgb, bench.outMmx().rgb);
+    EXPECT_EQ(bench.outMmx().rgb[0], 255); // 250+40 saturates
+    EXPECT_EQ(bench.outMmx().rgb[2], 0);   // 5-25 floors
+}
+
+TEST(ImageApp, MmxIsTheBestCaseBenchmark)
+{
+    auto img = workloads::makeTestImage(96, 72, 19);
+    image::ImageBenchmark bench;
+    bench.setup(img);
+    Cpu cpu;
+
+    VProf prof_c;
+    cpu.attachSink(&prof_c);
+    bench.runC(cpu);
+    cpu.attachSink(nullptr);
+
+    VProf prof_mmx;
+    cpu.attachSink(&prof_mmx);
+    bench.runMmx(cpu);
+    cpu.attachSink(nullptr);
+
+    auto rc = prof_c.result();
+    auto rmmx = prof_mmx.result();
+
+    // Paper: speedup 5.5, dynamic instructions cut 9.92x, memory
+    // references cut 7.12x, 85% MMX instructions.
+    double speedup = static_cast<double>(rc.cycles) / rmmx.cycles;
+    EXPECT_GT(speedup, 3.5);
+    EXPECT_GT(static_cast<double>(rc.dynamicInstructions)
+                  / rmmx.dynamicInstructions,
+              5.0);
+    EXPECT_GT(static_cast<double>(rc.memoryReferences)
+                  / rmmx.memoryReferences,
+              3.0);
+    EXPECT_GT(rmmx.pctMmx(), 0.55);
+}
+
+// ---------------- radar ----------------
+
+class RadarApp : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        scenario_.num_echoes = 257; // 16 segments of 16 canceller outputs
+        scenario_.seed = 99;
+        bench_.setup(scenario_);
+    }
+
+    workloads::RadarScenario scenario_;
+    radar::RadarBenchmark bench_;
+};
+
+TEST_F(RadarApp, BothVersionsFindTheTarget)
+{
+    Cpu cpu;
+    bench_.runC(cpu);
+    bench_.runMmx(cpu);
+
+    EXPECT_EQ(bench_.detectedRangeC(), scenario_.target_range);
+    EXPECT_EQ(bench_.detectedRangeMmx(), scenario_.target_range);
+
+    // Doppler estimate within one FFT bin of the true frequency.
+    double res = 1.0 / radar::RadarBenchmark::kFftSize;
+    double est_c =
+        bench_.outC()[static_cast<size_t>(scenario_.target_range)].frequency;
+    double est_m =
+        bench_.outMmx()[static_cast<size_t>(scenario_.target_range)]
+            .frequency;
+    // Paper: "little measured change in the output" between versions.
+    EXPECT_NEAR(est_c, scenario_.doppler_norm, res);
+    EXPECT_NEAR(est_m, scenario_.doppler_norm, res);
+    EXPECT_NEAR(est_c, est_m, res + 1e-9);
+}
+
+TEST_F(RadarApp, ClutterOnlyGatesStayQuiet)
+{
+    Cpu cpu;
+    bench_.runC(cpu);
+    double target_power =
+        bench_.outC()[static_cast<size_t>(scenario_.target_range)].power;
+    for (int r = 0; r < scenario_.num_ranges; ++r) {
+        if (r == scenario_.target_range)
+            continue;
+        EXPECT_LT(bench_.outC()[static_cast<size_t>(r)].power,
+                  target_power / 5.0)
+            << "range " << r;
+    }
+}
+
+TEST_F(RadarApp, ModestSpeedupWithHeavyCallOverhead)
+{
+    Cpu cpu;
+    VProf prof_c;
+    cpu.attachSink(&prof_c);
+    bench_.runC(cpu);
+    cpu.attachSink(nullptr);
+
+    VProf prof_mmx;
+    cpu.attachSink(&prof_mmx);
+    bench_.runMmx(cpu);
+    cpu.attachSink(nullptr);
+
+    auto rc = prof_c.result();
+    auto rmmx = prof_mmx.result();
+
+    // Paper: speedup only 1.21 despite all-library arithmetic; 27x the
+    // function calls; call/ret 23.88% of cycles; 8.64% MMX.
+    double speedup = static_cast<double>(rc.cycles) / rmmx.cycles;
+    EXPECT_GT(speedup, 0.9);
+    EXPECT_LT(speedup, 2.5);
+    EXPECT_GT(rmmx.functionCalls, 5 * std::max<uint64_t>(rc.functionCalls,
+                                                         1));
+    // Count the full linkage (pushes/pops/frames) the way VTune's
+    // function-overhead accounting did.
+    double overhead = static_cast<double>(rmmx.callOverheadCycles)
+                      / static_cast<double>(rmmx.cycles);
+    EXPECT_GT(overhead, 0.05);
+    EXPECT_LT(rmmx.pctMmx(), 0.45);
+}
+
+} // namespace
+} // namespace mmxdsp::apps

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Failure-injection tests: malformed inputs and contract violations
+ * must fail loudly (fatal/panic), never silently corrupt results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/jpeg/jpeg_decoder.hh"
+#include "apps/jpeg/jpeg_encoder.hh"
+#include "apps/jpeg/jpeg_tables.hh"
+#include "nsp/fft.hh"
+#include "nsp/filter.hh"
+#include "nsp/image.hh"
+#include "runtime/cpu.hh"
+#include "support/signal_math.hh"
+#include "workloads/image_data.hh"
+
+namespace mmxdsp {
+namespace {
+
+using runtime::Cpu;
+
+TEST(FaultDeathTest, FftRejectsNonPowerOfTwo)
+{
+    nsp::FftTables tables;
+    EXPECT_EXIT(nsp::fftInit(tables, 100), ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+TEST(FaultDeathTest, IirRejectsTinyBlocks)
+{
+    nsp::IirStateMmx state;
+    iirInitMmx(state, designButterworthBandpass(4, 0.1, 0.2));
+    Cpu cpu;
+    int16_t one = 0;
+    EXPECT_EXIT(iirBlockMmx(cpu, state, &one, 1),
+                ::testing::ExitedWithCode(1), "at least 2");
+}
+
+TEST(FaultDeathTest, ColorShiftRejectsRaggedLength)
+{
+    Cpu cpu;
+    alignas(8) uint8_t pat[24] = {};
+    std::vector<uint8_t> buf(25, 0);
+    EXPECT_EXIT(nsp::imageColorShiftU8Mmx(cpu, buf.data(), buf.data(), 25,
+                                          pat, pat),
+                ::testing::ExitedWithCode(1), "multiple of 24");
+}
+
+TEST(FaultDeathTest, FirValidRejectsRaggedTaps)
+{
+    Cpu cpu;
+    int16_t x[16] = {};
+    int16_t c[6] = {};
+    int16_t y[4];
+    EXPECT_EXIT(nsp::firValidMmx(cpu, x, c, 6, y, 4, 0),
+                ::testing::ExitedWithCode(1), "multiple of 4");
+}
+
+TEST(FaultDeathTest, FilterDesignValidatesBandEdges)
+{
+    EXPECT_EXIT(designButterworthBandpass(4, 0.3, 0.2),
+                ::testing::ExitedWithCode(1), "band edges");
+    EXPECT_EXIT(designButterworthBandpass(3, 0.1, 0.2),
+                ::testing::ExitedWithCode(1), "even");
+}
+
+TEST(FaultDeathTest, DecoderRejectsGarbage)
+{
+    std::vector<uint8_t> garbage{0x00, 0x01, 0x02, 0x03};
+    EXPECT_EXIT(apps::jpeg::decodeJpeg(garbage),
+                ::testing::ExitedWithCode(1), "SOI");
+}
+
+TEST(FaultDeathTest, BmpReaderRejectsNonBmp)
+{
+    const char *path = "not_a_bmp.bin";
+    std::FILE *f = std::fopen(path, "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("hello world, definitely not a bitmap header", f);
+    std::fclose(f);
+    EXPECT_EXIT(workloads::readBmp(path), ::testing::ExitedWithCode(1),
+                "not a BMP");
+    std::remove(path);
+}
+
+TEST(FaultDeathTest, QuantQualityRangeChecked)
+{
+    EXPECT_EXIT(apps::jpeg::scaleQuant(apps::jpeg::kLumaQuant, 0),
+                ::testing::ExitedWithCode(1), "quality");
+    EXPECT_EXIT(apps::jpeg::scaleQuant(apps::jpeg::kLumaQuant, 101),
+                ::testing::ExitedWithCode(1), "quality");
+}
+
+TEST(Fault, TruncatedJpegStreamDies)
+{
+    auto img = workloads::makeTestImage(16, 16, 4);
+    apps::jpeg::JpegBenchmark bench;
+    bench.setup(img, 75);
+    Cpu cpu;
+    bench.runC(cpu);
+    auto stream = bench.jpegC();
+    ASSERT_GT(stream.size(), 700u);
+    stream.resize(650); // cut into the entropy data, drop EOI
+    EXPECT_EXIT(apps::jpeg::decodeJpeg(stream),
+                ::testing::ExitedWithCode(1), "decode");
+}
+
+} // namespace
+} // namespace mmxdsp

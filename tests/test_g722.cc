@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Tests for the G.722-style subband ADPCM codec and its benchmark
+ * wrapper: QMF transparency, reconstruction SNR for both precision
+ * modes, the paper's "slightly inferior" MMX quality, and the
+ * instruction-level slowdown signature.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "apps/g722/g722_app.hh"
+#include "apps/g722/g722_codec.hh"
+#include "profile/vprof.hh"
+#include "runtime/cpu.hh"
+#include "workloads/signal_data.hh"
+
+namespace mmxdsp::apps::g722 {
+namespace {
+
+using profile::VProf;
+using runtime::Cpu;
+
+double
+snrWithDelay(const std::vector<int16_t> &x, const std::vector<int16_t> &y,
+             int delay)
+{
+    double sig = 0.0;
+    double err = 0.0;
+    for (size_t n = 0; n + static_cast<size_t>(delay) < y.size(); ++n) {
+        double s = x[n];
+        double d = y[n + static_cast<size_t>(delay)];
+        sig += s * s;
+        double e = s - d;
+        err += e * e;
+    }
+    return 10.0 * std::log10(sig / (err + 1e-30));
+}
+
+std::vector<int16_t>
+sineInput(int n, double freq_norm, double amplitude)
+{
+    std::vector<int16_t> x(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        x[static_cast<size_t>(i)] = static_cast<int16_t>(
+            amplitude * 32767.0
+            * std::sin(2.0 * std::numbers::pi * freq_norm * i));
+    return x;
+}
+
+TEST(G722Codec, ReconstructsLowFrequencyTone)
+{
+    // A 500 Hz tone at 16 kHz lives deep in the low band: 6-bit ADPCM
+    // should track it well.
+    auto x = sineInput(4000, 500.0 / 16000.0, 0.4);
+    G722Codec codec(G722Codec::Mode::ScalarC);
+    Cpu cpu;
+    std::vector<int16_t> y(x.size(), 0);
+    for (size_t n = 0; n + 1 < x.size(); n += 2) {
+        uint8_t code = codec.encodePair(cpu, &x[n]);
+        codec.decodePair(cpu, code, &y[n]);
+    }
+    double snr = snrWithDelay(x, y, G722Codec::kDelay);
+    EXPECT_GT(snr, 14.0) << "low-band ADPCM SNR too poor";
+}
+
+TEST(G722Codec, ReconstructsSpeech)
+{
+    auto x = workloads::makeSpeech(6000, 9);
+    G722Codec codec(G722Codec::Mode::ScalarC);
+    Cpu cpu;
+    std::vector<int16_t> y(x.size(), 0);
+    for (size_t n = 0; n + 1 < x.size(); n += 2) {
+        uint8_t code = codec.encodePair(cpu, &x[n]);
+        codec.decodePair(cpu, code, &y[n]);
+    }
+    EXPECT_GT(snrWithDelay(x, y, G722Codec::kDelay), 8.0);
+}
+
+TEST(G722Codec, SilenceStaysSilent)
+{
+    G722Codec codec(G722Codec::Mode::ScalarC);
+    Cpu cpu;
+    int16_t zeros[2] = {0, 0};
+    int16_t out[2];
+    for (int i = 0; i < 200; ++i) {
+        uint8_t code = codec.encodePair(cpu, zeros);
+        codec.decodePair(cpu, code, out);
+    }
+    // Quantizer should have decayed to its floor; output ~ quiet.
+    EXPECT_LT(std::abs(out[0]), 64);
+    EXPECT_LT(std::abs(out[1]), 64);
+}
+
+TEST(G722Codec, EncoderAndDecoderPredictorsStayInLockstep)
+{
+    // With a clean channel the decoder state mirrors the encoder's, so
+    // long runs must not diverge (stability of the adaptation).
+    auto x = sineInput(8000, 1100.0 / 16000.0, 0.6);
+    G722Codec codec(G722Codec::Mode::ScalarC);
+    Cpu cpu;
+    std::vector<int16_t> y(x.size(), 0);
+    for (size_t n = 0; n + 1 < x.size(); n += 2) {
+        uint8_t code = codec.encodePair(cpu, &x[n]);
+        codec.decodePair(cpu, code, &y[n]);
+    }
+    // SNR over the last quarter should be at least as good as overall:
+    // i.e. no slow divergence.
+    std::vector<int16_t> x_tail(x.end() - 2000, x.end());
+    std::vector<int16_t> y_tail(y.end() - 2000, y.end());
+    double snr_tail = snrWithDelay(x_tail, y_tail, G722Codec::kDelay);
+    EXPECT_GT(snr_tail, 10.0);
+}
+
+TEST(G722Benchmark, MmxQualityTolerable)
+{
+    G722Benchmark bench;
+    bench.setup(3072, 12); // the paper's ~6 kB speech file
+    Cpu cpu;
+    bench.runC(cpu);
+    bench.runMmx(cpu);
+
+    double snr_c = bench.snrC();
+    double snr_mmx = bench.snrMmx();
+    EXPECT_GT(snr_c, 8.0);
+    EXPECT_GT(snr_mmx, 5.0) << "MMX version should still be tolerable";
+    // Energy-weighted SNR is dominated by loud passages where the two
+    // are equivalent; the audible difference lives in quiet passages
+    // (next test).
+    EXPECT_LT(snr_mmx, snr_c + 1.0);
+}
+
+TEST(G722Benchmark, MmxNoiseFloorIsHigherInSilence)
+{
+    // The MMX path's a-priori >>2 input scale raises its effective
+    // quantizer floor 4x: in silent passages the decoded residual
+    // noise is audibly larger — the paper's "tolerable, but slightly
+    // inferior" speech quality.
+    auto tone = sineInput(1024, 700.0 / 16000.0, 0.5);
+    std::vector<int16_t> input = tone;
+    input.resize(2048, 0); // silent tail
+
+    auto tail_noise = [&](G722Codec::Mode mode) {
+        G722Codec codec(mode);
+        Cpu cpu;
+        std::vector<int16_t> out(input.size(), 0);
+        for (size_t n = 0; n + 1 < input.size(); n += 2) {
+            uint8_t code = codec.encodePair(cpu, &input[n]);
+            codec.decodePair(cpu, code, &out[n]);
+        }
+        double acc = 0.0;
+        for (size_t n = 1600; n < out.size(); ++n)
+            acc += static_cast<double>(out[n]) * out[n];
+        return acc;
+    };
+
+    double noise_c = tail_noise(G722Codec::Mode::ScalarC);
+    double noise_mmx = tail_noise(G722Codec::Mode::Mmx);
+    EXPECT_GT(noise_mmx, noise_c)
+        << "16-bit scaled path should have the higher silence floor";
+}
+
+TEST(G722Benchmark, MmxVersionIsSlowerWithMoreInstructions)
+{
+    G722Benchmark bench;
+    bench.setup(1024, 13);
+    Cpu cpu;
+
+    VProf prof_c;
+    cpu.attachSink(&prof_c);
+    bench.runC(cpu);
+    cpu.attachSink(nullptr);
+
+    VProf prof_mmx;
+    cpu.attachSink(&prof_mmx);
+    bench.runMmx(cpu);
+    cpu.attachSink(nullptr);
+
+    auto rc = prof_c.result();
+    auto rmmx = prof_mmx.result();
+
+    // Paper Table 3 (g722.c / g722.mmx): speedup 0.77 (slowdown),
+    // dynamic instruction ratio 0.66 (MMX executes MORE instructions).
+    EXPECT_GT(rmmx.cycles, rc.cycles);
+    EXPECT_GT(rmmx.dynamicInstructions, rc.dynamicInstructions);
+    // Low MMX share (paper: 1.58%).
+    EXPECT_LT(rmmx.pctMmx(), 0.15);
+    // Far more function calls through the library interfaces.
+    EXPECT_GT(rmmx.functionCalls, 2 * rc.functionCalls);
+}
+
+TEST(G722Block, BitstreamMatchesPerPairEncodingExactly)
+{
+    // The block encoder batches the QMF into strided 24-tap library
+    // convolutions; the arithmetic is identical, so the bitstream must
+    // be bit-exact against the per-pair encoder.
+    auto x = workloads::makeSpeech(1024, 17);
+    Cpu cpu;
+
+    G722Codec pair_codec(G722Codec::Mode::Mmx);
+    std::vector<uint8_t> pair_bytes;
+    for (size_t n = 0; n + 1 < x.size(); n += 2)
+        pair_bytes.push_back(pair_codec.encodePair(cpu, &x[n]));
+
+    G722Codec block_codec(G722Codec::Mode::Mmx);
+    std::vector<uint8_t> block_bytes(x.size() / 2);
+    const int block_pairs = 32;
+    for (size_t n = 0; n + 2 * block_pairs <= x.size();
+         n += 2 * block_pairs) {
+        block_codec.encodeBlock(cpu, &x[n], block_pairs,
+                                &block_bytes[n / 2]);
+    }
+    EXPECT_EQ(block_bytes, pair_bytes);
+}
+
+TEST(G722Block, ScalarFallbackMatchesToo)
+{
+    auto x = workloads::makeSpeech(256, 18);
+    Cpu cpu;
+    G722Codec a(G722Codec::Mode::ScalarC);
+    G722Codec b(G722Codec::Mode::ScalarC);
+    std::vector<uint8_t> pair_bytes;
+    for (size_t n = 0; n + 1 < x.size(); n += 2)
+        pair_bytes.push_back(a.encodePair(cpu, &x[n]));
+    std::vector<uint8_t> block_bytes(x.size() / 2);
+    b.encodeBlock(cpu, x.data(), static_cast<int>(x.size() / 2),
+                  block_bytes.data());
+    EXPECT_EQ(block_bytes, pair_bytes);
+}
+
+TEST(G722Block, BlockModeIsFasterThanPerPairMmx)
+{
+    // The point of the extension: batching recovers the library-call
+    // overhead the paper blamed for the g722 slowdown.
+    auto x = workloads::makeSpeech(2048, 19);
+    Cpu cpu;
+
+    VProf pair_prof;
+    G722Codec pair_codec(G722Codec::Mode::Mmx);
+    cpu.attachSink(&pair_prof);
+    for (size_t n = 0; n + 1 < x.size(); n += 2) {
+        uint8_t byte = pair_codec.encodePair(cpu, &x[n]);
+        (void)byte;
+    }
+    cpu.attachSink(nullptr);
+
+    VProf block_prof;
+    G722Codec block_codec(G722Codec::Mode::Mmx);
+    std::vector<uint8_t> out(x.size() / 2);
+    cpu.attachSink(&block_prof);
+    for (size_t n = 0; n + 128 <= x.size(); n += 128)
+        block_codec.encodeBlock(cpu, &x[n], 64, &out[n / 2]);
+    cpu.attachSink(nullptr);
+
+    EXPECT_LT(block_prof.result().cycles, pair_prof.result().cycles);
+    EXPECT_LT(block_prof.result().functionCalls,
+              pair_prof.result().functionCalls);
+}
+
+TEST(G722Block, DecodeBlockMatchesPerPairExactly)
+{
+    auto x = workloads::makeSpeech(1024, 21);
+    Cpu cpu;
+
+    // Produce one bitstream.
+    G722Codec enc(G722Codec::Mode::Mmx);
+    std::vector<uint8_t> bytes(x.size() / 2);
+    enc.encodeBlock(cpu, x.data(), static_cast<int>(bytes.size()),
+                    bytes.data());
+
+    // Decode per-pair and per-block; outputs must be bit-identical.
+    G722Codec dec_pair(G722Codec::Mode::Mmx);
+    std::vector<int16_t> out_pair(x.size(), 0);
+    for (size_t p = 0; p < bytes.size(); ++p)
+        dec_pair.decodePair(cpu, bytes[p], &out_pair[2 * p]);
+
+    G722Codec dec_block(G722Codec::Mode::Mmx);
+    std::vector<int16_t> out_block(x.size(), 0);
+    const int block = 32;
+    for (size_t p = 0; p + block <= bytes.size(); p += block)
+        dec_block.decodeBlock(cpu, &bytes[p], block, &out_block[2 * p]);
+
+    EXPECT_EQ(out_block, out_pair);
+}
+
+TEST(G722Block, FullBlockCodecRoundTripQuality)
+{
+    // End-to-end block codec: encodeBlock -> decodeBlock reconstructs
+    // speech at the same quality as the per-pair codec.
+    auto x = workloads::makeSpeech(2048, 22);
+    Cpu cpu;
+    G722Codec enc(G722Codec::Mode::Mmx);
+    G722Codec dec(G722Codec::Mode::Mmx);
+    std::vector<uint8_t> bytes(x.size() / 2);
+    std::vector<int16_t> out(x.size(), 0);
+    const int block = 64;
+    for (size_t p = 0; p + block <= bytes.size(); p += block) {
+        enc.encodeBlock(cpu, &x[2 * p], block, &bytes[p]);
+        dec.decodeBlock(cpu, &bytes[p], block, &out[2 * p]);
+    }
+    EXPECT_GT(snrWithDelay(x, out, G722Codec::kDelay), 5.0);
+}
+
+} // namespace
+} // namespace mmxdsp::apps::g722

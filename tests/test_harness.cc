@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the benchmark harness and the paper-data tables, plus the
+ * suite-level "shape" assertions that gate the reproduction: every
+ * benchmark must land on the paper's side of 1.0, and the headline
+ * orderings must hold. Runs on a scaled-down suite to stay fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/paper_data.hh"
+#include "harness/suite.hh"
+
+namespace mmxdsp::harness {
+namespace {
+
+class SuiteTest : public ::testing::Test
+{
+  protected:
+    static BenchmarkSuite &
+    suite()
+    {
+        // Shared across tests: building the suite runs simulations.
+        static SuiteConfig config = [] {
+            SuiteConfig c;
+            c.scaleDown(4);
+            return c;
+        }();
+        static BenchmarkSuite s(config);
+        return s;
+    }
+};
+
+TEST_F(SuiteTest, AllRunsExecuteAndCache)
+{
+    for (const auto &[bench, version] : BenchmarkSuite::allRuns()) {
+        const RunResult &r = suite().run(bench, version);
+        EXPECT_GT(r.profile.cycles, 0u) << r.name();
+        EXPECT_GT(r.profile.dynamicInstructions, 0u) << r.name();
+        // Cached: same object on re-run.
+        const RunResult &again = suite().run(bench, version);
+        EXPECT_EQ(&r, &again);
+    }
+}
+
+TEST_F(SuiteTest, SpeedupSignsMatchThePaper)
+{
+    // The reproduction's core claim: who wins matches the paper.
+    EXPECT_GT(suite().speedup("fft"), 1.0);
+    EXPECT_GT(suite().speedup("fir"), 1.0);
+    EXPECT_GT(suite().speedup("iir"), 1.0);
+    EXPECT_GT(suite().speedup("matvec"), 1.0);
+    EXPECT_GT(suite().speedup("radar"), 1.0);
+    EXPECT_GT(suite().speedup("image"), 1.0);
+    EXPECT_LT(suite().speedup("g722"), 1.0);
+    EXPECT_LT(suite().speedup("jpeg"), 1.0);
+}
+
+TEST_F(SuiteTest, HeadlineOrderings)
+{
+    // jpeg is the worst benchmark, and the big winners are the two
+    // data-parallel integer benchmarks.
+    auto order = suite().benchmarksBySpeedup();
+    ASSERT_EQ(order.size(), 8u);
+    EXPECT_EQ(order.front(), "jpeg");
+    EXPECT_TRUE((order[6] == "matvec" && order[7] == "image")
+                || (order[6] == "image" && order[7] == "matvec"));
+    // matvec superlinear even at reduced size.
+    EXPECT_GT(suite().speedup("matvec"), 4.0);
+}
+
+TEST_F(SuiteTest, EveryMmxVersionGrowsStaticCode)
+{
+    for (const char *bench :
+         {"fft", "fir", "iir", "matvec", "jpeg", "image", "g722", "radar"}) {
+        const auto &c = suite().run(bench, "c").profile;
+        const auto &mmx = suite().run(bench, "mmx").profile;
+        EXPECT_GT(mmx.staticInstructions, c.staticInstructions) << bench;
+    }
+}
+
+TEST(SuiteConfigTest, ScaleDownKeepsValidSizes)
+{
+    SuiteConfig c;
+    c.scaleDown(8);
+    EXPECT_GE(c.fft_size, 64);
+    EXPECT_EQ(c.fft_size & (c.fft_size - 1), 0) << "power of two";
+    EXPECT_GE(c.matvec_dim, 32);
+    EXPECT_GT(c.g722_samples, 0);
+    EXPECT_EQ(c.image_width * 3 % 24, 0)
+        << "image byte size must stay a multiple of 24";
+}
+
+TEST(PaperData, TablesAreCompleteAndConsistent)
+{
+    // Table 2: 19 rows, Table 3: 11 rows (as published).
+    size_t n2 = 0;
+    while (paperTable2(n2))
+        ++n2;
+    EXPECT_EQ(n2, 19u);
+    size_t n3 = 0;
+    while (paperTable3(n3))
+        ++n3;
+    EXPECT_EQ(n3, 11u);
+
+    // Spot-check the famous numbers.
+    const PaperTable3Row *matvec = paperTable3For("matvec.c");
+    ASSERT_NE(matvec, nullptr);
+    EXPECT_DOUBLE_EQ(matvec->speedup, 6.61);
+    const PaperTable3Row *jpeg = paperTable3For("jpeg.c");
+    ASSERT_NE(jpeg, nullptr);
+    EXPECT_DOUBLE_EQ(jpeg->speedup, 0.49);
+    const PaperTable2Row *image = paperTable2For("image.mmx");
+    ASSERT_NE(image, nullptr);
+    EXPECT_DOUBLE_EQ(image->pctMmx, 85.10);
+
+    // Every Table 3 row has both of its Table 2 programs.
+    for (size_t i = 0; i < n3; ++i) {
+        const PaperTable3Row *row = paperTable3(i);
+        EXPECT_NE(paperTable2For(row->program), nullptr) << row->program;
+        std::string bench(row->program);
+        bench = bench.substr(0, bench.find('.'));
+        EXPECT_NE(paperTable2For(bench + ".mmx"), nullptr) << bench;
+    }
+
+    EXPECT_EQ(paperTable2For("nonexistent.c"), nullptr);
+    EXPECT_EQ(paperTable3For("nonexistent.c"), nullptr);
+}
+
+} // namespace
+} // namespace mmxdsp::harness

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests for the trace-dump sink, the ISA attribute tables, and the
+ * remaining runtime::Cpu operations not exercised elsewhere.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/op.hh"
+#include "profile/trace_dump.hh"
+#include "runtime/cpu.hh"
+
+namespace mmxdsp {
+namespace {
+
+using profile::TraceDump;
+using runtime::Cpu;
+using runtime::F64;
+using runtime::M64;
+using runtime::R32;
+
+// ---------------- ISA table completeness ----------------
+
+TEST(IsaTable, EveryOpHasSaneAttributes)
+{
+    for (size_t i = 0; i < isa::kNumOps; ++i) {
+        isa::Op op = static_cast<isa::Op>(i);
+        const isa::OpInfo &info = isa::opInfo(op);
+        EXPECT_NE(info.name, nullptr);
+        EXPECT_GT(std::string(info.name).size(), 1u);
+        EXPECT_GE(info.latency, 1) << info.name;
+        EXPECT_GE(info.blocking, 1) << info.name;
+        EXPECT_LE(info.blocking, info.latency) << info.name;
+        EXPECT_GE(info.uops, 1) << info.name;
+    }
+}
+
+TEST(IsaTable, MmxClassificationIsExhaustive)
+{
+    // Exactly the 47 MMX mnemonics (57 instructions counting operand
+    // variants) are classified as MMX.
+    int mmx_count = 0;
+    for (size_t i = 0; i < isa::kNumOps; ++i) {
+        isa::Op op = static_cast<isa::Op>(i);
+        if (isa::isMmx(op))
+            ++mmx_count;
+    }
+    EXPECT_EQ(mmx_count, 47);
+    // Spot checks on the Figure 1(a) buckets.
+    EXPECT_EQ(isa::opInfo(isa::Op::Packsswb).mmx,
+              isa::MmxCategory::PackUnpack);
+    EXPECT_EQ(isa::opInfo(isa::Op::Punpckhdq).mmx,
+              isa::MmxCategory::PackUnpack);
+    EXPECT_EQ(isa::opInfo(isa::Op::Pmaddwd).mmx, isa::MmxCategory::Arith);
+    EXPECT_EQ(isa::opInfo(isa::Op::Pand).mmx, isa::MmxCategory::Arith);
+    EXPECT_EQ(isa::opInfo(isa::Op::Movq).mmx, isa::MmxCategory::Mov);
+    EXPECT_EQ(isa::opInfo(isa::Op::Emms).mmx, isa::MmxCategory::Emms);
+    EXPECT_EQ(isa::opInfo(isa::Op::Add).mmx, isa::MmxCategory::None);
+}
+
+TEST(IsaTable, PaperQuotedLatencies)
+{
+    // The latencies the paper itself quotes.
+    EXPECT_EQ(isa::opInfo(isa::Op::Imul).latency, 10); // section 4.1
+    EXPECT_EQ(isa::opInfo(isa::Op::Pmaddwd).latency, 3);
+    EXPECT_EQ(isa::opInfo(isa::Op::Pmaddwd).blocking, 1) << "pipelined";
+    EXPECT_EQ(isa::opInfo(isa::Op::Emms).latency, 50); // section 3.1
+}
+
+TEST(IsaTable, ControlAndX87Predicates)
+{
+    EXPECT_TRUE(isa::isControl(isa::Op::Jcc));
+    EXPECT_TRUE(isa::isControl(isa::Op::Call));
+    EXPECT_TRUE(isa::isControl(isa::Op::Ret));
+    EXPECT_FALSE(isa::isControl(isa::Op::Add));
+    EXPECT_TRUE(isa::isX87(isa::Op::Fadd));
+    EXPECT_TRUE(isa::isX87(isa::Op::Fxch));
+    EXPECT_FALSE(isa::isX87(isa::Op::Movq));
+}
+
+// ---------------- trace dump ----------------
+
+TEST(TraceDump, FormatsMnemonicsAndOperands)
+{
+    Cpu cpu;
+    TraceDump dump;
+    cpu.attachSink(&dump);
+    alignas(8) int16_t d[4] = {1, 2, 3, 4};
+    M64 a = cpu.movqLoad(d);
+    M64 b = cpu.paddw(a, a);
+    cpu.movqStore(d, b);
+    cpu.attachSink(nullptr);
+
+    ASSERT_EQ(dump.lines().size(), 3u);
+    EXPECT_NE(dump.lines()[0].find("movq"), std::string::npos);
+    EXPECT_NE(dump.lines()[0].find("load"), std::string::npos);
+    EXPECT_NE(dump.lines()[0].find("mm"), std::string::npos);
+    EXPECT_NE(dump.lines()[1].find("paddw"), std::string::npos);
+    EXPECT_NE(dump.lines()[2].find("store"), std::string::npos);
+}
+
+TEST(TraceDump, IndentsFunctionDepth)
+{
+    Cpu cpu;
+    TraceDump dump;
+    cpu.attachSink(&dump);
+    {
+        runtime::CallGuard g(cpu, "leaf", 0, 0);
+        cpu.imm32(1);
+    }
+    cpu.attachSink(nullptr);
+
+    // Expect the "--> leaf" marker and an indented body instruction.
+    bool saw_marker = false;
+    bool saw_indented = false;
+    for (const auto &line : dump.lines()) {
+        if (line.find("--> leaf") != std::string::npos)
+            saw_marker = true;
+        if (line.rfind("  mov", 0) == 0)
+            saw_indented = true;
+    }
+    EXPECT_TRUE(saw_marker);
+    EXPECT_TRUE(saw_indented);
+}
+
+TEST(TraceDump, RespectsLineCapButCountsEverything)
+{
+    Cpu cpu;
+    TraceDump dump(10);
+    cpu.attachSink(&dump);
+    for (int i = 0; i < 100; ++i)
+        cpu.imm32(i);
+    cpu.attachSink(nullptr);
+    EXPECT_EQ(dump.lines().size(), 10u);
+    EXPECT_EQ(dump.totalEvents(), 100u);
+    dump.clear();
+    EXPECT_TRUE(dump.lines().empty());
+    EXPECT_EQ(dump.totalEvents(), 0u);
+}
+
+TEST(TraceDump, BranchOutcomeAnnotated)
+{
+    Cpu cpu;
+    TraceDump dump;
+    cpu.attachSink(&dump);
+    cpu.jcc(true);
+    cpu.jcc(false);
+    cpu.attachSink(nullptr);
+    EXPECT_NE(dump.lines()[0].find("; taken"), std::string::npos);
+    EXPECT_NE(dump.lines()[1].find("; not taken"), std::string::npos);
+}
+
+// ---------------- remaining Cpu operations ----------------
+
+TEST(CpuCoverage, LogicalAndShiftValues)
+{
+    Cpu cpu;
+    R32 a = cpu.imm32(0x0ff0);
+    R32 b = cpu.imm32(0x00ff);
+    EXPECT_EQ(cpu.or_(cpu.mov(a), b).v, 0x0fff);
+    EXPECT_EQ(cpu.andImm(cpu.mov(a), 0x00f0).v, 0x00f0);
+    EXPECT_EQ(cpu.not_(cpu.imm32(0)).v, -1);
+    EXPECT_EQ(cpu.shl(cpu.imm32(3), 4).v, 48);
+}
+
+TEST(CpuCoverage, UnsignedLoadsAndStores)
+{
+    Cpu cpu;
+    uint16_t u16 = 0xbeef;
+    uint32_t u32 = 0xdeadbeef;
+    EXPECT_EQ(cpu.load16u(&u16).v, 0xbeef);
+    EXPECT_EQ(static_cast<uint32_t>(cpu.load32u(&u32).v), 0xdeadbeefu);
+    cpu.store16u(&u16, cpu.imm32(0x1234));
+    EXPECT_EQ(u16, 0x1234);
+    cpu.store32u(&u32, cpu.imm32(-1));
+    EXPECT_EQ(u32, 0xffffffffu);
+}
+
+TEST(CpuCoverage, XchgMemSwapsAtomically)
+{
+    Cpu cpu;
+    int32_t lock = 7;
+    R32 old = cpu.xchgMem(&lock, cpu.imm32(1));
+    EXPECT_EQ(old.v, 7);
+    EXPECT_EQ(lock, 1);
+}
+
+TEST(CpuCoverage, FloatingHelpers)
+{
+    Cpu cpu;
+    F64 x = cpu.fimm(-2.25);
+    EXPECT_DOUBLE_EQ(cpu.fabs_(cpu.fmov(x)).v, 2.25);
+    EXPECT_DOUBLE_EQ(cpu.fchs(cpu.fmov(x)).v, 2.25);
+    EXPECT_DOUBLE_EQ(cpu.fsqrt_(cpu.fimm(9.0)).v, 3.0);
+    int16_t out = 0;
+    cpu.fistp16(&out, cpu.fimm(-3.2));
+    EXPECT_EQ(out, -3);
+    int32_t out32 = 0;
+    cpu.fistp32(&out32, cpu.fimm(2.5));
+    EXPECT_EQ(out32, 2); // round half to even
+    // fcmpJcc just needs to emit a plausible sequence.
+    cpu.fcmpJcc(cpu.fimm(1.0), cpu.fimm(2.0), true);
+}
+
+TEST(CpuCoverage, MmxMovdPathsAndStores)
+{
+    Cpu cpu;
+    R32 v = cpu.imm32(-123456);
+    M64 m = cpu.movdFromR32(v);
+    EXPECT_EQ(m.v.sd(0), -123456);
+    EXPECT_EQ(cpu.movdToR32(m).v, -123456);
+
+    alignas(8) int32_t mem[2] = {0, 0};
+    cpu.movdStore(mem, m);
+    EXPECT_EQ(mem[0], -123456);
+    EXPECT_EQ(mem[1], 0);
+    M64 back = cpu.movdLoad(mem);
+    EXPECT_EQ(back.v.sd(0), -123456);
+    EXPECT_EQ(back.v.ud(1), 0u) << "movd zeroes the upper half";
+}
+
+TEST(CpuCoverage, MmxShiftWrappersMatchSemantics)
+{
+    Cpu cpu;
+    M64 a = cpu.movdFromR32(cpu.imm32(0x00010002));
+    EXPECT_EQ(cpu.psllq(cpu.movq(a), 32).v.ud(1), 0x00010002u);
+    M64 w = cpu.paddw(cpu.mmxZero(),
+                      cpu.movdFromR32(cpu.imm32(0x7fff0001)));
+    EXPECT_EQ(cpu.psraw(cpu.movq(w), 1).v.sw(1), 0x3fff);
+    EXPECT_EQ(cpu.psrlw(cpu.movq(w), 1).v.uw(0), 0u);
+    EXPECT_EQ(cpu.pslld(cpu.movq(w), 4).v.ud(0), 0xfff00010u);
+    EXPECT_EQ(cpu.psrld(w, 16).v.ud(0), 0x7fffu);
+}
+
+TEST(CpuCoverage, PushArgStoresToModelledStack)
+{
+    Cpu cpu;
+    // pushArg must write the value into the modelled stack slot (the
+    // event's address points there); a balanced epilogue follows.
+    cpu.pushArg(cpu.imm32(42));
+    cpu.call("callee");
+    cpu.prologue(0);
+    cpu.epilogue(0, 1);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace mmxdsp

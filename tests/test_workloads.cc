@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for workload synthesis and BMP I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "workloads/image_data.hh"
+#include "workloads/signal_data.hh"
+
+namespace mmxdsp::workloads {
+namespace {
+
+TEST(ImageData, GeneratorIsDeterministic)
+{
+    Image a = makeTestImage(64, 48, 7);
+    Image b = makeTestImage(64, 48, 7);
+    EXPECT_EQ(a.rgb, b.rgb);
+    Image c = makeTestImage(64, 48, 8);
+    EXPECT_NE(a.rgb, c.rgb);
+}
+
+TEST(ImageData, GeneratorCoversDynamicRange)
+{
+    Image img = makeTestImage(128, 96, 3);
+    int lo = 255;
+    int hi = 0;
+    for (uint8_t v : img.rgb) {
+        lo = std::min<int>(lo, v);
+        hi = std::max<int>(hi, v);
+    }
+    EXPECT_LT(lo, 40);
+    EXPECT_GT(hi, 200);
+}
+
+TEST(ImageData, BmpRoundTrips)
+{
+    Image img = makeTestImage(37, 23, 11); // odd width exercises padding
+    const char *path = "test_roundtrip.bmp";
+    writeBmp(path, img);
+    Image back = readBmp(path);
+    std::remove(path);
+    ASSERT_EQ(back.width, img.width);
+    ASSERT_EQ(back.height, img.height);
+    EXPECT_EQ(back.rgb, img.rgb);
+}
+
+TEST(ImageData, PsnrIdentityIsMax)
+{
+    Image img = makeTestImage(32, 32, 1);
+    EXPECT_EQ(imagePsnr(img, img), 99.0);
+    Image other = img;
+    other.rgb[0] = static_cast<uint8_t>(other.rgb[0] ^ 0xff);
+    EXPECT_LT(imagePsnr(img, other), 99.0);
+}
+
+TEST(SignalData, SpeechHasVoicedStructure)
+{
+    auto speech = makeSpeech(16000, 5);
+    ASSERT_EQ(speech.size(), 16000u);
+
+    // Reaches a healthy fraction of full scale but never clips hard.
+    int peak = 0;
+    double energy = 0.0;
+    for (int16_t v : speech) {
+        peak = std::max<int>(peak, std::abs(v));
+        energy += static_cast<double>(v) * v;
+    }
+    EXPECT_GT(peak, 15000);
+    EXPECT_LE(peak, 32767);
+    EXPECT_GT(energy / 16000.0, 1e4);
+
+    // Deterministic.
+    EXPECT_EQ(makeSpeech(16000, 5), speech);
+}
+
+TEST(SignalData, RadarEchoesContainMovingTarget)
+{
+    RadarScenario sc;
+    sc.num_echoes = 256;
+    RadarData d = makeRadarEchoes(sc);
+    ASSERT_EQ(d.i.size(), static_cast<size_t>(256 * sc.num_ranges));
+
+    // After the two-pulse canceller, the target range must dominate.
+    std::vector<double> residue(static_cast<size_t>(sc.num_ranges), 0.0);
+    for (int e = 0; e + 1 < sc.num_echoes; ++e) {
+        for (int r = 0; r < sc.num_ranges; ++r) {
+            size_t a = static_cast<size_t>(e) * sc.num_ranges
+                       + static_cast<size_t>(r);
+            size_t b = a + static_cast<size_t>(sc.num_ranges);
+            double di = static_cast<double>(d.i[b]) - d.i[a];
+            double dq = static_cast<double>(d.q[b]) - d.q[a];
+            residue[static_cast<size_t>(r)] += di * di + dq * dq;
+        }
+    }
+    int best = 0;
+    for (int r = 1; r < sc.num_ranges; ++r) {
+        if (residue[static_cast<size_t>(r)]
+            > residue[static_cast<size_t>(best)])
+            best = r;
+    }
+    EXPECT_EQ(best, sc.target_range);
+    // And dominate by a wide margin over a clutter-only gate.
+    int other = sc.target_range == 0 ? 1 : 0;
+    EXPECT_GT(residue[static_cast<size_t>(best)],
+              10.0 * residue[static_cast<size_t>(other)]);
+}
+
+} // namespace
+} // namespace mmxdsp::workloads
