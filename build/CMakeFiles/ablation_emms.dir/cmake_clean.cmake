@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_emms.dir/bench/ablation_emms.cpp.o"
+  "CMakeFiles/ablation_emms.dir/bench/ablation_emms.cpp.o.d"
+  "bench/ablation_emms"
+  "bench/ablation_emms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_emms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

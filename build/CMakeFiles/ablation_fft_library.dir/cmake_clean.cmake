@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fft_library.dir/bench/ablation_fft_library.cpp.o"
+  "CMakeFiles/ablation_fft_library.dir/bench/ablation_fft_library.cpp.o.d"
+  "bench/ablation_fft_library"
+  "bench/ablation_fft_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fft_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_g722_blocking.dir/bench/ablation_g722_blocking.cpp.o"
+  "CMakeFiles/ablation_g722_blocking.dir/bench/ablation_g722_blocking.cpp.o.d"
+  "bench/ablation_g722_blocking"
+  "bench/ablation_g722_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_g722_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

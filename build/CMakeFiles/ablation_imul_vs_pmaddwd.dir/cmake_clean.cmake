@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_imul_vs_pmaddwd.dir/bench/ablation_imul_vs_pmaddwd.cpp.o"
+  "CMakeFiles/ablation_imul_vs_pmaddwd.dir/bench/ablation_imul_vs_pmaddwd.cpp.o.d"
+  "bench/ablation_imul_vs_pmaddwd"
+  "bench/ablation_imul_vs_pmaddwd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_imul_vs_pmaddwd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

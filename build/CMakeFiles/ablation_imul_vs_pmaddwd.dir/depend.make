@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_imul_vs_pmaddwd.
+# This may be replaced when dependencies are built.

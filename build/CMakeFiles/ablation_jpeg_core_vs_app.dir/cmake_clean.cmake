@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_jpeg_core_vs_app.dir/bench/ablation_jpeg_core_vs_app.cpp.o"
+  "CMakeFiles/ablation_jpeg_core_vs_app.dir/bench/ablation_jpeg_core_vs_app.cpp.o.d"
+  "bench/ablation_jpeg_core_vs_app"
+  "bench/ablation_jpeg_core_vs_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_jpeg_core_vs_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_jpeg_core_vs_app.
+# This may be replaced when dependencies are built.

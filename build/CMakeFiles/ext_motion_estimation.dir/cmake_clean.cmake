@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_motion_estimation.dir/bench/ext_motion_estimation.cpp.o"
+  "CMakeFiles/ext_motion_estimation.dir/bench/ext_motion_estimation.cpp.o.d"
+  "bench/ext_motion_estimation"
+  "bench/ext_motion_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_motion_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

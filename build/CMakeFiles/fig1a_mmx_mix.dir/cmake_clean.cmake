@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1a_mmx_mix.dir/bench/fig1a_mmx_mix.cpp.o"
+  "CMakeFiles/fig1a_mmx_mix.dir/bench/fig1a_mmx_mix.cpp.o.d"
+  "bench/fig1a_mmx_mix"
+  "bench/fig1a_mmx_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_mmx_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

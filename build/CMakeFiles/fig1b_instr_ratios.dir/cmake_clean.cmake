@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1b_instr_ratios.dir/bench/fig1b_instr_ratios.cpp.o"
+  "CMakeFiles/fig1b_instr_ratios.dir/bench/fig1b_instr_ratios.cpp.o.d"
+  "bench/fig1b_instr_ratios"
+  "bench/fig1b_instr_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_instr_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_fp_vs_mmx.dir/bench/fig2b_fp_vs_mmx.cpp.o"
+  "CMakeFiles/fig2b_fp_vs_mmx.dir/bench/fig2b_fp_vs_mmx.cpp.o.d"
+  "bench/fig2b_fp_vs_mmx"
+  "bench/fig2b_fp_vs_mmx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_fp_vs_mmx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2b_fp_vs_mmx.
+# This may be replaced when dependencies are built.

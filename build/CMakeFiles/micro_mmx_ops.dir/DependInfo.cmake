@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_mmx_ops.cpp" "CMakeFiles/micro_mmx_ops.dir/bench/micro_mmx_ops.cpp.o" "gcc" "CMakeFiles/micro_mmx_ops.dir/bench/micro_mmx_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mmx/CMakeFiles/mmxdsp_mmx.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mmxdsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

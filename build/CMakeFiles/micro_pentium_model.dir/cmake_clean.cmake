@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pentium_model.dir/bench/micro_pentium_model.cpp.o"
+  "CMakeFiles/micro_pentium_model.dir/bench/micro_pentium_model.cpp.o.d"
+  "bench/micro_pentium_model"
+  "bench/micro_pentium_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pentium_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

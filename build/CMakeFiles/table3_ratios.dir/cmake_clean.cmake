@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_ratios.dir/bench/table3_ratios.cpp.o"
+  "CMakeFiles/table3_ratios.dir/bench/table3_ratios.cpp.o.d"
+  "bench/table3_ratios"
+  "bench/table3_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpeg_encode.dir/jpeg_encode.cc.o"
+  "CMakeFiles/jpeg_encode.dir/jpeg_encode.cc.o.d"
+  "jpeg_encode"
+  "jpeg_encode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpeg_encode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

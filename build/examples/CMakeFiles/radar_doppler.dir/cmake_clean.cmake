@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radar_doppler.dir/radar_doppler.cc.o"
+  "CMakeFiles/radar_doppler.dir/radar_doppler.cc.o.d"
+  "radar_doppler"
+  "radar_doppler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radar_doppler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

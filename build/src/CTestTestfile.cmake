@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("isa")
+subdirs("mmx")
+subdirs("mem")
+subdirs("sim")
+subdirs("runtime")
+subdirs("profile")
+subdirs("nsp")
+subdirs("workloads")
+subdirs("kernels")
+subdirs("apps")
+subdirs("harness")

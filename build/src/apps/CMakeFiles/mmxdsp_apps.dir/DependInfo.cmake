@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/g722/g722_app.cc" "src/apps/CMakeFiles/mmxdsp_apps.dir/g722/g722_app.cc.o" "gcc" "src/apps/CMakeFiles/mmxdsp_apps.dir/g722/g722_app.cc.o.d"
+  "/root/repo/src/apps/g722/g722_codec.cc" "src/apps/CMakeFiles/mmxdsp_apps.dir/g722/g722_codec.cc.o" "gcc" "src/apps/CMakeFiles/mmxdsp_apps.dir/g722/g722_codec.cc.o.d"
+  "/root/repo/src/apps/image/image_app.cc" "src/apps/CMakeFiles/mmxdsp_apps.dir/image/image_app.cc.o" "gcc" "src/apps/CMakeFiles/mmxdsp_apps.dir/image/image_app.cc.o.d"
+  "/root/repo/src/apps/jpeg/huffman.cc" "src/apps/CMakeFiles/mmxdsp_apps.dir/jpeg/huffman.cc.o" "gcc" "src/apps/CMakeFiles/mmxdsp_apps.dir/jpeg/huffman.cc.o.d"
+  "/root/repo/src/apps/jpeg/jpeg_decoder.cc" "src/apps/CMakeFiles/mmxdsp_apps.dir/jpeg/jpeg_decoder.cc.o" "gcc" "src/apps/CMakeFiles/mmxdsp_apps.dir/jpeg/jpeg_decoder.cc.o.d"
+  "/root/repo/src/apps/jpeg/jpeg_encoder.cc" "src/apps/CMakeFiles/mmxdsp_apps.dir/jpeg/jpeg_encoder.cc.o" "gcc" "src/apps/CMakeFiles/mmxdsp_apps.dir/jpeg/jpeg_encoder.cc.o.d"
+  "/root/repo/src/apps/jpeg/jpeg_tables.cc" "src/apps/CMakeFiles/mmxdsp_apps.dir/jpeg/jpeg_tables.cc.o" "gcc" "src/apps/CMakeFiles/mmxdsp_apps.dir/jpeg/jpeg_tables.cc.o.d"
+  "/root/repo/src/apps/radar/radar_app.cc" "src/apps/CMakeFiles/mmxdsp_apps.dir/radar/radar_app.cc.o" "gcc" "src/apps/CMakeFiles/mmxdsp_apps.dir/radar/radar_app.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nsp/CMakeFiles/mmxdsp_nsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mmxdsp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mmxdsp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmx/CMakeFiles/mmxdsp_mmx.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mmxdsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mmxdsp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mmxdsp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mmxdsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmxdsp_apps.dir/g722/g722_app.cc.o"
+  "CMakeFiles/mmxdsp_apps.dir/g722/g722_app.cc.o.d"
+  "CMakeFiles/mmxdsp_apps.dir/g722/g722_codec.cc.o"
+  "CMakeFiles/mmxdsp_apps.dir/g722/g722_codec.cc.o.d"
+  "CMakeFiles/mmxdsp_apps.dir/image/image_app.cc.o"
+  "CMakeFiles/mmxdsp_apps.dir/image/image_app.cc.o.d"
+  "CMakeFiles/mmxdsp_apps.dir/jpeg/huffman.cc.o"
+  "CMakeFiles/mmxdsp_apps.dir/jpeg/huffman.cc.o.d"
+  "CMakeFiles/mmxdsp_apps.dir/jpeg/jpeg_decoder.cc.o"
+  "CMakeFiles/mmxdsp_apps.dir/jpeg/jpeg_decoder.cc.o.d"
+  "CMakeFiles/mmxdsp_apps.dir/jpeg/jpeg_encoder.cc.o"
+  "CMakeFiles/mmxdsp_apps.dir/jpeg/jpeg_encoder.cc.o.d"
+  "CMakeFiles/mmxdsp_apps.dir/jpeg/jpeg_tables.cc.o"
+  "CMakeFiles/mmxdsp_apps.dir/jpeg/jpeg_tables.cc.o.d"
+  "CMakeFiles/mmxdsp_apps.dir/radar/radar_app.cc.o"
+  "CMakeFiles/mmxdsp_apps.dir/radar/radar_app.cc.o.d"
+  "libmmxdsp_apps.a"
+  "libmmxdsp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmxdsp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

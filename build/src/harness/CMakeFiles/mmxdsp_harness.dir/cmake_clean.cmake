@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmxdsp_harness.dir/paper_data.cc.o"
+  "CMakeFiles/mmxdsp_harness.dir/paper_data.cc.o.d"
+  "CMakeFiles/mmxdsp_harness.dir/suite.cc.o"
+  "CMakeFiles/mmxdsp_harness.dir/suite.cc.o.d"
+  "libmmxdsp_harness.a"
+  "libmmxdsp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmxdsp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

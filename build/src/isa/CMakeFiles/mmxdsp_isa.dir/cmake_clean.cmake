@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmxdsp_isa.dir/op.cc.o"
+  "CMakeFiles/mmxdsp_isa.dir/op.cc.o.d"
+  "libmmxdsp_isa.a"
+  "libmmxdsp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmxdsp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

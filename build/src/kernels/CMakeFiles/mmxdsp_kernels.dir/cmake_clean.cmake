@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmxdsp_kernels.dir/fft.cc.o"
+  "CMakeFiles/mmxdsp_kernels.dir/fft.cc.o.d"
+  "CMakeFiles/mmxdsp_kernels.dir/fir.cc.o"
+  "CMakeFiles/mmxdsp_kernels.dir/fir.cc.o.d"
+  "CMakeFiles/mmxdsp_kernels.dir/iir.cc.o"
+  "CMakeFiles/mmxdsp_kernels.dir/iir.cc.o.d"
+  "CMakeFiles/mmxdsp_kernels.dir/matvec.cc.o"
+  "CMakeFiles/mmxdsp_kernels.dir/matvec.cc.o.d"
+  "CMakeFiles/mmxdsp_kernels.dir/motion.cc.o"
+  "CMakeFiles/mmxdsp_kernels.dir/motion.cc.o.d"
+  "libmmxdsp_kernels.a"
+  "libmmxdsp_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmxdsp_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmxdsp_mem.dir/btb.cc.o"
+  "CMakeFiles/mmxdsp_mem.dir/btb.cc.o.d"
+  "CMakeFiles/mmxdsp_mem.dir/cache.cc.o"
+  "CMakeFiles/mmxdsp_mem.dir/cache.cc.o.d"
+  "libmmxdsp_mem.a"
+  "libmmxdsp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmxdsp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmxdsp_mmx.dir/mmx_ops.cc.o"
+  "CMakeFiles/mmxdsp_mmx.dir/mmx_ops.cc.o.d"
+  "libmmxdsp_mmx.a"
+  "libmmxdsp_mmx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmxdsp_mmx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

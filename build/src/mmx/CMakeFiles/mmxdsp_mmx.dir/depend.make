@@ -1,0 +1,2 @@
+# Empty dependencies file for mmxdsp_mmx.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nsp/alloc.cc" "src/nsp/CMakeFiles/mmxdsp_nsp.dir/alloc.cc.o" "gcc" "src/nsp/CMakeFiles/mmxdsp_nsp.dir/alloc.cc.o.d"
+  "/root/repo/src/nsp/dct.cc" "src/nsp/CMakeFiles/mmxdsp_nsp.dir/dct.cc.o" "gcc" "src/nsp/CMakeFiles/mmxdsp_nsp.dir/dct.cc.o.d"
+  "/root/repo/src/nsp/fft.cc" "src/nsp/CMakeFiles/mmxdsp_nsp.dir/fft.cc.o" "gcc" "src/nsp/CMakeFiles/mmxdsp_nsp.dir/fft.cc.o.d"
+  "/root/repo/src/nsp/filter.cc" "src/nsp/CMakeFiles/mmxdsp_nsp.dir/filter.cc.o" "gcc" "src/nsp/CMakeFiles/mmxdsp_nsp.dir/filter.cc.o.d"
+  "/root/repo/src/nsp/image.cc" "src/nsp/CMakeFiles/mmxdsp_nsp.dir/image.cc.o" "gcc" "src/nsp/CMakeFiles/mmxdsp_nsp.dir/image.cc.o.d"
+  "/root/repo/src/nsp/internal.cc" "src/nsp/CMakeFiles/mmxdsp_nsp.dir/internal.cc.o" "gcc" "src/nsp/CMakeFiles/mmxdsp_nsp.dir/internal.cc.o.d"
+  "/root/repo/src/nsp/vector.cc" "src/nsp/CMakeFiles/mmxdsp_nsp.dir/vector.cc.o" "gcc" "src/nsp/CMakeFiles/mmxdsp_nsp.dir/vector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/mmxdsp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mmxdsp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmx/CMakeFiles/mmxdsp_mmx.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mmxdsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mmxdsp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mmxdsp_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmxdsp_nsp.dir/alloc.cc.o"
+  "CMakeFiles/mmxdsp_nsp.dir/alloc.cc.o.d"
+  "CMakeFiles/mmxdsp_nsp.dir/dct.cc.o"
+  "CMakeFiles/mmxdsp_nsp.dir/dct.cc.o.d"
+  "CMakeFiles/mmxdsp_nsp.dir/fft.cc.o"
+  "CMakeFiles/mmxdsp_nsp.dir/fft.cc.o.d"
+  "CMakeFiles/mmxdsp_nsp.dir/filter.cc.o"
+  "CMakeFiles/mmxdsp_nsp.dir/filter.cc.o.d"
+  "CMakeFiles/mmxdsp_nsp.dir/image.cc.o"
+  "CMakeFiles/mmxdsp_nsp.dir/image.cc.o.d"
+  "CMakeFiles/mmxdsp_nsp.dir/internal.cc.o"
+  "CMakeFiles/mmxdsp_nsp.dir/internal.cc.o.d"
+  "CMakeFiles/mmxdsp_nsp.dir/vector.cc.o"
+  "CMakeFiles/mmxdsp_nsp.dir/vector.cc.o.d"
+  "libmmxdsp_nsp.a"
+  "libmmxdsp_nsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmxdsp_nsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

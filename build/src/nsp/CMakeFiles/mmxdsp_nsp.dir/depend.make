@@ -1,0 +1,2 @@
+# Empty dependencies file for mmxdsp_nsp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmxdsp_profile.dir/trace_dump.cc.o"
+  "CMakeFiles/mmxdsp_profile.dir/trace_dump.cc.o.d"
+  "CMakeFiles/mmxdsp_profile.dir/vprof.cc.o"
+  "CMakeFiles/mmxdsp_profile.dir/vprof.cc.o.d"
+  "libmmxdsp_profile.a"
+  "libmmxdsp_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmxdsp_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

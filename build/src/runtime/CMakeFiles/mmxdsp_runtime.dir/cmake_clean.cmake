@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmxdsp_runtime.dir/cpu.cc.o"
+  "CMakeFiles/mmxdsp_runtime.dir/cpu.cc.o.d"
+  "libmmxdsp_runtime.a"
+  "libmmxdsp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmxdsp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/pentium_timer.cc" "src/sim/CMakeFiles/mmxdsp_sim.dir/pentium_timer.cc.o" "gcc" "src/sim/CMakeFiles/mmxdsp_sim.dir/pentium_timer.cc.o.d"
+  "/root/repo/src/sim/uop.cc" "src/sim/CMakeFiles/mmxdsp_sim.dir/uop.cc.o" "gcc" "src/sim/CMakeFiles/mmxdsp_sim.dir/uop.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/mmxdsp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mmxdsp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mmxdsp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

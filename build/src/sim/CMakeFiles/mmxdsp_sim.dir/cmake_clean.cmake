@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmxdsp_sim.dir/pentium_timer.cc.o"
+  "CMakeFiles/mmxdsp_sim.dir/pentium_timer.cc.o.d"
+  "CMakeFiles/mmxdsp_sim.dir/uop.cc.o"
+  "CMakeFiles/mmxdsp_sim.dir/uop.cc.o.d"
+  "libmmxdsp_sim.a"
+  "libmmxdsp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmxdsp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

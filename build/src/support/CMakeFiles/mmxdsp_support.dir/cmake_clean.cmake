@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmxdsp_support.dir/fixed_point.cc.o"
+  "CMakeFiles/mmxdsp_support.dir/fixed_point.cc.o.d"
+  "CMakeFiles/mmxdsp_support.dir/logging.cc.o"
+  "CMakeFiles/mmxdsp_support.dir/logging.cc.o.d"
+  "CMakeFiles/mmxdsp_support.dir/rng.cc.o"
+  "CMakeFiles/mmxdsp_support.dir/rng.cc.o.d"
+  "CMakeFiles/mmxdsp_support.dir/signal_math.cc.o"
+  "CMakeFiles/mmxdsp_support.dir/signal_math.cc.o.d"
+  "CMakeFiles/mmxdsp_support.dir/table.cc.o"
+  "CMakeFiles/mmxdsp_support.dir/table.cc.o.d"
+  "libmmxdsp_support.a"
+  "libmmxdsp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmxdsp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmxdsp_workloads.dir/image_data.cc.o"
+  "CMakeFiles/mmxdsp_workloads.dir/image_data.cc.o.d"
+  "CMakeFiles/mmxdsp_workloads.dir/signal_data.cc.o"
+  "CMakeFiles/mmxdsp_workloads.dir/signal_data.cc.o.d"
+  "libmmxdsp_workloads.a"
+  "libmmxdsp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmxdsp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

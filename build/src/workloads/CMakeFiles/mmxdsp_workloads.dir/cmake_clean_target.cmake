@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmmxdsp_workloads.a"
+)

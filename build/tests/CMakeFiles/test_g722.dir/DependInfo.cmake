@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_g722.cc" "tests/CMakeFiles/test_g722.dir/test_g722.cc.o" "gcc" "tests/CMakeFiles/test_g722.dir/test_g722.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mmxdsp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mmxdsp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmx/CMakeFiles/mmxdsp_mmx.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mmxdsp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mmxdsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mmxdsp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/mmxdsp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/nsp/CMakeFiles/mmxdsp_nsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mmxdsp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/mmxdsp_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mmxdsp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/mmxdsp_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_g722.dir/test_g722.cc.o"
+  "CMakeFiles/test_g722.dir/test_g722.cc.o.d"
+  "test_g722"
+  "test_g722.pdb"
+  "test_g722[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_g722.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

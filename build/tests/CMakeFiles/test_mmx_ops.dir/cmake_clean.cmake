@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mmx_ops.dir/test_mmx_ops.cc.o"
+  "CMakeFiles/test_mmx_ops.dir/test_mmx_ops.cc.o.d"
+  "test_mmx_ops"
+  "test_mmx_ops.pdb"
+  "test_mmx_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mmx_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

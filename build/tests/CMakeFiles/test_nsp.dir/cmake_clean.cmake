@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nsp.dir/test_nsp.cc.o"
+  "CMakeFiles/test_nsp.dir/test_nsp.cc.o.d"
+  "test_nsp"
+  "test_nsp.pdb"
+  "test_nsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
