@@ -11,8 +11,10 @@
  * expensive.
  */
 
+#include <algorithm>
 #include <cstdio>
 
+#include "harness/cli.hh"
 #include "profile/vprof.hh"
 #include "runtime/cpu.hh"
 #include "support/table.hh"
@@ -23,8 +25,9 @@ using runtime::F64;
 using runtime::M64;
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::BenchOptions opts = harness::parseBenchArgs(argc, argv);
     Cpu cpu;
     alignas(8) int16_t data[8] = {1, 2, 3, 4, 5, 6, 7, 8};
     float fdata[2] = {1.5f, 2.5f};
@@ -34,7 +37,7 @@ main()
     Table table({"k (ops per switch)", "cycles/iter", "cycles per useful "
                  "op", "emms share"});
     for (int k : {1, 2, 4, 8, 16, 32, 64, 128}) {
-        const int iters = 256;
+        const int iters = std::max(16, 256 / opts.scale);
         profile::VProf prof;
         cpu.attachSink(&prof);
         for (int it = 0; it < iters; ++it) {

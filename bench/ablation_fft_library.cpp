@@ -14,6 +14,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "harness/cli.hh"
 #include "kernels/fft.hh"
 #include "profile/vprof.hh"
 #include "runtime/cpu.hh"
@@ -39,9 +40,10 @@ maxRelError(const std::vector<std::complex<double>> &got,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const int n = 4096; // the paper's kernel size
+    harness::BenchOptions opts = harness::parseBenchArgs(argc, argv);
+    const int n = opts.suiteConfig().fft_size; // the paper's 4096 at scale 1
     kernels::FftBenchmark fft;
     fft.setup(n, 21);
     runtime::Cpu cpu;

@@ -12,10 +12,12 @@
  * Part 2 shows the whole-codec consequence (g722.c vs g722.mmx).
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "apps/g722/g722_app.hh"
 #include "apps/g722/g722_codec.hh"
+#include "harness/cli.hh"
 #include "workloads/signal_data.hh"
 #include "nsp/vector.hh"
 #include "profile/vprof.hh"
@@ -27,8 +29,9 @@ using namespace mmxdsp;
 using runtime::Cpu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::BenchOptions opts = harness::parseBenchArgs(argc, argv);
     Cpu cpu;
     Rng rng(3);
 
@@ -65,7 +68,7 @@ main()
     std::printf("\nPart 2: the consequence for the sample-at-a-time "
                 "codec\n\n");
     apps::g722::G722Benchmark bench;
-    bench.setup(2048, 5);
+    bench.setup(std::max(256, 2048 / opts.scale), 5);
     profile::VProf pc;
     cpu.attachSink(&pc);
     bench.runC(cpu);

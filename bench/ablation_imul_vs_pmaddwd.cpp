@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "harness/cli.hh"
 #include "kernels/matvec.hh"
 #include "profile/vprof.hh"
 #include "runtime/cpu.hh"
@@ -72,8 +73,9 @@ microMultiplyCost()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::parseBenchArgs(argc, argv);
     std::printf("Ablation: imul (10-cycle, not pipelined) vs pmaddwd "
                 "(3-cycle, pipelined, 2 multiplies)\n\n");
     microMultiplyCost();

@@ -13,10 +13,12 @@
  * library composition vs the hand-coded 2-D MMX DCT.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
 #include "apps/jpeg/jpeg_encoder.hh"
+#include "harness/cli.hh"
 #include "nsp/dct.hh"
 #include "profile/vprof.hh"
 #include "runtime/cpu.hh"
@@ -61,9 +63,12 @@ coreCycles(const profile::ProfileResult &r)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    auto img = workloads::makeTestImage(128, 96, 33);
+    harness::BenchOptions opts = harness::parseBenchArgs(argc, argv);
+    const int w = std::max(32, 128 / opts.scale);
+    const int h = std::max(32, 96 / opts.scale);
+    auto img = workloads::makeTestImage(w, h, 33);
     apps::jpeg::JpegBenchmark bench;
     bench.setup(img, 75);
     Cpu cpu;
@@ -80,7 +85,7 @@ main()
     auto rc = pc.result();
     auto rm = pm.result();
 
-    std::printf("Part 1: per-function cycles, %dx%d image\n\n", 128, 96);
+    std::printf("Part 1: per-function cycles, %dx%d image\n\n", w, h);
     for (auto *r : {&rc, &rm}) {
         std::printf("-- %s version --\n", r == &rc ? "C" : "MMX");
         Table t({"function", "calls", "cycles", "% of total"});

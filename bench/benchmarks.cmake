@@ -17,6 +17,7 @@ mmxdsp_add_bench(ablation_fft_library)
 mmxdsp_add_bench(ablation_jpeg_core_vs_app)
 mmxdsp_add_bench(ablation_g722_blocking)
 mmxdsp_add_bench(ablation_emms)
+mmxdsp_add_bench(ablation_cache_sweep)
 mmxdsp_add_bench(ext_motion_estimation)
 mmxdsp_add_bench(micro_pentium_model)
 

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "harness/cli.hh"
 #include "kernels/motion.hh"
 #include "profile/vprof.hh"
 #include "runtime/cpu.hh"
@@ -17,8 +18,9 @@
 using namespace mmxdsp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::parseBenchArgs(argc, argv);
     std::printf("Extension: MPEG-style motion estimation (full-search "
                 "16x16 SAD)\n\n");
 

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "harness/cli.hh"
 #include "harness/paper_data.hh"
 #include "harness/suite.hh"
 #include "support/table.hh"
@@ -28,9 +29,11 @@ bar(double fraction, double per_char = 0.01)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchmarkSuite suite;
+    harness::BenchOptions opts = harness::parseBenchArgs(argc, argv);
+    BenchmarkSuite suite = opts.makeSuite();
+    harness::runAllTimed(suite, opts.threads);
     auto order = suite.benchmarksBySpeedup();
 
     std::printf("Figure 1(a): breakdown of MMX instructions, benchmarks "

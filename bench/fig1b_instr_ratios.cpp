@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "harness/cli.hh"
 #include "harness/paper_data.hh"
 #include "harness/suite.hh"
 #include "support/table.hh"
@@ -16,9 +17,11 @@ using namespace mmxdsp;
 using harness::BenchmarkSuite;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchmarkSuite suite;
+    harness::BenchOptions opts = harness::parseBenchArgs(argc, argv);
+    BenchmarkSuite suite = opts.makeSuite();
+    harness::runAllTimed(suite, opts.threads);
     auto order = suite.benchmarksBySpeedup();
 
     std::printf("Figure 1(b): C-only vs MMX instruction-count ratios, "

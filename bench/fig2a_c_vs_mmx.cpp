@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "harness/cli.hh"
 #include "harness/paper_data.hh"
 #include "harness/suite.hh"
 #include "support/table.hh"
@@ -18,9 +19,11 @@ using namespace mmxdsp;
 using harness::BenchmarkSuite;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchmarkSuite suite;
+    harness::BenchOptions opts = harness::parseBenchArgs(argc, argv);
+    BenchmarkSuite suite = opts.makeSuite();
+    harness::runAllTimed(suite, opts.threads);
     auto order = suite.benchmarksBySpeedup();
 
     std::printf("Figure 2(a): C-only / MMX ratios — speedup, dynamic "

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "harness/cli.hh"
 #include "harness/paper_data.hh"
 #include "harness/suite.hh"
 #include "support/table.hh"
@@ -17,9 +18,10 @@ using namespace mmxdsp;
 using harness::BenchmarkSuite;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchmarkSuite suite;
+    harness::BenchOptions opts = harness::parseBenchArgs(argc, argv);
+    BenchmarkSuite suite = opts.makeSuite();
 
     std::printf("Figure 2(b): fp-library / MMX ratios — speedup, dynamic "
                 "instructions, memory references\n\n");

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "harness/cli.hh"
 #include "harness/suite.hh"
 #include "support/table.hh"
 
@@ -15,11 +16,13 @@ using namespace mmxdsp;
 using harness::BenchmarkSuite;
 
 int
-main()
+main(int argc, char **argv)
 {
-    harness::SuiteConfig config;
+    harness::BenchOptions opts = harness::parseBenchArgs(argc, argv);
+    harness::SuiteConfig config = opts.suiteConfig();
     config.scaleDown(2); // characterization doesn't need full sizes
-    BenchmarkSuite suite(config);
+    BenchmarkSuite suite(config, opts.traceOptions());
+    harness::runAllTimed(suite, opts.threads);
 
     Table table({"program", "IPC", "pair rate", "mem-stall %",
                  "depend-stall %", "mispredict %", "L1 miss", "BTB mpr"});

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "harness/cli.hh"
 #include "harness/paper_data.hh"
 #include "harness/suite.hh"
 #include "support/table.hh"
@@ -20,9 +21,11 @@ using namespace mmxdsp;
 using harness::BenchmarkSuite;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchmarkSuite suite;
+    harness::BenchOptions opts = harness::parseBenchArgs(argc, argv);
+    BenchmarkSuite suite = opts.makeSuite();
+    harness::runAllTimed(suite, opts.threads);
 
     Table table({"Program", "Static", "Dyn uops", "Dyn instrs", "%Mem",
                  "%MMX", "| paper:", "Static", "Dyn uops", "Dyn instrs",

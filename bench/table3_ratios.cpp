@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <limits>
 
+#include "harness/cli.hh"
 #include "harness/paper_data.hh"
 #include "harness/suite.hh"
 #include "support/table.hh"
@@ -29,9 +30,11 @@ ratio(uint64_t a, uint64_t b)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchmarkSuite suite;
+    harness::BenchOptions opts = harness::parseBenchArgs(argc, argv);
+    BenchmarkSuite suite = opts.makeSuite();
+    harness::runAllTimed(suite, opts.threads);
 
     Table table({"Program", "Speedup", "Static", "Dynamic", "uops", "Mem",
                  "| paper:", "Speedup", "Static", "Dynamic", "uops",

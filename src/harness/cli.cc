@@ -1,0 +1,117 @@
+#include "cli.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/parallel.hh"
+
+namespace mmxdsp::harness {
+
+namespace {
+
+[[noreturn]] void
+usage(const char *prog, int exit_code)
+{
+    std::printf(
+        "usage: %s [--scale=N] [--threads=N] [--trace-dir=PATH]\n"
+        "          [--no-trace-cache]\n"
+        "\n"
+        "  --scale=N         shrink every workload by ~N for quick runs\n"
+        "  --threads=N       replay worker threads (0 = auto)\n"
+        "  --trace-dir=PATH  instruction-trace cache directory\n"
+        "                    (default traces; MMXDSP_TRACE_DIR overrides)\n"
+        "  --no-trace-cache  always execute; skip trace capture/replay\n",
+        prog);
+    std::exit(exit_code);
+}
+
+bool
+parseIntFlag(const char *arg, const char *name, int *out)
+{
+    const size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) != 0 || arg[len] != '=')
+        return false;
+    char *end = nullptr;
+    const long v = std::strtol(arg + len + 1, &end, 10);
+    if (end == arg + len + 1 || *end != '\0' || v < 0 || v > 1 << 20)
+        return false;
+    *out = static_cast<int>(v);
+    return true;
+}
+
+} // namespace
+
+SuiteConfig
+BenchOptions::suiteConfig() const
+{
+    SuiteConfig config;
+    config.scaleDown(scale);
+    return config;
+}
+
+TraceOptions
+BenchOptions::traceOptions() const
+{
+    TraceOptions topts;
+    topts.enabled = trace_cache;
+    topts.dir = trace_dir;
+    return topts;
+}
+
+BenchmarkSuite
+BenchOptions::makeSuite() const
+{
+    return BenchmarkSuite(suiteConfig(), traceOptions());
+}
+
+BenchOptions
+parseBenchArgs(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0)
+            usage(argv[0], 0);
+        else if (parseIntFlag(arg, "--scale", &opts.scale)) {
+            if (opts.scale < 1)
+                opts.scale = 1;
+        } else if (parseIntFlag(arg, "--threads", &opts.threads)) {
+        } else if (std::strncmp(arg, "--trace-dir=", 12) == 0
+                   && arg[12] != '\0') {
+            opts.trace_dir = arg + 12;
+        } else if (std::strcmp(arg, "--no-trace-cache") == 0) {
+            opts.trace_cache = false;
+        } else if (std::strcmp(arg, "--trace-cache") == 0) {
+            opts.trace_cache = true;
+        } else {
+            std::fprintf(stderr, "%s: unrecognized argument '%s'\n\n",
+                         argv[0], arg);
+            usage(argv[0], 1);
+        }
+    }
+    return opts;
+}
+
+void
+runAllTimed(BenchmarkSuite &suite, int threads)
+{
+    const auto start = std::chrono::steady_clock::now();
+    suite.runAll(threads);
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+
+    const BenchmarkSuite::TraceActivity &activity = suite.traceActivity();
+    std::fprintf(
+        stderr,
+        "[harness] %d pair(s) captured live, %d replayed from %s; "
+        "%d worker thread(s), %lld ms\n",
+        activity.captured, activity.disk_hits,
+        suite.traceCache().enabled() ? suite.traceCache().dir().c_str()
+                                     : "(cache off)",
+        resolveThreads(threads),
+        static_cast<long long>(elapsed.count()));
+}
+
+} // namespace mmxdsp::harness

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The shared command-line interface of the bench/ binaries.
+ *
+ * Every table/figure/ablation binary accepts the same flags so the full
+ * result set can be produced quickly on scaled-down workloads and fanned
+ * out over worker threads:
+ *
+ *   --scale=N          shrink every workload by ~N (SuiteConfig::scaleDown)
+ *   --threads=N        replay worker threads (0 = auto, default 0)
+ *   --trace-dir=PATH   on-disk trace cache directory (default "traces")
+ *   --no-trace-cache   always execute; do not read or write trace files
+ *   --help             usage
+ *
+ * MMXDSP_TRACE_DIR / MMXDSP_TRACE_CACHE=0 override the trace flags.
+ */
+
+#ifndef MMXDSP_HARNESS_CLI_HH
+#define MMXDSP_HARNESS_CLI_HH
+
+#include <string>
+
+#include "harness/suite.hh"
+
+namespace mmxdsp::harness {
+
+/** Parsed bench-binary options. */
+struct BenchOptions
+{
+    int scale = 1;
+    int threads = 0; ///< 0 = auto (support/parallel resolveThreads)
+    bool trace_cache = true;
+    std::string trace_dir = "traces";
+
+    /** The workload config: paper defaults scaled down by --scale. */
+    SuiteConfig suiteConfig() const;
+
+    /** The trace options implied by the flags. */
+    TraceOptions traceOptions() const;
+
+    /** Convenience: a suite built from the two above. */
+    BenchmarkSuite makeSuite() const;
+};
+
+/**
+ * Parse the shared flags. Prints usage and exits on --help or an
+ * unrecognized/malformed argument, so bench mains can assume a valid
+ * result.
+ */
+BenchOptions parseBenchArgs(int argc, char **argv);
+
+/**
+ * runAll() wrapped in a wall-clock measurement, with a stderr
+ * provenance footer (captured vs disk-cache-replayed pair counts,
+ * worker threads, elapsed time). Tables on stdout stay byte-identical
+ * across runs; the footer shows where the numbers came from.
+ */
+void runAllTimed(BenchmarkSuite &suite, int threads);
+
+} // namespace mmxdsp::harness
+
+#endif // MMXDSP_HARNESS_CLI_HH

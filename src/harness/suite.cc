@@ -11,6 +11,10 @@
 #include "kernels/iir.hh"
 #include "kernels/matvec.hh"
 #include "support/logging.hh"
+#include "support/parallel.hh"
+#include "trace/format.hh"
+#include "trace/replay.hh"
+#include "trace/writer.hh"
 #include "workloads/image_data.hh"
 
 namespace mmxdsp::harness {
@@ -33,6 +37,26 @@ SuiteConfig::scaleDown(int factor)
     radar_echoes = std::max(65, radar_echoes / factor);
 }
 
+uint64_t
+SuiteConfig::hash() const
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    h = trace::fnv1aMix(h, trace::kFormatVersion);
+    h = trace::fnv1aMix(h, static_cast<uint64_t>(fir_samples));
+    h = trace::fnv1aMix(h, static_cast<uint64_t>(iir_samples));
+    h = trace::fnv1aMix(h, static_cast<uint64_t>(fft_size));
+    h = trace::fnv1aMix(h, static_cast<uint64_t>(matvec_dim));
+    h = trace::fnv1aMix(h, static_cast<uint64_t>(image_width));
+    h = trace::fnv1aMix(h, static_cast<uint64_t>(image_height));
+    h = trace::fnv1aMix(h, static_cast<uint64_t>(jpeg_width));
+    h = trace::fnv1aMix(h, static_cast<uint64_t>(jpeg_height));
+    h = trace::fnv1aMix(h, static_cast<uint64_t>(jpeg_quality));
+    h = trace::fnv1aMix(h, static_cast<uint64_t>(g722_samples));
+    h = trace::fnv1aMix(h, static_cast<uint64_t>(radar_echoes));
+    h = trace::fnv1aMix(h, seed);
+    return h;
+}
+
 struct BenchmarkSuite::Impl
 {
     kernels::FirBenchmark fir;
@@ -46,8 +70,12 @@ struct BenchmarkSuite::Impl
     runtime::Cpu cpu;
 };
 
-BenchmarkSuite::BenchmarkSuite(const SuiteConfig &config)
-    : config_(config), impl_(std::make_unique<Impl>())
+BenchmarkSuite::BenchmarkSuite(const SuiteConfig &config,
+                               const TraceOptions &trace_options)
+    : config_(config),
+      traceCache_(
+          trace::TraceCache::fromEnv(trace_options.dir, trace_options.enabled)),
+      impl_(std::make_unique<Impl>())
 {
     impl_->fir.setup(config.fir_samples, config.seed);
     impl_->iir.setup(config.iir_samples, config.seed + 1);
@@ -68,17 +96,12 @@ BenchmarkSuite::BenchmarkSuite(const SuiteConfig &config)
 
 BenchmarkSuite::~BenchmarkSuite() = default;
 
-const RunResult &
-BenchmarkSuite::run(const std::string &benchmark, const std::string &version)
+void
+BenchmarkSuite::executeLive(const std::string &benchmark,
+                            const std::string &version, sim::TraceSink *sink)
 {
-    const std::string key = benchmark + "." + version;
-    auto it = cache_.find(key);
-    if (it != cache_.end())
-        return it->second;
-
-    profile::VProf prof;
     runtime::Cpu &cpu = impl_->cpu;
-    cpu.attachSink(&prof);
+    cpu.attachSink(sink);
 
     bool ok = true;
     if (benchmark == "fir") {
@@ -152,14 +175,180 @@ BenchmarkSuite::run(const std::string &benchmark, const std::string &version)
     if (!ok)
         mmxdsp_fatal("unknown benchmark run %s.%s", benchmark.c_str(),
                      version.c_str());
+}
+
+std::shared_ptr<const trace::TraceReader>
+BenchmarkSuite::ensureTrace(const std::string &benchmark,
+                            const std::string &version)
+{
+    const std::string key = benchmark + "." + version;
+    auto it = traces_.find(key);
+    if (it != traces_.end())
+        return it->second;
+
+    const uint64_t h = config_.hash();
+    auto reader = std::make_shared<trace::TraceReader>();
+    if (traceCache_.load(benchmark, version, h, *reader)) {
+        ++activity_.disk_hits;
+    } else {
+        // Capture-only pass: no profiler attached, so the capture costs
+        // functional execution plus encoding, not a timing-model run.
+        trace::TraceWriter writer(benchmark, version, h);
+        executeLive(benchmark, version, &writer);
+        writer.finish(&impl_->cpu);
+        std::vector<uint8_t> image = writer.serialize();
+        traceCache_.store(benchmark, version, h, image);
+        if (!reader->parse(std::move(image)))
+            mmxdsp_panic("freshly captured trace failed to parse (%s)",
+                         key.c_str());
+        ++activity_.captured;
+    }
+    auto [pos, inserted] =
+        traces_.emplace(key, std::shared_ptr<const trace::TraceReader>(
+                                 std::move(reader)));
+    (void)inserted;
+    return pos->second;
+}
+
+const RunResult &
+BenchmarkSuite::run(const std::string &benchmark, const std::string &version)
+{
+    const std::string key = benchmark + "." + version;
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
 
     RunResult result;
     result.benchmark = benchmark;
     result.version = version;
-    result.profile = prof.result();
+
+    const std::string tkey = benchmark + "." + version;
+    auto cached = traces_.find(tkey);
+    if (cached == traces_.end() && traceCache_.enabled()) {
+        // Try the on-disk cache before paying for an execution.
+        const uint64_t h = config_.hash();
+        auto reader = std::make_shared<trace::TraceReader>();
+        if (traceCache_.load(benchmark, version, h, *reader)) {
+            cached = traces_.emplace(tkey, std::move(reader)).first;
+            ++activity_.disk_hits;
+        }
+    }
+
+    if (cached != traces_.end()) {
+        result.profile = trace::replayProfile(*cached->second);
+        result.replayed = true;
+    } else if (traceCache_.enabled()) {
+        // Live run: profile and capture in one pass through a tee.
+        const uint64_t h = config_.hash();
+        profile::VProf prof;
+        trace::TraceWriter writer(benchmark, version, h);
+        sim::TeeSink tee(&prof, &writer);
+        executeLive(benchmark, version, &tee);
+        writer.finish(&impl_->cpu);
+        std::vector<uint8_t> image = writer.serialize();
+        traceCache_.store(benchmark, version, h, image);
+        auto reader = std::make_shared<trace::TraceReader>();
+        if (!reader->parse(std::move(image)))
+            mmxdsp_panic("freshly captured trace failed to parse (%s)",
+                         key.c_str());
+        traces_.emplace(tkey, std::move(reader));
+        result.profile = prof.result();
+        ++activity_.captured;
+    } else {
+        profile::VProf prof;
+        executeLive(benchmark, version, &prof);
+        result.profile = prof.result();
+    }
+
     auto [pos, inserted] = cache_.emplace(key, std::move(result));
     (void)inserted;
     return pos->second;
+}
+
+void
+BenchmarkSuite::runAll(int n_threads)
+{
+    struct Job
+    {
+        std::string benchmark;
+        std::string version;
+        std::shared_ptr<const trace::TraceReader> reader;
+        profile::ProfileResult profile;
+    };
+
+    // Phase 1: gather every pair still to be measured.
+    std::vector<Job> jobs;
+    for (const auto &[benchmark, version] : allRuns()) {
+        if (cache_.count(benchmark + "." + version))
+            continue;
+        Job job;
+        job.benchmark = benchmark;
+        job.version = version;
+        auto it = traces_.find(benchmark + "." + version);
+        if (it != traces_.end())
+            job.reader = it->second;
+        jobs.push_back(std::move(job));
+    }
+
+    // Phase 2 (parallel): the on-disk lookups — checksumming and
+    // decoding a trace costs real time, and each load is independent.
+    const uint64_t h = config_.hash();
+    parallelFor(jobs.size(), n_threads, [&](size_t i) {
+        if (jobs[i].reader)
+            return;
+        auto reader = std::make_shared<trace::TraceReader>();
+        if (traceCache_.load(jobs[i].benchmark, jobs[i].version, h,
+                             *reader))
+            jobs[i].reader = std::move(reader);
+    });
+    for (Job &job : jobs) {
+        if (!job.reader)
+            continue;
+        auto [pos, inserted] =
+            traces_.emplace(job.benchmark + "." + job.version, job.reader);
+        if (inserted)
+            ++activity_.disk_hits;
+        job.reader = pos->second;
+    }
+
+    // Phase 3 (serial): capture whatever the disk didn't have. The
+    // runtime executes single-threaded.
+    for (Job &job : jobs) {
+        if (!job.reader)
+            job.reader = ensureTrace(job.benchmark, job.version);
+    }
+
+    // Phase 4 (parallel): each worker replays a trace through its own
+    // profiler/timing model; the shared readers are immutable.
+    parallelFor(jobs.size(), n_threads, [&](size_t i) {
+        jobs[i].profile = trace::replayProfile(*jobs[i].reader);
+    });
+
+    for (Job &job : jobs) {
+        RunResult result;
+        result.benchmark = job.benchmark;
+        result.version = job.version;
+        result.profile = std::move(job.profile);
+        result.replayed = true;
+        cache_.emplace(job.benchmark + "." + job.version, std::move(result));
+    }
+}
+
+std::shared_ptr<const trace::TraceReader>
+BenchmarkSuite::traceFor(const std::string &benchmark,
+                         const std::string &version)
+{
+    return ensureTrace(benchmark, version);
+}
+
+std::vector<profile::ProfileResult>
+BenchmarkSuite::sweep(const std::string &benchmark,
+                      const std::string &version,
+                      const std::vector<sim::TimerConfig> &configs,
+                      int threads)
+{
+    auto reader = ensureTrace(benchmark, version);
+    return trace::replaySweep(*reader, configs, threads);
 }
 
 std::vector<std::pair<std::string, std::string>>

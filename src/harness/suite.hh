@@ -4,6 +4,15 @@
  * (benchmark, version) pair under a fresh profiler with the paper's
  * workload parameters, and caches results so one bench binary can build
  * several tables from a single simulation pass.
+ *
+ * With tracing enabled the harness follows the paper's VTune
+ * methodology — capture the instruction stream once, characterize it as
+ * often as needed: live runs are captured through a trace::TraceWriter
+ * and persisted in a content-addressed on-disk cache; subsequent runs
+ * (or other bench binaries with the same workload config) replay the
+ * trace through the profiler without re-executing benchmark code, with
+ * bit-identical metrics. runAll() fans replay out over a worker pool,
+ * and sweep() replays one trace under many timing configurations.
  */
 
 #ifndef MMXDSP_HARNESS_SUITE_HH
@@ -16,6 +25,9 @@
 
 #include "profile/vprof.hh"
 #include "runtime/cpu.hh"
+#include "sim/pentium_timer.hh"
+#include "trace/cache.hh"
+#include "trace/reader.hh"
 
 namespace mmxdsp::harness {
 
@@ -36,6 +48,22 @@ struct SuiteConfig
     uint64_t seed = 42;
     /** Shrink every workload (for quick runs / examples). */
     void scaleDown(int factor);
+
+    /**
+     * Key of this workload for the trace cache: an FNV-1a hash over
+     * every field above plus the trace format version, so any workload
+     * or format change misses cleanly.
+     */
+    uint64_t hash() const;
+};
+
+/** How the suite uses the instruction-trace layer. */
+struct TraceOptions
+{
+    /** Capture executions and replay cached traces. */
+    bool enabled = false;
+    /** On-disk cache directory (MMXDSP_TRACE_DIR overrides). */
+    std::string dir = "traces";
 };
 
 /** One measured (benchmark, version) run. */
@@ -44,6 +72,8 @@ struct RunResult
     std::string benchmark;
     std::string version; ///< "c", "fp", "mmx", "mmx_v1"
     profile::ProfileResult profile;
+    /** True when the metrics came from trace replay, not execution. */
+    bool replayed = false;
 
     std::string name() const { return benchmark + "." + version; }
 };
@@ -51,7 +81,8 @@ struct RunResult
 class BenchmarkSuite
 {
   public:
-    explicit BenchmarkSuite(const SuiteConfig &config = SuiteConfig{});
+    explicit BenchmarkSuite(const SuiteConfig &config = SuiteConfig{},
+                            const TraceOptions &trace_options = TraceOptions{});
     ~BenchmarkSuite();
 
     /**
@@ -59,9 +90,38 @@ class BenchmarkSuite
      * fft/fir/iir/matvec/jpeg/image/g722/radar; versions "c" for all,
      * "fp" for fft/fir/iir, "mmx" for all, "mmx_v1" for fft.
      * Fatal on unknown pairs.
+     *
+     * With tracing enabled, a disk-cached trace is replayed instead of
+     * executing, and live executions are captured for next time.
      */
     const RunResult &run(const std::string &benchmark,
                          const std::string &version);
+
+    /**
+     * Produce every (benchmark, version) result. Missing traces are
+     * captured first (serially — the runtime is single-threaded), then
+     * all pending profiles are computed by replaying traces across
+     * @p n_threads workers (0 = auto). Afterwards run() returns cached
+     * results. Metrics are bit-identical to the serial path.
+     */
+    void runAll(int n_threads = 1);
+
+    /**
+     * The captured trace for one pair (capturing it on demand), usable
+     * with trace::replayProfile / trace::replaySweep. Valid as long as
+     * the suite lives.
+     */
+    std::shared_ptr<const trace::TraceReader>
+    traceFor(const std::string &benchmark, const std::string &version);
+
+    /**
+     * Replay one benchmark's trace under every timing configuration in
+     * @p configs (L1/L2 geometry, penalties, BTB size, ...), fanning out
+     * over @p threads workers. One capture, many machine models.
+     */
+    std::vector<profile::ProfileResult>
+    sweep(const std::string &benchmark, const std::string &version,
+          const std::vector<sim::TimerConfig> &configs, int threads = 0);
 
     /** All (benchmark, version) pairs, kernels first (paper order). */
     static std::vector<std::pair<std::string, std::string>> allRuns();
@@ -73,13 +133,36 @@ class BenchmarkSuite
     double speedup(const std::string &benchmark);
 
     const SuiteConfig &config() const { return config_; }
+    const trace::TraceCache &traceCache() const { return traceCache_; }
+
+    /** How traces were obtained so far (for provenance footers). */
+    struct TraceActivity
+    {
+        int captured = 0;  ///< pairs executed live this process
+        int disk_hits = 0; ///< pairs loaded from the on-disk cache
+    };
+    const TraceActivity &traceActivity() const { return activity_; }
 
   private:
     struct Impl;
 
+    /** Execute one pair on the live runtime with @p sink attached. */
+    void executeLive(const std::string &benchmark,
+                     const std::string &version, sim::TraceSink *sink);
+
+    /**
+     * Ensure an in-memory trace exists for the pair: from the run
+     * cache's capture, the disk cache, or a fresh capture-only pass.
+     */
+    std::shared_ptr<const trace::TraceReader>
+    ensureTrace(const std::string &benchmark, const std::string &version);
+
     SuiteConfig config_;
+    trace::TraceCache traceCache_;
+    TraceActivity activity_;
     std::unique_ptr<Impl> impl_;
     std::map<std::string, RunResult> cache_;
+    std::map<std::string, std::shared_ptr<const trace::TraceReader>> traces_;
 };
 
 } // namespace mmxdsp::harness

@@ -1,5 +1,7 @@
 #include "cache.hh"
 
+#include <cstdio>
+
 #include "support/logging.hh"
 
 namespace mmxdsp::mem {
@@ -13,6 +15,19 @@ isPowerOfTwo(uint64_t v)
 }
 
 } // namespace
+
+std::string
+CacheConfig::describe() const
+{
+    char buf[64];
+    if (size_bytes >= 1024 && size_bytes % 1024 == 0)
+        std::snprintf(buf, sizeof(buf), "%uKB/%uB/%uw", size_bytes / 1024,
+                      line_bytes, ways);
+    else
+        std::snprintf(buf, sizeof(buf), "%uB/%uB/%uw", size_bytes,
+                      line_bytes, ways);
+    return buf;
+}
 
 Cache::Cache(const CacheConfig &config)
     : config_(config)

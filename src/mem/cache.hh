@@ -24,6 +24,9 @@ struct CacheConfig
     uint32_t size_bytes = 16 * 1024;
     uint32_t line_bytes = 32;
     uint32_t ways = 4;
+
+    /** Compact geometry label for sweep reports, e.g. "16KB/32B/4w". */
+    std::string describe() const;
 };
 
 /** Hit/miss counters for one cache level. */

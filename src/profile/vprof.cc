@@ -178,6 +178,22 @@ VProf::result() const
 void
 VProf::printReport(const runtime::Cpu &cpu, size_t top_sites) const
 {
+    printReport(
+        [&cpu](uint32_t id) {
+            const runtime::SiteInfo &info = cpu.siteInfo(id);
+            const char *file = info.file;
+            if (const char *slash = strrchr(file, '/'))
+                file = slash + 1;
+            char buf[256];
+            std::snprintf(buf, sizeof(buf), "%s:%u", file, info.line);
+            return std::string(buf);
+        },
+        top_sites);
+}
+
+void
+VProf::printReport(const SiteLabeler &label, size_t top_sites) const
+{
     ProfileResult r = result();
 
     std::printf("=== VProf report ===\n");
@@ -254,13 +270,7 @@ VProf::printReport(const runtime::Cpu &cpu, size_t top_sites) const
         hot.resize(top_sites);
     Table sites({"site", "instructions", "cycles"});
     for (const auto &[id, st] : hot) {
-        const runtime::SiteInfo &info = cpu.siteInfo(id);
-        const char *file = info.file;
-        if (const char *slash = strrchr(file, '/'))
-            file = slash + 1;
-        char buf[256];
-        std::snprintf(buf, sizeof(buf), "%s:%u", file, info.line);
-        sites.addRow({buf,
+        sites.addRow({label(id),
                       Table::fmtCount(static_cast<int64_t>(st.instructions)),
                       Table::fmtCount(static_cast<int64_t>(st.cycles))});
     }

@@ -16,6 +16,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -107,12 +108,22 @@ class VProf : public sim::TraceSink
         return sites_;
     }
 
+    /** Maps a static-site id to a printable "file:line" label. */
+    using SiteLabeler = std::function<std::string(uint32_t)>;
+
     /**
      * Print a VTune-style report: summary, instruction mix, function
      * breakdown, and the top-N hottest static sites (needs the Cpu to
      * translate site ids back to file:line).
      */
     void printReport(const runtime::Cpu &cpu, size_t top_sites = 10) const;
+
+    /**
+     * Same report with an arbitrary site labeler — lets trace replays
+     * print hotspots using the site table embedded in the trace instead
+     * of the live process's site table.
+     */
+    void printReport(const SiteLabeler &label, size_t top_sites = 10) const;
 
     const sim::PentiumTimer &timer() const { return timer_; }
 

@@ -31,6 +31,51 @@ class TraceSink
     virtual void onLeaveFunction() {}
 };
 
+/**
+ * Fans one event stream out to two sinks in order (either may be null).
+ * Used to profile live while a TraceWriter captures the same execution,
+ * which is what makes capture and measurement one pass.
+ */
+class TeeSink final : public TraceSink
+{
+  public:
+    TeeSink(TraceSink *first, TraceSink *second)
+        : first_(first), second_(second)
+    {
+    }
+
+    void
+    onInstr(const isa::InstrEvent &event) override
+    {
+        if (first_)
+            first_->onInstr(event);
+        if (second_)
+            second_->onInstr(event);
+    }
+
+    void
+    onEnterFunction(const char *name) override
+    {
+        if (first_)
+            first_->onEnterFunction(name);
+        if (second_)
+            second_->onEnterFunction(name);
+    }
+
+    void
+    onLeaveFunction() override
+    {
+        if (first_)
+            first_->onLeaveFunction();
+        if (second_)
+            second_->onLeaveFunction();
+    }
+
+  private:
+    TraceSink *first_;
+    TraceSink *second_;
+};
+
 } // namespace mmxdsp::sim
 
 #endif // MMXDSP_SIM_TRACE_SINK_HH

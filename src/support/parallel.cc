@@ -1,0 +1,62 @@
+#include "parallel.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mmxdsp {
+
+int
+resolveThreads(int requested)
+{
+    if (requested >= 1)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<int>(std::clamp(hw, 1u, 8u));
+}
+
+void
+parallelFor(size_t n, int threads, const std::function<void(size_t)> &fn)
+{
+    const int workers =
+        static_cast<int>(std::min<size_t>(resolveThreads(threads), n));
+    if (workers <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    std::exception_ptr error;
+    std::mutex errorMutex;
+
+    auto work = [&] {
+        for (;;) {
+            const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(workers) - 1);
+    for (int t = 1; t < workers; ++t)
+        pool.emplace_back(work);
+    work();
+    for (std::thread &t : pool)
+        t.join();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace mmxdsp

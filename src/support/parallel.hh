@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Minimal work-sharing helpers for the parallel replay paths.
+ *
+ * parallelFor() fans a loop body out over a short-lived worker pool with
+ * an atomic work index — enough for the harness's replay fan-out and
+ * config sweeps, where each iteration owns its own timing model and the
+ * only shared state is the immutable trace.
+ */
+
+#ifndef MMXDSP_SUPPORT_PARALLEL_HH
+#define MMXDSP_SUPPORT_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace mmxdsp {
+
+/**
+ * Resolve a thread-count request: values >= 1 pass through; 0 (or
+ * negative) means "auto" — the hardware concurrency clamped to [1, 8].
+ */
+int resolveThreads(int requested);
+
+/**
+ * Run fn(0) .. fn(n-1), distributing iterations over up to
+ * resolveThreads(threads) workers (iterations may run in any order).
+ * With one worker or one iteration it degenerates to a plain loop.
+ * The first exception thrown by any iteration is rethrown on the
+ * calling thread after all workers join.
+ */
+void parallelFor(size_t n, int threads,
+                 const std::function<void(size_t)> &fn);
+
+} // namespace mmxdsp
+
+#endif // MMXDSP_SUPPORT_PARALLEL_HH

@@ -1,0 +1,128 @@
+#include "cache.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "support/logging.hh"
+
+namespace mmxdsp::trace {
+
+namespace {
+
+bool
+readFile(const std::string &path, std::vector<uint8_t> &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    if (size < 0) {
+        std::fclose(f);
+        return false;
+    }
+    std::fseek(f, 0, SEEK_SET);
+    out.resize(static_cast<size_t>(size));
+    const size_t got = size ? std::fread(out.data(), 1, out.size(), f) : 0;
+    std::fclose(f);
+    return got == out.size();
+}
+
+bool
+writeFileAtomic(const std::string &path, const std::vector<uint8_t> &data)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return false;
+    const size_t put = data.empty()
+                           ? 0
+                           : std::fwrite(data.data(), 1, data.size(), f);
+    const bool ok = std::fclose(f) == 0 && put == data.size();
+    if (!ok) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+TraceCache
+TraceCache::fromEnv(const std::string &dir, bool enabled)
+{
+    if (const char *flag = std::getenv("MMXDSP_TRACE_CACHE")) {
+        if (flag[0] == '0' && flag[1] == '\0')
+            return TraceCache();
+        enabled = true;
+    }
+    if (!enabled)
+        return TraceCache();
+    if (const char *env = std::getenv("MMXDSP_TRACE_DIR")) {
+        if (env[0] != '\0')
+            return TraceCache(env);
+    }
+    return TraceCache(dir);
+}
+
+std::string
+TraceCache::path(const std::string &benchmark, const std::string &version,
+                 uint64_t config_hash) const
+{
+    char hash[24];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(config_hash));
+    const std::string base = dir_.empty() ? std::string("traces") : dir_;
+    return base + "/" + benchmark + "." + version + "." + hash + ".mxt";
+}
+
+bool
+TraceCache::load(const std::string &benchmark, const std::string &version,
+                 uint64_t config_hash, TraceReader &out) const
+{
+    if (!enabled())
+        return false;
+    std::vector<uint8_t> data;
+    if (!readFile(path(benchmark, version, config_hash), data))
+        return false;
+    if (!out.parse(std::move(data)))
+        return false;
+    return out.benchmark() == benchmark && out.version() == version
+           && out.configHash() == config_hash;
+}
+
+bool
+TraceCache::store(const TraceWriter &writer) const
+{
+    return store(writer.benchmark(), writer.version(), writer.configHash(),
+                 writer.serialize());
+}
+
+bool
+TraceCache::store(const std::string &benchmark, const std::string &version,
+                  uint64_t config_hash,
+                  const std::vector<uint8_t> &image) const
+{
+    if (!enabled())
+        return false;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        mmxdsp_warn("trace cache: cannot create %s: %s", dir_.c_str(),
+                   ec.message().c_str());
+        return false;
+    }
+    const std::string p = path(benchmark, version, config_hash);
+    if (!writeFileAtomic(p, image)) {
+        mmxdsp_warn("trace cache: cannot write %s", p.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace mmxdsp::trace

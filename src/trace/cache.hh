@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Content-addressed on-disk trace cache.
+ *
+ * Traces are keyed by (benchmark, version, SuiteConfig hash); the hash
+ * covers every workload-affecting parameter plus the trace format
+ * version, so a config change or a format bump silently misses instead
+ * of replaying the wrong stream. Loads re-validate the header key and
+ * body checksum, so a corrupt or foreign file is a miss, never a wrong
+ * result.
+ *
+ * Stores write to a temp file and rename() it into place, so concurrent
+ * bench binaries never observe a half-written trace.
+ *
+ * The cache directory defaults to "./traces"; override it with the
+ * MMXDSP_TRACE_DIR environment variable, or disable caching entirely
+ * with MMXDSP_TRACE_CACHE=0.
+ */
+
+#ifndef MMXDSP_TRACE_CACHE_HH
+#define MMXDSP_TRACE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/reader.hh"
+#include "trace/writer.hh"
+
+namespace mmxdsp::trace {
+
+class TraceCache
+{
+  public:
+    /** A disabled cache: load() always misses, store() is a no-op. */
+    TraceCache() = default;
+
+    /** A cache rooted at @p dir (created lazily on first store). */
+    explicit TraceCache(std::string dir) : dir_(std::move(dir)) {}
+
+    /** Honors MMXDSP_TRACE_DIR / MMXDSP_TRACE_CACHE on top of @p dir. */
+    static TraceCache fromEnv(const std::string &dir = "traces",
+                              bool enabled = true);
+
+    bool enabled() const { return !dir_.empty(); }
+    const std::string &dir() const { return dir_; }
+
+    /** The on-disk path for one key (valid even when disabled). */
+    std::string path(const std::string &benchmark,
+                     const std::string &version, uint64_t config_hash) const;
+
+    /**
+     * Look up a trace; on a hit, @p out holds the parsed trace and the
+     * result is true. Any validation failure is a miss.
+     */
+    bool load(const std::string &benchmark, const std::string &version,
+              uint64_t config_hash, TraceReader &out) const;
+
+    /** Persist a finished capture. Returns false on I/O failure. */
+    bool store(const TraceWriter &writer) const;
+
+    /** Persist an already-serialized image under its embedded key. */
+    bool store(const std::string &benchmark, const std::string &version,
+               uint64_t config_hash,
+               const std::vector<uint8_t> &image) const;
+
+  private:
+    std::string dir_; ///< empty = disabled
+};
+
+} // namespace mmxdsp::trace
+
+#endif // MMXDSP_TRACE_CACHE_HH

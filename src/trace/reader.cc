@@ -1,0 +1,161 @@
+#include "reader.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "format.hh"
+#include "isa/event.hh"
+
+namespace mmxdsp::trace {
+
+using isa::InstrEvent;
+using isa::MemMode;
+
+bool
+TraceReader::parse(std::vector<uint8_t> data)
+{
+    valid_ = false;
+    data_ = std::move(data);
+    body_ = nullptr;
+    bodySize_ = 0;
+    sites_.clear();
+
+    ByteReader r(data_.data(), data_.size());
+    const uint8_t *magic = r.getBytes(4);
+    if (!magic || std::memcmp(magic, kMagic, 4) != 0)
+        return false;
+    if (r.getU32() != kFormatVersion)
+        return false;
+    configHash_ = r.getU64();
+    const uint64_t checksum = r.getU64();
+    benchmark_ = r.getString();
+    version_ = r.getString();
+    instrCount_ = r.getVarint();
+    const uint64_t body_len = r.getVarint();
+    if (!r.ok() || body_len > r.remaining())
+        return false;
+    const uint8_t *body = r.getBytes(static_cast<size_t>(body_len));
+    if (fnv1a(body, static_cast<size_t>(body_len)) != checksum)
+        return false;
+    body_ = body;
+    bodySize_ = static_cast<size_t>(body_len);
+
+    // Site-metadata section.
+    const uint64_t nstrings = r.getVarint();
+    if (!r.ok() || nstrings > r.remaining())
+        return false;
+    std::vector<std::string> strings;
+    strings.reserve(static_cast<size_t>(nstrings));
+    for (uint64_t i = 0; i < nstrings; ++i)
+        strings.push_back(r.getString());
+    const uint64_t nsites = r.getVarint();
+    if (!r.ok() || nsites > r.remaining())
+        return false;
+    for (uint64_t i = 0; i < nsites; ++i) {
+        const uint32_t id = static_cast<uint32_t>(r.getVarint());
+        Site site;
+        site.line = static_cast<uint32_t>(r.getVarint());
+        site.column = static_cast<uint32_t>(r.getVarint());
+        const uint64_t file_idx = r.getVarint();
+        const uint64_t func_idx = r.getVarint();
+        if (!r.ok() || file_idx >= strings.size()
+            || func_idx >= strings.size())
+            return false;
+        site.file = strings[static_cast<size_t>(file_idx)];
+        site.function = strings[static_cast<size_t>(func_idx)];
+        sites_.emplace(id, std::move(site));
+    }
+    if (!r.ok())
+        return false;
+
+    valid_ = true;
+    return true;
+}
+
+bool
+TraceReader::replayTo(sim::TraceSink &sink) const
+{
+    if (!valid_)
+        return false;
+
+    ByteReader r(body_, bodySize_);
+    std::vector<std::string> names;
+    uint32_t prev_site = 0;
+    uint64_t prev_addr = 0;
+    uint64_t delivered = 0;
+
+    for (;;) {
+        const uint64_t rec = r.getVarint();
+        if (!r.ok())
+            return false;
+        if (rec == kRecEnd)
+            break;
+        if (rec == kRecEnter) {
+            const uint64_t id = r.getVarint();
+            if (id == names.size())
+                names.push_back(r.getString());
+            if (!r.ok() || id >= names.size())
+                return false;
+            sink.onEnterFunction(names[static_cast<size_t>(id)].c_str());
+            continue;
+        }
+        if (rec == kRecLeave) {
+            sink.onLeaveFunction();
+            continue;
+        }
+
+        const uint64_t packed = rec - kRecInstrBase;
+        InstrEvent e;
+        const uint64_t op = packed >> 6;
+        if (op >= isa::kNumOps)
+            return false;
+        e.op = static_cast<isa::Op>(op);
+        const uint64_t mask = (packed >> 3) & 7;
+        const uint64_t mem = (packed >> 1) & 3;
+        if (mem > static_cast<uint64_t>(MemMode::Store))
+            return false;
+        e.mem = static_cast<MemMode>(mem);
+        e.taken = (packed & 1) != 0;
+
+        prev_site = static_cast<uint32_t>(
+            static_cast<int64_t>(prev_site) + unzigzag(r.getVarint()));
+        e.site = prev_site;
+
+        if (e.mem != MemMode::None) {
+            prev_addr += static_cast<uint64_t>(unzigzag(r.getVarint()));
+            e.addr = prev_addr;
+            e.size = static_cast<uint8_t>(r.getVarint());
+        }
+        if (mask & 1)
+            e.src0 = r.getByte();
+        if (mask & 2)
+            e.src1 = r.getByte();
+        if (mask & 4)
+            e.dst = r.getByte();
+        if (!r.ok())
+            return false;
+
+        sink.onInstr(e);
+        ++delivered;
+    }
+    return delivered == instrCount_;
+}
+
+std::string
+TraceReader::siteLabel(uint32_t site) const
+{
+    auto it = sites_.find(site);
+    if (it == sites_.end()) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "site#%u", site);
+        return buf;
+    }
+    const char *file = it->second.file.c_str();
+    if (const char *slash = std::strrchr(file, '/'))
+        file = slash + 1;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%s:%u", file, it->second.line);
+    return buf;
+}
+
+} // namespace mmxdsp::trace

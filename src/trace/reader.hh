@@ -1,0 +1,89 @@
+/**
+ * @file
+ * TraceReader — parses a serialized trace and replays its event stream
+ * into any sim::TraceSink, most usefully a profile::VProf, reproducing
+ * the captured execution's metrics bit for bit without re-executing
+ * benchmark code.
+ *
+ * A reader is immutable after parse(); replayTo() keeps its cursor on
+ * the stack, so one reader can be replayed concurrently from many
+ * threads against per-thread timing models (the one-capture /
+ * many-configurations workflow).
+ */
+
+#ifndef MMXDSP_TRACE_READER_HH
+#define MMXDSP_TRACE_READER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/trace_sink.hh"
+
+namespace mmxdsp::trace {
+
+class TraceReader
+{
+  public:
+    /** Descriptive info for one recorded static site. */
+    struct Site
+    {
+        uint32_t line = 0;
+        uint32_t column = 0;
+        std::string file;
+        std::string function;
+    };
+
+    TraceReader() = default;
+
+    /**
+     * Parse a serialized trace image. Returns false (leaving the reader
+     * invalid) on bad magic, version mismatch, truncation, or a body
+     * checksum mismatch.
+     */
+    bool parse(std::vector<uint8_t> data);
+
+    bool valid() const { return valid_; }
+
+    /**
+     * Decode the body and deliver every record to @p sink in the
+     * original program order. Returns false if the body is corrupt
+     * (events already delivered are not rolled back). Thread-safe on a
+     * const reader.
+     */
+    bool replayTo(sim::TraceSink &sink) const;
+
+    const std::string &benchmark() const { return benchmark_; }
+    const std::string &version() const { return version_; }
+    uint64_t configHash() const { return configHash_; }
+    uint64_t instrCount() const { return instrCount_; }
+    /** Size of the serialized image in bytes. */
+    size_t byteSize() const { return data_.size(); }
+
+    /** Recorded site metadata (empty when captured without a Cpu). */
+    const std::unordered_map<uint32_t, Site> &sites() const
+    {
+        return sites_;
+    }
+
+    /** "file.cc:123" for a recorded site, or "site#N" when unknown. */
+    std::string siteLabel(uint32_t site) const;
+
+  private:
+    bool valid_ = false;
+    std::vector<uint8_t> data_;
+    const uint8_t *body_ = nullptr;
+    size_t bodySize_ = 0;
+
+    std::string benchmark_;
+    std::string version_;
+    uint64_t configHash_ = 0;
+    uint64_t instrCount_ = 0;
+
+    std::unordered_map<uint32_t, Site> sites_;
+};
+
+} // namespace mmxdsp::trace
+
+#endif // MMXDSP_TRACE_READER_HH

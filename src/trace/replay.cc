@@ -1,0 +1,29 @@
+#include "replay.hh"
+
+#include "support/logging.hh"
+#include "support/parallel.hh"
+
+namespace mmxdsp::trace {
+
+profile::ProfileResult
+replayProfile(const TraceReader &reader, const sim::TimerConfig &config)
+{
+    profile::VProf prof(config);
+    if (!reader.replayTo(prof))
+        mmxdsp_fatal("corrupt trace body for %s.%s",
+                     reader.benchmark().c_str(), reader.version().c_str());
+    return prof.result();
+}
+
+std::vector<profile::ProfileResult>
+replaySweep(const TraceReader &reader,
+            const std::vector<sim::TimerConfig> &configs, int threads)
+{
+    std::vector<profile::ProfileResult> results(configs.size());
+    parallelFor(configs.size(), threads, [&](size_t i) {
+        results[i] = replayProfile(reader, configs[i]);
+    });
+    return results;
+}
+
+} // namespace mmxdsp::trace

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Replay-side analysis entry points: run a captured trace through the
+ * VTune-style profiler under one timing configuration, or fan one trace
+ * out across many configurations in parallel (the capture-once /
+ * characterize-many workflow of uops.info-style methodology).
+ */
+
+#ifndef MMXDSP_TRACE_REPLAY_HH
+#define MMXDSP_TRACE_REPLAY_HH
+
+#include <vector>
+
+#include "profile/vprof.hh"
+#include "sim/pentium_timer.hh"
+#include "trace/reader.hh"
+
+namespace mmxdsp::trace {
+
+/**
+ * Replay @p reader through a fresh profile::VProf built with @p config.
+ * The returned metrics are bit-identical to what a live run with the
+ * same sink would have produced. Fatal on a corrupt trace body.
+ */
+profile::ProfileResult
+replayProfile(const TraceReader &reader,
+              const sim::TimerConfig &config = sim::TimerConfig{});
+
+/**
+ * Replay one trace under every configuration in @p configs, fanning out
+ * over @p threads workers (0 = auto). Results are index-aligned with
+ * @p configs.
+ */
+std::vector<profile::ProfileResult>
+replaySweep(const TraceReader &reader,
+            const std::vector<sim::TimerConfig> &configs, int threads = 0);
+
+} // namespace mmxdsp::trace
+
+#endif // MMXDSP_TRACE_REPLAY_HH

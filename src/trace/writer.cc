@@ -1,0 +1,146 @@
+#include "writer.hh"
+
+#include "format.hh"
+#include "runtime/cpu.hh"
+#include "support/logging.hh"
+
+namespace mmxdsp::trace {
+
+using isa::InstrEvent;
+using isa::MemMode;
+
+TraceWriter::TraceWriter(std::string benchmark, std::string version,
+                         uint64_t config_hash)
+    : benchmark_(std::move(benchmark)), version_(std::move(version)),
+      configHash_(config_hash)
+{
+    body_.reserve(1 << 16);
+}
+
+void
+TraceWriter::onInstr(const InstrEvent &event)
+{
+    uint64_t mask = 0;
+    if (isa::tagValid(event.src0))
+        mask |= 1;
+    if (isa::tagValid(event.src1))
+        mask |= 2;
+    if (isa::tagValid(event.dst))
+        mask |= 4;
+
+    const uint64_t packed = (static_cast<uint64_t>(event.op) << 6)
+                            | (mask << 3)
+                            | (static_cast<uint64_t>(event.mem) << 1)
+                            | (event.taken ? 1 : 0);
+    putVarint(body_, kRecInstrBase + packed);
+
+    putVarint(body_, zigzag(static_cast<int64_t>(event.site)
+                            - static_cast<int64_t>(prevSite_)));
+    prevSite_ = event.site;
+
+    if (event.mem != MemMode::None) {
+        putVarint(body_, zigzag(static_cast<int64_t>(event.addr - prevAddr_)));
+        prevAddr_ = event.addr;
+        putVarint(body_, event.size);
+    }
+
+    if (mask & 1)
+        body_.push_back(event.src0);
+    if (mask & 2)
+        body_.push_back(event.src1);
+    if (mask & 4)
+        body_.push_back(event.dst);
+
+    sites_.insert(event.site);
+    ++instrCount_;
+}
+
+void
+TraceWriter::onEnterFunction(const char *name)
+{
+    putVarint(body_, kRecEnter);
+    std::string key(name ? name : "");
+    auto it = nameIds_.find(key);
+    if (it != nameIds_.end()) {
+        putVarint(body_, it->second);
+    } else {
+        const uint64_t id = nameIds_.size();
+        nameIds_.emplace(key, id);
+        putVarint(body_, id);
+        putString(body_, key);
+    }
+}
+
+void
+TraceWriter::onLeaveFunction()
+{
+    putVarint(body_, kRecLeave);
+}
+
+void
+TraceWriter::finish(const runtime::Cpu *cpu)
+{
+    if (finished_)
+        mmxdsp_fatal("TraceWriter::finish called twice");
+    finished_ = true;
+    putVarint(body_, kRecEnd);
+
+    // Site-metadata section: a string table shared by file and function
+    // names, then one row per recorded site.
+    std::vector<std::string> strings;
+    std::map<std::string, uint64_t> stringIds;
+    auto intern = [&](const char *s) -> uint64_t {
+        std::string key(s ? s : "");
+        auto it = stringIds.find(key);
+        if (it != stringIds.end())
+            return it->second;
+        const uint64_t id = strings.size();
+        strings.push_back(key);
+        stringIds.emplace(std::move(key), id);
+        return id;
+    };
+
+    std::vector<uint8_t> rows;
+    uint64_t count = 0;
+    if (cpu) {
+        for (uint32_t id : sites_) {
+            const runtime::SiteInfo &info = cpu->siteInfo(id);
+            putVarint(rows, id);
+            putVarint(rows, info.line);
+            putVarint(rows, info.column);
+            putVarint(rows, intern(info.file));
+            putVarint(rows, intern(info.function));
+            ++count;
+        }
+    }
+
+    siteSection_.clear();
+    putVarint(siteSection_, strings.size());
+    for (const std::string &s : strings)
+        putString(siteSection_, s);
+    putVarint(siteSection_, count);
+    siteSection_.insert(siteSection_.end(), rows.begin(), rows.end());
+}
+
+std::vector<uint8_t>
+TraceWriter::serialize() const
+{
+    if (!finished_)
+        mmxdsp_fatal("TraceWriter::serialize before finish");
+
+    std::vector<uint8_t> out;
+    out.reserve(64 + body_.size() + siteSection_.size());
+    out.insert(out.end(), kMagic, kMagic + 4);
+    putU32(out, kFormatVersion);
+    putU64(out, configHash_);
+    putU64(out, fnv1a(body_.data(), body_.size()));
+    putString(out, benchmark_);
+    putString(out, version_);
+    putVarint(out, instrCount_);
+    putVarint(out, body_.size());
+    out.insert(out.end(), body_.begin(), body_.end());
+    out.insert(out.end(), siteSection_.begin(), siteSection_.end());
+    return out;
+}
+
+} // namespace mmxdsp::trace

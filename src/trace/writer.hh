@@ -1,0 +1,82 @@
+/**
+ * @file
+ * TraceWriter — a sim::TraceSink that records the instruction-event
+ * stream into the compact binary format (trace/format.hh).
+ *
+ * Attach it to a runtime::Cpu (alone for a capture-only pass, or behind
+ * a sim::TeeSink next to a live profiler), run the measured region, then
+ * call finish() and serialize(). Capture-only passes skip the timing
+ * model entirely, which is what makes capture much cheaper than a
+ * profiled run.
+ */
+
+#ifndef MMXDSP_TRACE_WRITER_HH
+#define MMXDSP_TRACE_WRITER_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/trace_sink.hh"
+
+namespace mmxdsp::runtime {
+class Cpu;
+}
+
+namespace mmxdsp::trace {
+
+class TraceWriter final : public sim::TraceSink
+{
+  public:
+    /**
+     * @param benchmark    benchmark name (cache key component)
+     * @param version      version name ("c" / "fp" / "mmx" / "mmx_v1")
+     * @param config_hash  SuiteConfig::hash() of the workload parameters
+     */
+    TraceWriter(std::string benchmark, std::string version,
+                uint64_t config_hash);
+
+    void onInstr(const isa::InstrEvent &event) override;
+    void onEnterFunction(const char *name) override;
+    void onLeaveFunction() override;
+
+    /**
+     * Seal the body. When @p cpu is given, the descriptive info of every
+     * recorded static site (file, line, function) is embedded so replay
+     * tooling can print hotspot reports without the original process's
+     * site table. Must be called exactly once, before serialize().
+     */
+    void finish(const runtime::Cpu *cpu = nullptr);
+
+    /** The complete on-disk image (header + body + site table). */
+    std::vector<uint8_t> serialize() const;
+
+    uint64_t instrCount() const { return instrCount_; }
+    const std::string &benchmark() const { return benchmark_; }
+    const std::string &version() const { return version_; }
+    uint64_t configHash() const { return configHash_; }
+
+  private:
+    std::string benchmark_;
+    std::string version_;
+    uint64_t configHash_;
+
+    std::vector<uint8_t> body_;
+    uint64_t instrCount_ = 0;
+    bool finished_ = false;
+
+    uint32_t prevSite_ = 0;
+    uint64_t prevAddr_ = 0;
+
+    std::map<std::string, uint64_t> nameIds_;
+    std::set<uint32_t> sites_;
+
+    // Site-metadata section, built by finish().
+    std::vector<uint8_t> siteSection_;
+};
+
+} // namespace mmxdsp::trace
+
+#endif // MMXDSP_TRACE_WRITER_HH

@@ -1,0 +1,428 @@
+/**
+ * @file
+ * Tests for the src/trace subsystem: varint/zigzag primitives, codec
+ * round-trips on randomized event streams, corruption handling, the
+ * on-disk cache, and the engine's core guarantee — that replaying a
+ * captured trace reproduces the live profile bit for bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "harness/suite.hh"
+#include "isa/event.hh"
+#include "isa/op.hh"
+#include "profile/vprof.hh"
+#include "sim/trace_sink.hh"
+#include "support/rng.hh"
+#include "trace/cache.hh"
+#include "trace/format.hh"
+#include "trace/reader.hh"
+#include "trace/replay.hh"
+#include "trace/writer.hh"
+
+namespace mmxdsp {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------- format primitives ----------------
+
+TEST(TraceFormat, VarintRoundTrip)
+{
+    const uint64_t values[] = {0,
+                               1,
+                               127,
+                               128,
+                               300,
+                               16383,
+                               16384,
+                               0xdeadbeef,
+                               0xffffffffull,
+                               0x123456789abcdef0ull,
+                               ~0ull};
+    std::vector<uint8_t> buf;
+    for (uint64_t v : values)
+        trace::putVarint(buf, v);
+    trace::ByteReader reader(buf.data(), buf.size());
+    for (uint64_t v : values)
+        EXPECT_EQ(reader.getVarint(), v);
+    EXPECT_TRUE(reader.ok());
+    EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(TraceFormat, VarintEncodingIsCompact)
+{
+    std::vector<uint8_t> buf;
+    trace::putVarint(buf, 127);
+    EXPECT_EQ(buf.size(), 1u);
+    trace::putVarint(buf, 128);
+    EXPECT_EQ(buf.size(), 3u); // second value took two bytes
+}
+
+TEST(TraceFormat, ZigzagRoundTrip)
+{
+    const int64_t values[] = {0,  1,  -1, 2,  -2, 63, -64, 1000000,
+                              -1000000, INT64_MAX, INT64_MIN};
+    for (int64_t v : values)
+        EXPECT_EQ(trace::unzigzag(trace::zigzag(v)), v) << v;
+    // Small magnitudes map to small codes (that's the point).
+    EXPECT_LT(trace::zigzag(-3), 8u);
+}
+
+TEST(TraceFormat, ByteReaderRejectsOverrun)
+{
+    std::vector<uint8_t> buf;
+    trace::putVarint(buf, 300);
+    trace::ByteReader reader(buf.data(), 1); // truncate mid-varint
+    reader.getVarint();
+    EXPECT_FALSE(reader.ok());
+}
+
+TEST(TraceFormat, Fnv1aDistinguishesInputs)
+{
+    const uint8_t a[] = {1, 2, 3};
+    const uint8_t b[] = {1, 2, 4};
+    EXPECT_NE(trace::fnv1a(a, sizeof(a)), trace::fnv1a(b, sizeof(b)));
+    EXPECT_NE(trace::fnv1aMix(0, 1), trace::fnv1aMix(0, 2));
+}
+
+// ---------------- codec round-trip ----------------
+
+/** Sink that records everything for later comparison. */
+struct RecordingSink final : sim::TraceSink
+{
+    std::vector<isa::InstrEvent> events;
+    std::vector<std::string> enters;
+    int leaves = 0;
+
+    void onInstr(const isa::InstrEvent &event) override
+    {
+        events.push_back(event);
+    }
+    void onEnterFunction(const char *name) override
+    {
+        enters.emplace_back(name);
+    }
+    void onLeaveFunction() override { ++leaves; }
+};
+
+bool
+sameEvent(const isa::InstrEvent &a, const isa::InstrEvent &b)
+{
+    return a.op == b.op && a.mem == b.mem && a.addr == b.addr
+           && a.size == b.size && a.site == b.site && a.src0 == b.src0
+           && a.src1 == b.src1 && a.dst == b.dst && a.taken == b.taken;
+}
+
+/** A random but encodable instruction event. */
+isa::InstrEvent
+randomEvent(Rng &rng)
+{
+    isa::InstrEvent e;
+    e.op = static_cast<isa::Op>(rng.nextBelow(isa::kNumOps));
+    e.mem = static_cast<isa::MemMode>(rng.nextBelow(3));
+    if (e.mem != isa::MemMode::None) {
+        e.addr = rng.next() >> rng.nextBelow(40); // mix near/far deltas
+        e.size = static_cast<uint8_t>(1u << rng.nextBelow(4));
+    }
+    e.site = rng.nextBelow(2000);
+    auto tag = [&]() -> isa::RegTag {
+        if (rng.nextBelow(4) == 0)
+            return isa::kNoReg;
+        return isa::makeTag(static_cast<isa::RegClass>(rng.nextBelow(3)),
+                            static_cast<uint8_t>(rng.nextBelow(8)));
+    };
+    e.src0 = tag();
+    e.src1 = tag();
+    e.dst = tag();
+    e.taken = rng.nextBelow(2) != 0;
+    return e;
+}
+
+TEST(TraceCodec, RandomStreamRoundTrips)
+{
+    for (uint64_t seed : {1u, 17u, 99u}) {
+        Rng rng(seed);
+        trace::TraceWriter writer("rand", "c", 0x1234);
+        RecordingSink expected;
+
+        int depth = 0;
+        const int n = 2000 + static_cast<int>(rng.nextBelow(1000));
+        for (int i = 0; i < n; ++i) {
+            const uint32_t roll = rng.nextBelow(20);
+            if (roll == 0) {
+                const char *names[] = {"alpha", "beta", "gamma", "delta"};
+                const char *name = names[rng.nextBelow(4)];
+                writer.onEnterFunction(name);
+                expected.onEnterFunction(name);
+                ++depth;
+            } else if (roll == 1 && depth > 0) {
+                writer.onLeaveFunction();
+                expected.onLeaveFunction();
+                --depth;
+            } else {
+                isa::InstrEvent e = randomEvent(rng);
+                writer.onInstr(e);
+                expected.onInstr(e);
+            }
+        }
+        writer.finish();
+
+        trace::TraceReader reader;
+        ASSERT_TRUE(reader.parse(writer.serialize()));
+        EXPECT_EQ(reader.benchmark(), "rand");
+        EXPECT_EQ(reader.version(), "c");
+        EXPECT_EQ(reader.configHash(), 0x1234u);
+        EXPECT_EQ(reader.instrCount(), expected.events.size());
+
+        RecordingSink got;
+        ASSERT_TRUE(reader.replayTo(got));
+        ASSERT_EQ(got.events.size(), expected.events.size());
+        for (size_t i = 0; i < got.events.size(); ++i)
+            ASSERT_TRUE(sameEvent(got.events[i], expected.events[i]))
+                << "seed " << seed << " event " << i;
+        EXPECT_EQ(got.enters, expected.enters);
+        EXPECT_EQ(got.leaves, expected.leaves);
+    }
+}
+
+TEST(TraceCodec, ReplayIsRepeatable)
+{
+    Rng rng(5);
+    trace::TraceWriter writer("rand", "mmx", 7);
+    for (int i = 0; i < 500; ++i)
+        writer.onInstr(randomEvent(rng));
+    writer.finish();
+
+    trace::TraceReader reader;
+    ASSERT_TRUE(reader.parse(writer.serialize()));
+    RecordingSink first;
+    RecordingSink second;
+    ASSERT_TRUE(reader.replayTo(first));
+    ASSERT_TRUE(reader.replayTo(second)); // cursor is per-call state
+    ASSERT_EQ(first.events.size(), second.events.size());
+    for (size_t i = 0; i < first.events.size(); ++i)
+        EXPECT_TRUE(sameEvent(first.events[i], second.events[i]));
+}
+
+TEST(TraceCodec, RejectsCorruption)
+{
+    Rng rng(11);
+    trace::TraceWriter writer("rand", "c", 1);
+    for (int i = 0; i < 200; ++i)
+        writer.onInstr(randomEvent(rng));
+    writer.finish();
+    const std::vector<uint8_t> image = writer.serialize();
+
+    {
+        trace::TraceReader reader; // intact image parses
+        EXPECT_TRUE(reader.parse(image));
+    }
+    { // bad magic
+        std::vector<uint8_t> bad = image;
+        bad[0] ^= 0xff;
+        trace::TraceReader reader;
+        EXPECT_FALSE(reader.parse(std::move(bad)));
+    }
+    { // truncation at every coarse prefix length
+        for (size_t len : {0ul, 3ul, 8ul, 16ul, image.size() - 1}) {
+            std::vector<uint8_t> bad(image.begin(),
+                                     image.begin()
+                                         + static_cast<ptrdiff_t>(len));
+            trace::TraceReader reader;
+            EXPECT_FALSE(reader.parse(std::move(bad))) << len;
+        }
+    }
+    { // body bit-flip fails the checksum
+        std::vector<uint8_t> bad = image;
+        bad[bad.size() / 2] ^= 0x40;
+        trace::TraceReader reader;
+        EXPECT_FALSE(reader.parse(std::move(bad)));
+    }
+}
+
+// ---------------- on-disk cache ----------------
+
+/** Fresh scratch directory, removed on destruction. */
+struct ScratchDir
+{
+    fs::path path;
+
+    explicit ScratchDir(const char *name)
+        : path(fs::temp_directory_path() / name)
+    {
+        fs::remove_all(path);
+    }
+    ~ScratchDir() { fs::remove_all(path); }
+};
+
+TEST(TraceCacheTest, StoreThenLoad)
+{
+    ScratchDir scratch("mmxdsp_trace_cache_test");
+    trace::TraceCache cache(scratch.path.string());
+
+    Rng rng(3);
+    trace::TraceWriter writer("fir", "mmx", 42);
+    for (int i = 0; i < 100; ++i)
+        writer.onInstr(randomEvent(rng));
+    writer.finish();
+    ASSERT_TRUE(cache.store(writer));
+
+    trace::TraceReader loaded;
+    ASSERT_TRUE(cache.load("fir", "mmx", 42, loaded));
+    EXPECT_EQ(loaded.instrCount(), 100u);
+
+    // Any key component mismatch is a miss, not an error.
+    trace::TraceReader miss;
+    EXPECT_FALSE(cache.load("fir", "mmx", 43, miss));
+    EXPECT_FALSE(cache.load("fir", "c", 42, miss));
+    EXPECT_FALSE(cache.load("fft", "mmx", 42, miss));
+}
+
+TEST(TraceCacheTest, DisabledCacheIsInert)
+{
+    trace::TraceCache cache;
+    EXPECT_FALSE(cache.enabled());
+    trace::TraceWriter writer("fir", "mmx", 1);
+    writer.finish();
+    EXPECT_FALSE(cache.store(writer));
+    trace::TraceReader reader;
+    EXPECT_FALSE(cache.load("fir", "mmx", 1, reader));
+}
+
+// ---------------- live vs replay bit-identity ----------------
+
+harness::SuiteConfig
+tinyConfig()
+{
+    harness::SuiteConfig config;
+    config.scaleDown(16);
+    return config;
+}
+
+void
+expectSameProfile(const profile::ProfileResult &a,
+                  const profile::ProfileResult &b, const std::string &what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.dynamicInstructions, b.dynamicInstructions);
+    EXPECT_EQ(a.staticInstructions, b.staticInstructions);
+    EXPECT_EQ(a.uops, b.uops);
+    EXPECT_EQ(a.memoryReferences, b.memoryReferences);
+    EXPECT_EQ(a.mmxInstructions, b.mmxInstructions);
+    EXPECT_EQ(a.mmxByCategory, b.mmxByCategory);
+    EXPECT_EQ(a.functionCalls, b.functionCalls);
+    EXPECT_EQ(a.callRetCycles, b.callRetCycles);
+    EXPECT_EQ(a.callOverheadCycles, b.callOverheadCycles);
+    EXPECT_EQ(a.opCounts, b.opCounts);
+    EXPECT_EQ(a.timer.instructions, b.timer.instructions);
+    EXPECT_EQ(a.timer.pairs, b.timer.pairs);
+    EXPECT_EQ(a.timer.memPenaltyCycles, b.timer.memPenaltyCycles);
+    EXPECT_EQ(a.timer.mispredictCycles, b.timer.mispredictCycles);
+    EXPECT_EQ(a.timer.dependStallCycles, b.timer.dependStallCycles);
+    EXPECT_EQ(a.timer.blockingExtraCycles, b.timer.blockingExtraCycles);
+    EXPECT_EQ(a.l1.accesses, b.l1.accesses);
+    EXPECT_EQ(a.l1.misses, b.l1.misses);
+    EXPECT_EQ(a.l2.accesses, b.l2.accesses);
+    EXPECT_EQ(a.l2.misses, b.l2.misses);
+    EXPECT_EQ(a.btb.branches, b.btb.branches);
+    EXPECT_EQ(a.btb.mispredicts, b.btb.mispredicts);
+    ASSERT_EQ(a.functions.size(), b.functions.size());
+    for (const auto &[name, st] : a.functions) {
+        auto it = b.functions.find(name);
+        ASSERT_NE(it, b.functions.end()) << name;
+        EXPECT_EQ(st.calls, it->second.calls) << name;
+        EXPECT_EQ(st.instructions, it->second.instructions) << name;
+        EXPECT_EQ(st.cycles, it->second.cycles) << name;
+    }
+}
+
+TEST(TraceReplay, EveryPairIsBitIdenticalToLive)
+{
+    // The live run is tee-captured, then the captured trace is replayed
+    // through a fresh VProf and every metric must match the live
+    // profile exactly.
+    ScratchDir scratch("mmxdsp_trace_identity_test");
+    harness::BenchmarkSuite suite(
+        tinyConfig(), harness::TraceOptions{true, scratch.path.string()});
+    for (const auto &[bench, version] : harness::BenchmarkSuite::allRuns()) {
+        const harness::RunResult &live = suite.run(bench, version);
+        EXPECT_FALSE(live.replayed);
+        auto reader = suite.traceFor(bench, version);
+        ASSERT_NE(reader, nullptr);
+        EXPECT_EQ(reader->instrCount(), live.profile.dynamicInstructions);
+        expectSameProfile(trace::replayProfile(*reader), live.profile,
+                          bench + "." + version);
+    }
+}
+
+TEST(TraceReplay, DiskCacheSkipsExecution)
+{
+    ScratchDir scratch("mmxdsp_trace_suite_test");
+    harness::TraceOptions topts{true, scratch.path.string()};
+
+    harness::BenchmarkSuite first(tinyConfig(), topts);
+    const profile::ProfileResult fir = first.run("fir", "mmx").profile;
+    EXPECT_EQ(first.traceActivity().captured, 1);
+
+    // A second suite (fresh process state as far as the trace layer is
+    // concerned) replays the stored trace instead of executing, and its
+    // numbers are the first suite's numbers.
+    harness::BenchmarkSuite second(tinyConfig(), topts);
+    const harness::RunResult &replayed = second.run("fir", "mmx");
+    EXPECT_TRUE(replayed.replayed);
+    EXPECT_EQ(second.traceActivity().disk_hits, 1);
+    EXPECT_EQ(second.traceActivity().captured, 0);
+    expectSameProfile(replayed.profile, fir, "fir.mmx disk replay");
+
+    // A different workload hash must not hit the same entry.
+    harness::SuiteConfig other = tinyConfig();
+    other.fir_samples /= 2;
+    harness::BenchmarkSuite third(other, topts);
+    EXPECT_FALSE(third.run("fir", "mmx").replayed);
+}
+
+TEST(TraceReplay, RunAllParallelMatchesSerial)
+{
+    ScratchDir scratch("mmxdsp_trace_runall_test");
+    harness::TraceOptions topts{true, scratch.path.string()};
+
+    harness::BenchmarkSuite serial(tinyConfig(), topts);
+    serial.runAll(1);
+    harness::BenchmarkSuite parallel(tinyConfig(), topts);
+    parallel.runAll(4);
+
+    for (const auto &[bench, version] : harness::BenchmarkSuite::allRuns())
+        expectSameProfile(parallel.run(bench, version).profile,
+                          serial.run(bench, version).profile,
+                          bench + "." + version);
+}
+
+TEST(TraceReplay, SweepVariesWithGeometry)
+{
+    ScratchDir scratch("mmxdsp_trace_sweep_test");
+    harness::BenchmarkSuite suite(
+        tinyConfig(), harness::TraceOptions{true, scratch.path.string()});
+    sim::TimerConfig tiny;
+    tiny.l1.size_bytes = 512;
+    tiny.l1.ways = 1;
+    sim::TimerConfig paper; // the default 16KB/512KB machine
+    auto results = suite.sweep("fft", "mmx", {tiny, paper}, 2);
+    ASSERT_EQ(results.size(), 2u);
+    // Same instruction stream under both machines...
+    EXPECT_EQ(results[0].dynamicInstructions,
+              results[1].dynamicInstructions);
+    // ...but the starved cache costs cycles.
+    EXPECT_GT(results[0].cycles, results[1].cycles);
+    // The paper-machine sweep column equals the normal run.
+    expectSameProfile(results[1], suite.run("fft", "mmx").profile,
+                      "sweep default config");
+}
+
+} // namespace
+} // namespace mmxdsp
