@@ -20,6 +20,7 @@ mmxdsp_add_bench(ablation_emms)
 mmxdsp_add_bench(ablation_cache_sweep)
 mmxdsp_add_bench(ext_motion_estimation)
 mmxdsp_add_bench(micro_pentium_model)
+mmxdsp_add_bench(micro_replay_throughput)
 
 add_executable(micro_mmx_ops ${CMAKE_SOURCE_DIR}/bench/micro_mmx_ops.cpp)
 set_target_properties(micro_mmx_ops PROPERTIES

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Microbenchmark of the replay engine's two paths, and the regression
+ * gate for the decode-once optimization:
+ *
+ *  - streaming: every configuration of a sweep decodes the serialized
+ *    trace body again through trace::replayProfile (the baseline
+ *    capture-once/replay-many semantics);
+ *  - materialized: the body is decoded once into a
+ *    trace::MaterializedTrace and every configuration replays from the
+ *    shared structure-of-arrays buffers.
+ *
+ * Reports single-replay throughput (events/sec) for both paths and the
+ * wall time of an N-configuration sweep, verifies the two sweeps are
+ * bit-identical, writes everything to BENCH_replay.json, and exits
+ * nonzero if the results diverge or the materialized sweep is not
+ * faster — so CI can run it as a perf smoke test.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/cli.hh"
+#include "harness/suite.hh"
+#include "profile/vprof.hh"
+#include "sim/pentium_timer.hh"
+#include "support/parallel.hh"
+#include "support/table.hh"
+#include "trace/materialize.hh"
+#include "trace/replay.hh"
+
+using namespace mmxdsp;
+
+namespace {
+
+constexpr int kRepetitions = 3;
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** The sweep grid: 12 memory-hierarchy configurations. */
+std::vector<sim::TimerConfig>
+makeConfigs()
+{
+    std::vector<sim::TimerConfig> configs;
+    for (uint32_t l1_kb : {4, 8, 16, 32}) {
+        for (uint32_t l2_kb : {128, 512, 2048}) {
+            sim::TimerConfig config;
+            config.l1.size_bytes = l1_kb * 1024;
+            config.l2.size_bytes = l2_kb * 1024;
+            configs.push_back(config);
+        }
+    }
+    return configs;
+}
+
+bool
+sameResult(const profile::ProfileResult &a, const profile::ProfileResult &b)
+{
+    if (a.cycles != b.cycles
+        || a.dynamicInstructions != b.dynamicInstructions
+        || a.staticInstructions != b.staticInstructions || a.uops != b.uops
+        || a.memoryReferences != b.memoryReferences
+        || a.mmxInstructions != b.mmxInstructions
+        || a.mmxByCategory != b.mmxByCategory
+        || a.functionCalls != b.functionCalls
+        || a.callRetCycles != b.callRetCycles
+        || a.callOverheadCycles != b.callOverheadCycles
+        || a.opCounts != b.opCounts)
+        return false;
+    if (a.l1.accesses != b.l1.accesses || a.l1.misses != b.l1.misses
+        || a.l2.accesses != b.l2.accesses || a.l2.misses != b.l2.misses
+        || a.btb.branches != b.btb.branches
+        || a.btb.mispredicts != b.btb.mispredicts)
+        return false;
+    if (a.functions.size() != b.functions.size())
+        return false;
+    for (const auto &[name, st] : a.functions) {
+        auto it = b.functions.find(name);
+        if (it == b.functions.end() || st.calls != it->second.calls
+            || st.instructions != it->second.instructions
+            || st.cycles != it->second.cycles)
+            return false;
+    }
+    return true;
+}
+
+struct ArmTiming
+{
+    double sweep_seconds = 0.0;        ///< best-of-N sweep wall time
+    double single_seconds = 0.0;       ///< best-of-N one-config replay
+    double build_seconds = 0.0;        ///< materialize cost (0 = streaming)
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    harness::BenchOptions opts = harness::parseBenchArgs(argc, argv);
+    harness::BenchmarkSuite suite = opts.makeSuite();
+
+    const char *bench = "jpeg";
+    const char *version = "c";
+    std::fprintf(stderr, "capturing %s.%s trace (scale %d)...\n", bench,
+                 version, opts.scale);
+    auto reader = suite.traceFor(bench, version);
+    const uint64_t events = reader->instrCount();
+    const std::vector<sim::TimerConfig> configs = makeConfigs();
+
+    // -- streaming arm: one full decode per configuration --
+    ArmTiming streaming;
+    std::vector<profile::ProfileResult> streamed(configs.size());
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+        const double t0 = now();
+        parallelFor(configs.size(), opts.threads, [&](size_t i) {
+            streamed[i] = trace::replayProfile(*reader, configs[i]);
+        });
+        const double dt = now() - t0;
+        if (!rep || dt < streaming.sweep_seconds)
+            streaming.sweep_seconds = dt;
+    }
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+        const double t0 = now();
+        trace::replayProfile(*reader);
+        const double dt = now() - t0;
+        if (!rep || dt < streaming.single_seconds)
+            streaming.single_seconds = dt;
+    }
+
+    // -- materialized arm: decode once, share across the sweep --
+    ArmTiming materialized;
+    trace::MaterializedTrace mat;
+    {
+        const double t0 = now();
+        if (!mat.build(*reader)) {
+            std::fprintf(stderr, "FAIL: trace did not materialize\n");
+            return 1;
+        }
+        materialized.build_seconds = now() - t0;
+    }
+    std::vector<profile::ProfileResult> fast;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+        const double t0 = now();
+        trace::MaterializedTrace shared;
+        if (!shared.build(*reader))
+            return 1;
+        fast = shared.replaySweep(configs, opts.threads);
+        const double dt = now() - t0;
+        if (!rep || dt < materialized.sweep_seconds)
+            materialized.sweep_seconds = dt;
+    }
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+        const double t0 = now();
+        mat.replayProfile();
+        const double dt = now() - t0;
+        if (!rep || dt < materialized.single_seconds)
+            materialized.single_seconds = dt;
+    }
+
+    // -- bit-identity gate --
+    bool identical = fast.size() == streamed.size();
+    for (size_t i = 0; identical && i < fast.size(); ++i)
+        identical = sameResult(fast[i], streamed[i]);
+
+    const double streaming_eps =
+        static_cast<double>(events) / streaming.single_seconds;
+    const double materialized_eps =
+        static_cast<double>(events) / materialized.single_seconds;
+    const double speedup =
+        streaming.sweep_seconds / materialized.sweep_seconds;
+
+    std::printf("replay throughput — %s.%s, %llu events, %zu configs\n\n",
+                bench, version, static_cast<unsigned long long>(events),
+                configs.size());
+    Table table({"path", "sweep ms", "single ms", "events/sec"});
+    table.addRow({"streaming",
+                  Table::fmtCount(static_cast<int64_t>(
+                      streaming.sweep_seconds * 1e3)),
+                  Table::fmtCount(static_cast<int64_t>(
+                      streaming.single_seconds * 1e3)),
+                  Table::fmtCount(static_cast<int64_t>(streaming_eps))});
+    table.addRow({"materialized",
+                  Table::fmtCount(static_cast<int64_t>(
+                      materialized.sweep_seconds * 1e3)),
+                  Table::fmtCount(static_cast<int64_t>(
+                      materialized.single_seconds * 1e3)),
+                  Table::fmtCount(static_cast<int64_t>(materialized_eps))});
+    table.print();
+    std::printf("\nmaterialize cost      %.1f ms (%.1f MB resident)\n",
+                materialized.build_seconds * 1e3,
+                static_cast<double>(mat.byteSize()) / 1e6);
+    std::printf("sweep speedup         %.2fx (incl. materialize)\n",
+                speedup);
+    std::printf("results bit-identical %s\n", identical ? "yes" : "NO");
+
+    std::FILE *json = std::fopen("BENCH_replay.json", "w");
+    if (json) {
+        std::fprintf(
+            json,
+            "{\n"
+            "  \"benchmark\": \"%s.%s\",\n"
+            "  \"scale\": %d,\n"
+            "  \"events\": %llu,\n"
+            "  \"configs\": %zu,\n"
+            "  \"repetitions\": %d,\n"
+            "  \"streaming\": {\n"
+            "    \"sweep_seconds\": %.6f,\n"
+            "    \"single_seconds\": %.6f,\n"
+            "    \"events_per_sec\": %.0f\n"
+            "  },\n"
+            "  \"materialized\": {\n"
+            "    \"build_seconds\": %.6f,\n"
+            "    \"sweep_seconds\": %.6f,\n"
+            "    \"single_seconds\": %.6f,\n"
+            "    \"events_per_sec\": %.0f,\n"
+            "    \"resident_bytes\": %zu\n"
+            "  },\n"
+            "  \"sweep_speedup\": %.3f,\n"
+            "  \"identical\": %s\n"
+            "}\n",
+            bench, version, opts.scale,
+            static_cast<unsigned long long>(events), configs.size(),
+            kRepetitions, streaming.sweep_seconds,
+            streaming.single_seconds, streaming_eps,
+            materialized.build_seconds, materialized.sweep_seconds,
+            materialized.single_seconds, materialized_eps, mat.byteSize(),
+            speedup, identical ? "true" : "false");
+        std::fclose(json);
+        std::fprintf(stderr, "wrote BENCH_replay.json\n");
+    }
+
+    if (!identical) {
+        std::fprintf(stderr,
+                     "FAIL: materialized sweep diverged from streaming\n");
+        return 1;
+    }
+    if (speedup <= 1.0) {
+        std::fprintf(stderr,
+                     "FAIL: materialized sweep slower than streaming "
+                     "(%.2fx)\n",
+                     speedup);
+        return 1;
+    }
+    return 0;
+}

@@ -347,8 +347,23 @@ BenchmarkSuite::sweep(const std::string &benchmark,
                       const std::vector<sim::TimerConfig> &configs,
                       int threads)
 {
+    return materializedFor(benchmark, version)
+        ->replaySweep(configs, threads);
+}
+
+std::shared_ptr<const trace::MaterializedTrace>
+BenchmarkSuite::materializedFor(const std::string &benchmark,
+                                const std::string &version)
+{
+    const std::string key = benchmark + "." + version;
+    auto it = materialized_.find(key);
+    if (it != materialized_.end())
+        return it->second;
     auto reader = ensureTrace(benchmark, version);
-    return trace::replaySweep(*reader, configs, threads);
+    auto mat = std::make_shared<trace::MaterializedTrace>(
+        trace::materialize(*reader));
+    materialized_.emplace(key, std::move(mat));
+    return materialized_.at(key);
 }
 
 std::vector<std::pair<std::string, std::string>>

@@ -169,21 +169,21 @@ makeTable()
     return t;
 }
 
+} // namespace
+
 const std::array<OpInfo, kNumOps> &
-table()
+opTable()
 {
     static const std::array<OpInfo, kNumOps> t = makeTable();
     return t;
 }
-
-} // namespace
 
 const OpInfo &
 opInfo(Op op)
 {
     if (op >= Op::NumOps)
         mmxdsp_panic("opInfo: bad op %u", static_cast<unsigned>(op));
-    return table()[idx(op)];
+    return opTable()[idx(op)];
 }
 
 bool
@@ -192,10 +192,5 @@ isX87(Op op)
     return op >= Op::Fld && op <= Op::Fxch;
 }
 
-bool
-isControl(Op op)
-{
-    return op == Op::Jmp || op == Op::Jcc || op == Op::Call || op == Op::Ret;
-}
 
 } // namespace mmxdsp::isa

@@ -21,6 +21,7 @@
 #ifndef MMXDSP_ISA_OP_HH
 #define MMXDSP_ISA_OP_HH
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 
@@ -105,7 +106,15 @@ struct OpInfo
     MmxCategory mmx;      ///< Figure 1(a) bucket
 };
 
-/** Look up the attribute record for @p op. */
+/**
+ * The full attribute table, dense by op index. Hot loops (the timing
+ * model, replay kernels) should hoist table().data() out of the loop
+ * instead of calling opInfo() per event: the per-call range check and
+ * static-init guard are measurable at replay rates.
+ */
+const std::array<OpInfo, kNumOps> &opTable();
+
+/** Look up the attribute record for @p op (range-checked). */
 const OpInfo &opInfo(Op op);
 
 /** Lower-case mnemonic for @p op. */
@@ -118,7 +127,12 @@ inline bool isMmx(Op op) { return opInfo(op).mmx != MmxCategory::None; }
 bool isX87(Op op);
 
 /** True for control-transfer ops (jmp/jcc/call/ret). */
-bool isControl(Op op);
+inline bool
+isControl(Op op)
+{
+    return op == Op::Jmp || op == Op::Jcc || op == Op::Call
+           || op == Op::Ret;
+}
 
 } // namespace mmxdsp::isa
 

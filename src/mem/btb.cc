@@ -16,32 +16,8 @@ Btb::Btb(uint32_t entries, uint32_t ways)
 }
 
 bool
-Btb::predict(uint32_t branch_id, bool taken)
+Btb::missAllocate(Entry *base, uint32_t branch_id, bool taken)
 {
-    ++stats_.branches;
-    ++tick_;
-
-    // Scramble the id so consecutively allocated sites spread over sets.
-    uint32_t h = branch_id * 2654435761u;
-    uint32_t set = (h >> 8) & (sets_ - 1);
-    Entry *base = &entries_[static_cast<size_t>(set) * ways_];
-
-    for (uint32_t w = 0; w < ways_; ++w) {
-        Entry &e = base[w];
-        if (e.valid && e.id == branch_id) {
-            e.lru = tick_;
-            bool predicted_taken = e.counter >= 2;
-            bool mispredict = predicted_taken != taken;
-            if (taken && e.counter < 3)
-                ++e.counter;
-            else if (!taken && e.counter > 0)
-                --e.counter;
-            if (mispredict)
-                ++stats_.mispredicts;
-            return mispredict;
-        }
-    }
-
     // Not present: predicted not-taken (fall-through).
     ++stats_.missesInBtb;
     if (!taken)

@@ -17,6 +17,7 @@
 #ifndef MMXDSP_MEM_BTB_HH
 #define MMXDSP_MEM_BTB_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -49,11 +50,39 @@ class Btb
 
     /**
      * Record one executed branch and return true if it was mispredicted.
+     * Inline: the timing model calls this for every control transfer;
+     * only the miss/allocate path leaves the header.
      *
      * @param branch_id stable identifier of the static branch
      * @param taken     actual outcome
      */
-    bool predict(uint32_t branch_id, bool taken);
+    bool predict(uint32_t branch_id, bool taken)
+    {
+        ++stats_.branches;
+        ++tick_;
+
+        // Scramble the id so consecutively allocated sites spread over
+        // sets.
+        const uint32_t h = branch_id * 2654435761u;
+        const uint32_t set = (h >> 8) & (sets_ - 1);
+        Entry *base = &entries_[static_cast<size_t>(set) * ways_];
+
+        for (uint32_t w = 0; w < ways_; ++w) {
+            Entry &e = base[w];
+            if (e.valid && e.id == branch_id) {
+                e.lru = tick_;
+                const bool predicted_taken = e.counter >= 2;
+                const bool mispredict = predicted_taken != taken;
+                if (taken && e.counter < 3)
+                    ++e.counter;
+                else if (!taken && e.counter > 0)
+                    --e.counter;
+                stats_.mispredicts += mispredict;
+                return mispredict;
+            }
+        }
+        return missAllocate(base, branch_id, taken);
+    }
 
     /** Clear all entries and counters (stats kept). */
     void flush();
@@ -71,6 +100,9 @@ class Btb
         uint8_t counter = 0; ///< 2-bit: 0,1 -> not taken; 2,3 -> taken
         uint64_t lru = 0;
     };
+
+    /** Not-present bookkeeping: fall-through or mispredict + allocate. */
+    bool missAllocate(Entry *base, uint32_t branch_id, bool taken);
 
     uint32_t sets_;
     uint32_t ways_;

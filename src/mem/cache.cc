@@ -14,6 +14,15 @@ isPowerOfTwo(uint64_t v)
     return v != 0 && (v & (v - 1)) == 0;
 }
 
+uint32_t
+log2OfPowerOfTwo(uint64_t v)
+{
+    uint32_t shift = 0;
+    while ((1ull << shift) < v)
+        ++shift;
+    return shift;
+}
+
 } // namespace
 
 std::string
@@ -42,52 +51,22 @@ Cache::Cache(const CacheConfig &config)
     if (!isPowerOfTwo(numSets_))
         mmxdsp_fatal("cache %s: set count must be a power of two",
                      config.name.c_str());
+    // Both divisors are enforced powers of two, so the per-access
+    // index/tag math reduces to shifts computed once here.
+    lineShift_ = log2OfPowerOfTwo(config.line_bytes);
+    setShift_ = log2OfPowerOfTwo(numSets_);
+    ways_ = config.ways;
     lines_.resize(static_cast<size_t>(numSets_) * config.ways);
 }
 
-uint64_t
-Cache::lineIndex(uint64_t addr) const
+void
+Cache::missFill(Line *base, uint64_t tag, bool write)
 {
-    return addr / config_.line_bytes;
-}
-
-uint64_t
-Cache::setOf(uint64_t line_addr) const
-{
-    return line_addr & (numSets_ - 1);
-}
-
-uint64_t
-Cache::tagOf(uint64_t line_addr) const
-{
-    return line_addr / numSets_;
-}
-
-bool
-Cache::access(uint64_t addr, bool write)
-{
-    ++stats_.accesses;
-    ++tick_;
-
-    const uint64_t line_addr = lineIndex(addr);
-    const uint64_t set = setOf(line_addr);
-    const uint64_t tag = tagOf(line_addr);
-    Line *base = &lines_[set * config_.ways];
-
-    for (uint32_t w = 0; w < config_.ways; ++w) {
-        Line &line = base[w];
-        if (line.valid && line.tag == tag) {
-            line.lru = tick_;
-            line.dirty = line.dirty || write;
-            return true;
-        }
-    }
-
     ++stats_.misses;
 
     // Pick the LRU victim (preferring invalid ways).
     Line *victim = base;
-    for (uint32_t w = 0; w < config_.ways; ++w) {
+    for (uint32_t w = 0; w < ways_; ++w) {
         Line &line = base[w];
         if (!line.valid) {
             victim = &line;
@@ -106,7 +85,6 @@ Cache::access(uint64_t addr, bool write)
     victim->tag = tag;
     victim->dirty = write;
     victim->lru = tick_;
-    return false;
 }
 
 bool
@@ -149,31 +127,6 @@ MemoryHierarchy::MemoryHierarchy(const CacheConfig &l1, const CacheConfig &l2,
                                  const Penalties &penalties)
     : l1_(l1), l2_(l2), penalties_(penalties)
 {
-}
-
-uint32_t
-MemoryHierarchy::accessLine(uint64_t addr, bool write)
-{
-    if (l1_.access(addr, write))
-        return 0;
-    uint32_t penalty = penalties_.l1_miss;
-    if (l2_.access(addr, write))
-        penalty += penalties_.l2_hit;
-    else
-        penalty += penalties_.l2_hit + penalties_.l2_miss;
-    return penalty;
-}
-
-uint32_t
-MemoryHierarchy::access(uint64_t addr, uint32_t size, bool write)
-{
-    const uint64_t line = l1_.config().line_bytes;
-    const uint64_t first = addr / line;
-    const uint64_t last = (addr + (size ? size - 1 : 0)) / line;
-    uint32_t penalty = accessLine(addr, write);
-    if (last != first)
-        penalty = std::max(penalty, accessLine(last * line, write));
-    return penalty;
 }
 
 void

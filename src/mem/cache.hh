@@ -11,6 +11,7 @@
 #ifndef MMXDSP_MEM_CACHE_HH
 #define MMXDSP_MEM_CACHE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -57,11 +58,32 @@ class Cache
     /**
      * Access one cache line.
      *
+     * Inline so the (overwhelmingly common) hit path costs a tag loop
+     * and an LRU store at the call site; only misses leave the header.
+     *
      * @param addr   byte address (the caller splits line-crossing accesses)
      * @param write  true for stores (marks the line dirty)
      * @return true on hit.
      */
-    bool access(uint64_t addr, bool write);
+    bool access(uint64_t addr, bool write)
+    {
+        ++stats_.accesses;
+        ++tick_;
+        const uint64_t line_addr = lineIndex(addr);
+        const uint64_t set = setOf(line_addr);
+        const uint64_t tag = tagOf(line_addr);
+        Line *base = &lines_[set * ways_];
+        for (uint32_t w = 0; w < ways_; ++w) {
+            Line &line = base[w];
+            if (line.valid && line.tag == tag) {
+                line.lru = tick_;
+                line.dirty = line.dirty || write;
+                return true;
+            }
+        }
+        missFill(base, tag, write);
+        return false;
+    }
 
     /** True if the line holding @p addr is currently resident. */
     bool probe(uint64_t addr) const;
@@ -74,6 +96,8 @@ class Cache
 
     const CacheStats &stats() const { return stats_; }
     const CacheConfig &config() const { return config_; }
+    /** log2 of the line size (line size is always a power of two). */
+    uint32_t lineShift() const { return lineShift_; }
 
   private:
     struct Line
@@ -84,12 +108,22 @@ class Cache
         uint64_t lru = 0; ///< last-use timestamp
     };
 
-    uint64_t lineIndex(uint64_t addr) const;
-    uint64_t setOf(uint64_t line_addr) const;
-    uint64_t tagOf(uint64_t line_addr) const;
+    uint64_t lineIndex(uint64_t addr) const { return addr >> lineShift_; }
+    uint64_t setOf(uint64_t line_addr) const
+    {
+        return line_addr & (numSets_ - 1);
+    }
+    uint64_t tagOf(uint64_t line_addr) const { return line_addr >> setShift_; }
+
+    /** Miss bookkeeping: victim choice, eviction stats, line install. */
+    void missFill(Line *base, uint64_t tag, bool write);
 
     CacheConfig config_;
     uint32_t numSets_;
+    uint32_t ways_ = 1; ///< config_.ways, hoisted for the access loop
+    /** log2(line_bytes) / log2(numSets_); both enforced powers of two. */
+    uint32_t lineShift_ = 0;
+    uint32_t setShift_ = 0;
     std::vector<Line> lines_; ///< numSets_ * ways, set-major
     uint64_t tick_ = 0;
     CacheStats stats_;
@@ -118,9 +152,19 @@ class MemoryHierarchy
     /**
      * Simulate one data access and return the penalty in cycles
      * (0 for an L1 hit). Accesses that straddle a line boundary touch
-     * both lines and pay the larger penalty.
+     * both lines and pay the larger penalty. Inline: the timing model
+     * calls this for every memory operand.
      */
-    uint32_t access(uint64_t addr, uint32_t size, bool write);
+    uint32_t access(uint64_t addr, uint32_t size, bool write)
+    {
+        const uint32_t shift = l1_.lineShift();
+        const uint64_t first = addr >> shift;
+        const uint64_t last = (addr + (size ? size - 1 : 0)) >> shift;
+        uint32_t penalty = accessLine(addr, write);
+        if (last != first)
+            penalty = std::max(penalty, accessLine(last << shift, write));
+        return penalty;
+    }
 
     /** Invalidate both levels (between benchmark runs). */
     void flush();
@@ -133,7 +177,16 @@ class MemoryHierarchy
     const Penalties &penalties() const { return penalties_; }
 
   private:
-    uint32_t accessLine(uint64_t addr, bool write);
+    uint32_t accessLine(uint64_t addr, bool write)
+    {
+        if (l1_.access(addr, write))
+            return 0;
+        uint32_t penalty = penalties_.l1_miss;
+        penalty += penalties_.l2_hit;
+        if (!l2_.access(addr, write))
+            penalty += penalties_.l2_miss;
+        return penalty;
+    }
 
     Cache l1_;
     Cache l2_;

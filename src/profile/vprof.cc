@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 #include "runtime/cpu.hh"
 #include "sim/uop.hh"
@@ -63,9 +64,54 @@ ProfileResult::instructionsPerCycle() const
                   : 0.0;
 }
 
+const std::array<OpReplayEntry, isa::kNumOps> &
+opReplayTable()
+{
+    static const std::array<OpReplayEntry, isa::kNumOps> table = [] {
+        std::array<OpReplayEntry, isa::kNumOps> t{};
+        for (size_t i = 0; i < isa::kNumOps; ++i) {
+            const Op op = static_cast<Op>(i);
+            InstrEvent e;
+            e.op = op;
+            for (size_t m = 0; m < t[i].uopsByMem.size(); ++m) {
+                e.mem = static_cast<MemMode>(m);
+                t[i].uopsByMem[m] =
+                    static_cast<uint8_t>(sim::uopCount(e));
+            }
+            t[i].mmxCategory =
+                static_cast<uint8_t>(isa::opInfo(op).mmx);
+            switch (op) {
+              case Op::Call:
+                t[i].costClass = kCostCall;
+                break;
+              case Op::Ret:
+                t[i].costClass = kCostRet;
+                break;
+              case Op::Push:
+              case Op::Pop:
+                t[i].costClass = kCostPushPop;
+                break;
+              default:
+                t[i].costClass = kCostNone;
+                break;
+            }
+        }
+        return t;
+    }();
+    return table;
+}
+
+const char *
+rootFunctionName()
+{
+    return kRootName;
+}
+
 VProf::VProf(const sim::TimerConfig &config)
     : timer_(config)
 {
+    fnNames_.emplace_back(kRootName);
+    fnStats_.emplace_back();
 }
 
 void
@@ -81,53 +127,66 @@ VProf::reset()
     opCounts_.fill(0);
     opCycles_.fill(0);
     mmxByCategory_.fill(0);
-    staticSites_.clear();
-    sites_.clear();
-    functionStack_.clear();
-    functions_.clear();
+    siteStats_.clear();
+    staticSites_ = 0;
+    fnNames_.clear();
+    fnStats_.clear();
+    fnIds_.clear();
+    fnStack_.clear();
+    currentFn_ = 0;
+    fnNames_.emplace_back(kRootName);
+    fnStats_.emplace_back();
 }
 
 void
-VProf::onInstr(const InstrEvent &event)
+VProf::reserveReplay(size_t num_sites, size_t num_functions)
 {
-    const isa::OpInfo &info = isa::opInfo(event.op);
+    siteStats_.reserve(num_sites);
+    fnNames_.reserve(num_functions + 1);
+    fnStats_.reserve(num_functions + 1);
+    fnIds_.reserve(num_functions);
+    fnStack_.reserve(16);
+}
+
+void
+VProf::account(const InstrEvent &event)
+{
+    const size_t op_idx = static_cast<size_t>(event.op);
+    const OpReplayEntry &entry = opReplayTable()[op_idx];
     const uint64_t cost = timer_.consume(event);
 
     ++dynamicInstructions_;
-    uops_ += sim::uopCount(event);
-    if (event.mem != MemMode::None)
-        ++memoryReferences_;
+    uops_ += entry.uopsByMem[static_cast<size_t>(event.mem)];
+    memoryReferences_ += event.mem != MemMode::None;
 
-    const size_t op_idx = static_cast<size_t>(event.op);
     ++opCounts_[op_idx];
     opCycles_[op_idx] += cost;
 
-    if (info.mmx != isa::MmxCategory::None)
-        ++mmxByCategory_[static_cast<size_t>(info.mmx)];
+    if (entry.mmxCategory)
+        ++mmxByCategory_[entry.mmxCategory];
 
-    staticSites_.insert(event.site);
-    SiteStats &site = sites_[event.site];
+    if (event.site >= siteStats_.size())
+        siteStats_.resize(static_cast<size_t>(event.site) + 1);
+    SiteStats &site = siteStats_[event.site];
+    staticSites_ += site.instructions == 0;
     ++site.instructions;
     site.cycles += cost;
 
-    const std::string &fn =
-        functionStack_.empty() ? kRootName : functionStack_.back();
-    FunctionStats &fstats = functions_[fn];
+    FunctionStats &fstats = fnStats_[currentFn_];
     ++fstats.instructions;
     fstats.cycles += cost;
 
-    switch (event.op) {
-      case Op::Call:
+    switch (entry.costClass) {
+      case kCostCall:
         ++functionCalls_;
         callRetCycles_ += cost;
         callOverheadCycles_ += cost;
         break;
-      case Op::Ret:
+      case kCostRet:
         callRetCycles_ += cost;
         callOverheadCycles_ += cost;
         break;
-      case Op::Push:
-      case Op::Pop:
+      case kCostPushPop:
         // All push/pop traffic in this runtime is call-linkage overhead
         // (argument passing, saved registers, frame pointers).
         callOverheadCycles_ += cost;
@@ -138,17 +197,46 @@ VProf::onInstr(const InstrEvent &event)
 }
 
 void
+VProf::onInstr(const InstrEvent &event)
+{
+    account(event);
+}
+
+void
+VProf::onInstrBatch(std::span<const InstrEvent> events)
+{
+    for (const InstrEvent &event : events)
+        account(event);
+}
+
+uint32_t
+VProf::internFunction(const char *name)
+{
+    auto [it, inserted] = fnIds_.try_emplace(name ? name : "",
+                                             static_cast<uint32_t>(0));
+    if (inserted) {
+        it->second = static_cast<uint32_t>(fnNames_.size());
+        fnNames_.push_back(it->first);
+        fnStats_.emplace_back();
+    }
+    return it->second;
+}
+
+void
 VProf::onEnterFunction(const char *name)
 {
-    functionStack_.emplace_back(name);
-    ++functions_[functionStack_.back()].calls;
+    const uint32_t id = internFunction(name);
+    fnStack_.push_back(id);
+    currentFn_ = id;
+    ++fnStats_[id].calls;
 }
 
 void
 VProf::onLeaveFunction()
 {
-    if (!functionStack_.empty())
-        functionStack_.pop_back();
+    if (!fnStack_.empty())
+        fnStack_.pop_back();
+    currentFn_ = fnStack_.empty() ? 0 : fnStack_.back();
 }
 
 ProfileResult
@@ -156,7 +244,7 @@ VProf::result() const
 {
     ProfileResult r;
     r.dynamicInstructions = dynamicInstructions_;
-    r.staticInstructions = staticSites_.size();
+    r.staticInstructions = staticSites_;
     r.uops = uops_;
     r.cycles = timer_.cycles();
     r.memoryReferences = memoryReferences_;
@@ -167,7 +255,11 @@ VProf::result() const
     r.callRetCycles = callRetCycles_;
     r.callOverheadCycles = callOverheadCycles_;
     r.opCounts = opCounts_;
-    r.functions = functions_;
+    for (size_t id = 0; id < fnStats_.size(); ++id) {
+        const FunctionStats &st = fnStats_[id];
+        if (st.calls || st.instructions)
+            r.functions.emplace(fnNames_[id], st);
+    }
     r.timer = timer_.stats();
     r.l1 = timer_.memory().l1().stats();
     r.l2 = timer_.memory().l2().stats();
@@ -243,10 +335,10 @@ VProf::printReport(const SiteLabeler &label, size_t top_sites) const
     std::printf("\n-- instruction mix --\n");
     mix.print();
 
-    if (!functions_.empty()) {
+    if (!r.functions.empty()) {
         Table fns({"function", "calls", "instructions", "cycles",
                    "% cycles"});
-        for (const auto &[name, st] : functions_) {
+        for (const auto &[name, st] : r.functions) {
             fns.addRow({name, Table::fmtCount(static_cast<int64_t>(st.calls)),
                         Table::fmtCount(
                             static_cast<int64_t>(st.instructions)),
@@ -261,8 +353,11 @@ VProf::printReport(const SiteLabeler &label, size_t top_sites) const
     }
 
     // Hottest static sites.
-    std::vector<std::pair<uint32_t, SiteStats>> hot(sites_.begin(),
-                                                    sites_.end());
+    std::vector<std::pair<uint32_t, SiteStats>> hot;
+    for (size_t id = 0; id < siteStats_.size(); ++id) {
+        if (siteStats_[id].instructions)
+            hot.emplace_back(static_cast<uint32_t>(id), siteStats_[id]);
+    }
     std::sort(hot.begin(), hot.end(), [](const auto &a, const auto &b) {
         return a.second.cycles > b.second.cycles;
     });

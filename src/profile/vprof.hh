@@ -9,6 +9,16 @@
  * (the paper's Figure 1(a)), and attributes instructions and cycles to
  * the current function so library-call overhead can be quantified
  * (the paper's "ret and call consume 23.88% of total cycles" analysis).
+ *
+ * The per-event path is deliberately flat: site statistics live in a
+ * dense vector indexed by site id (site ids are allocated densely by
+ * the runtime and by trace capture), function attribution goes through
+ * an interned id resolved on enter/leave rather than a map lookup per
+ * instruction, and all per-op facts (micro-op count by memory mode, MMX
+ * category, call-overhead class) come from one precomputed table. The
+ * batched sink entry point (onInstrBatch) amortizes the virtual
+ * dispatch over whole blocks for replay producers that can deliver
+ * them.
  */
 
 #ifndef MMXDSP_PROFILE_VPROF_HH
@@ -20,7 +30,6 @@
 #include <map>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "isa/event.hh"
@@ -78,6 +87,36 @@ struct ProfileResult
     double instructionsPerCycle() const;
 };
 
+/** Call-overhead class of an op (see OpReplayEntry::costClass). */
+enum : uint8_t {
+    kCostNone = 0,
+    kCostCall = 1,
+    kCostRet = 2,
+    kCostPushPop = 3,
+};
+
+/**
+ * Per-op facts pre-resolved once for the replay hot path, so per-event
+ * accounting is pure table indexing (no opInfo() chasing or uop-decode
+ * branching per instruction).
+ */
+struct OpReplayEntry
+{
+    /** Pentium II micro-ops, indexed by isa::MemMode. */
+    std::array<uint8_t, 3> uopsByMem{};
+    /** isa::MmxCategory as an index (0 = not MMX). */
+    uint8_t mmxCategory = 0;
+    /** kCostNone / kCostCall / kCostRet / kCostPushPop. */
+    uint8_t costClass = 0;
+};
+
+/** The shared per-op replay table (built once, thread-safe). */
+const std::array<OpReplayEntry, isa::kNumOps> &opReplayTable();
+
+/** Name of the implicit root function instructions outside any
+ *  CallGuard are attributed to ("<measured-root>"). */
+const char *rootFunctionName();
+
 /**
  * The profiler/timing sink. Attach with cpu.attachSink(&vprof), run the
  * measured code, then read result().
@@ -88,25 +127,36 @@ class VProf : public sim::TraceSink
     explicit VProf(const sim::TimerConfig &config = sim::TimerConfig{});
 
     void onInstr(const isa::InstrEvent &event) override;
+    void onInstrBatch(std::span<const isa::InstrEvent> events) override;
     void onEnterFunction(const char *name) override;
     void onLeaveFunction() override;
 
     /** Clear all counters and the timing model (cold caches). */
     void reset();
 
+    /**
+     * Pre-size the site table and function-interning containers from
+     * trace metadata (site count from the trace's site table, an
+     * expected function count), so replay does not pay rehash/regrow
+     * churn while streaming events.
+     */
+    void reserveReplay(size_t num_sites, size_t num_functions);
+
     /** Snapshot of all metrics collected so far. */
     ProfileResult result() const;
 
-    /** Per-site dynamic counts (site id -> {instructions, cycles}). */
+    /** Per-site dynamic counts, dense by site id. */
     struct SiteStats
     {
         uint64_t instructions = 0;
         uint64_t cycles = 0;
     };
-    const std::unordered_map<uint32_t, SiteStats> &sites() const
-    {
-        return sites_;
-    }
+
+    /**
+     * Dense per-site statistics indexed by site id. Sites that never
+     * executed an instruction have zeroed entries.
+     */
+    const std::vector<SiteStats> &sites() const { return siteStats_; }
 
     /** Maps a static-site id to a printable "file:line" label. */
     using SiteLabeler = std::function<std::string(uint32_t)>;
@@ -128,6 +178,12 @@ class VProf : public sim::TraceSink
     const sim::PentiumTimer &timer() const { return timer_; }
 
   private:
+    /** The per-event accounting body shared by onInstr/onInstrBatch. */
+    void account(const isa::InstrEvent &event);
+
+    /** Id for @p name, interning it on first sight (0 = measured root). */
+    uint32_t internFunction(const char *name);
+
     sim::PentiumTimer timer_;
 
     uint64_t dynamicInstructions_ = 0;
@@ -141,13 +197,17 @@ class VProf : public sim::TraceSink
     std::array<uint64_t, isa::kNumOps> opCycles_{};
     std::array<uint64_t, 5> mmxByCategory_{};
 
-    std::unordered_set<uint32_t> staticSites_;
-    std::unordered_map<uint32_t, SiteStats> sites_;
+    /** Dense site table; staticSites_ counts entries that went live. */
+    std::vector<SiteStats> siteStats_;
+    uint64_t staticSites_ = 0;
 
-    std::vector<std::string> functionStack_;
-    std::map<std::string, FunctionStats> functions_;
-    /** Set while the next events belong to call/ret overhead. */
-    bool inCallSequence_ = false;
+    /** Interned function names; index 0 is the measured root. */
+    std::vector<std::string> fnNames_;
+    std::vector<FunctionStats> fnStats_;
+    std::unordered_map<std::string, uint32_t> fnIds_;
+    std::vector<uint32_t> fnStack_;
+    /** Index of the function current events belong to (0 = root). */
+    uint32_t currentFn_ = 0;
 };
 
 } // namespace mmxdsp::profile

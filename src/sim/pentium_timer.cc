@@ -1,20 +1,12 @@
 #include "pentium_timer.hh"
 
-#include <algorithm>
-
 namespace mmxdsp::sim {
-
-using isa::InstrEvent;
-using isa::MemMode;
-using isa::OpInfo;
-using isa::PairClass;
-using isa::RegTag;
-using isa::Unit;
 
 PentiumTimer::PentiumTimer(const TimerConfig &config)
     : config_(config),
       memory_(config.l1, config.l2, config.penalties),
-      btb_(config.btb_entries, config.btb_ways)
+      btb_(config.btb_entries, config.btb_ways),
+      ops_(isa::opTable().data())
 {
 }
 
@@ -35,105 +27,6 @@ PentiumTimer::resetTimeOnly()
     uSlot_ = OpenSlot{};
     ready_.fill(0);
     stats_ = TimerStats{};
-}
-
-bool
-PentiumTimer::canPairInV(const InstrEvent &event, const OpInfo &info,
-                         uint64_t ready, uint32_t mem_penalty,
-                         bool mispredict) const
-{
-    if (!uSlot_.valid)
-        return false;
-    // Only simple single-cycle, non-stalling instructions pair in V;
-    // anything that blocks would stall the pair anyway.
-    if (info.pair != PairClass::UV && info.pair != PairClass::PV)
-        return false;
-    if (info.blocking != 1 || mem_penalty != 0 || mispredict)
-        return false;
-    // Operands must be ready at the U-pipe issue cycle.
-    if (ready > uSlot_.cycle)
-        return false;
-    // No intra-pair RAW or WAW dependence.
-    if (isa::tagValid(uSlot_.dst)) {
-        if (event.src0 == uSlot_.dst || event.src1 == uSlot_.dst)
-            return false;
-        if (event.dst == uSlot_.dst)
-            return false;
-    }
-    // One memory reference per pair (ignoring dual-banked hits).
-    if (event.mem != MemMode::None && uSlot_.isMem)
-        return false;
-    // Single-instance MMX multiplier and shifter units.
-    if (info.unit == Unit::MmxMul && uSlot_.unit == Unit::MmxMul)
-        return false;
-    if (info.unit == Unit::MmxShift && uSlot_.unit == Unit::MmxShift)
-        return false;
-    return true;
-}
-
-uint64_t
-PentiumTimer::consume(const InstrEvent &event)
-{
-    const OpInfo &info = isa::opInfo(event.op);
-    const uint64_t before = nextIssue_;
-    ++stats_.instructions;
-
-    // Operand readiness from the scoreboard.
-    uint64_t ready = 0;
-    if (isa::tagValid(event.src0))
-        ready = std::max(ready, ready_[isa::tagSlot(event.src0)]);
-    if (isa::tagValid(event.src1))
-        ready = std::max(ready, ready_[isa::tagSlot(event.src1)]);
-
-    // Data-cache behaviour (blocking on the Pentium).
-    uint32_t mem_penalty = 0;
-    if (event.mem != MemMode::None) {
-        mem_penalty = memory_.access(event.addr, event.size,
-                                     event.mem == MemMode::Store);
-        stats_.memPenaltyCycles += mem_penalty;
-    }
-
-    // Branch prediction.
-    bool mispredict = false;
-    if (isa::isControl(event.op))
-        mispredict = btb_.predict(event.site, event.taken);
-
-    uint64_t issue;
-    if (canPairInV(event, info, ready, mem_penalty, mispredict)) {
-        // Issue in the V pipe alongside the pending U instruction.
-        issue = uSlot_.cycle;
-        uSlot_.valid = false;
-        ++stats_.pairs;
-    } else {
-        issue = std::max(nextIssue_, ready);
-        if (issue > nextIssue_)
-            stats_.dependStallCycles += issue - nextIssue_;
-
-        const bool can_open_pair = (info.pair == PairClass::UV
-                                    || info.pair == PairClass::PU)
-                                   && info.blocking == 1 && mem_penalty == 0
-                                   && !mispredict;
-        uSlot_.valid = can_open_pair;
-        uSlot_.cycle = issue;
-        uSlot_.unit = info.unit;
-        uSlot_.isMem = event.mem != MemMode::None;
-        uSlot_.dst = event.dst;
-
-        nextIssue_ = issue + info.blocking + mem_penalty;
-        if (info.blocking > 1)
-            stats_.blockingExtraCycles += info.blocking - 1;
-    }
-
-    if (isa::tagValid(event.dst))
-        ready_[isa::tagSlot(event.dst)] = issue + info.latency + mem_penalty;
-
-    if (mispredict) {
-        nextIssue_ += config_.mispredict_penalty;
-        stats_.mispredictCycles += config_.mispredict_penalty;
-        uSlot_.valid = false;
-    }
-
-    return nextIssue_ - before;
 }
 
 } // namespace mmxdsp::sim

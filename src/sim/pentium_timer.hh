@@ -21,6 +21,7 @@
 #ifndef MMXDSP_SIM_PENTIUM_TIMER_HH
 #define MMXDSP_SIM_PENTIUM_TIMER_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 
@@ -74,7 +75,85 @@ class PentiumTimer
     explicit PentiumTimer(const TimerConfig &config = TimerConfig{});
 
     /** Account one instruction; returns the cycle cost charged to it. */
-    uint64_t consume(const isa::InstrEvent &event);
+    uint64_t
+    consume(const isa::InstrEvent &event)
+    {
+        bool mispredict = false;
+        if (isa::isControl(event.op))
+            mispredict = btb_.predict(event.site, event.taken);
+        return consumeWithPrediction(event, mispredict);
+    }
+
+    /**
+     * consume() with the branch-prediction outcome supplied by the
+     * caller instead of this timer's BTB. Memoized sweeps use this:
+     * prediction depends only on BTB geometry, so configurations that
+     * share one can record the outcomes once and feed the bits back
+     * here. @p mispredict must be false for non-control ops. The
+     * internal BTB is neither consulted nor updated, so the caller owns
+     * btb-stat reporting.
+     *
+     * Inline (as is consume()): the replay loops call this per event,
+     * and inlining lets the issue/scoreboard state live in registers
+     * across iterations.
+     */
+    uint64_t
+    consumeWithPrediction(const isa::InstrEvent &event, bool mispredict)
+    {
+        const isa::OpInfo &info = ops_[static_cast<size_t>(event.op)];
+        const uint64_t before = nextIssue_;
+        ++stats_.instructions;
+
+        // Operand readiness from the scoreboard. Slot kNoReg is a
+        // sentinel held at zero, so absent operands need no branches.
+        const uint64_t ready =
+            std::max(ready_[event.src0], ready_[event.src1]);
+
+        // Data-cache behaviour (blocking on the Pentium).
+        uint32_t mem_penalty = 0;
+        if (event.mem != isa::MemMode::None) {
+            mem_penalty = memory_.access(event.addr, event.size,
+                                         event.mem == isa::MemMode::Store);
+            stats_.memPenaltyCycles += mem_penalty;
+        }
+
+        uint64_t issue;
+        if (canPairInV(event, info, ready, mem_penalty, mispredict)) {
+            // Issue in the V pipe alongside the pending U instruction.
+            issue = uSlot_.cycle;
+            uSlot_.valid = false;
+            ++stats_.pairs;
+        } else {
+            issue = std::max(nextIssue_, ready);
+            if (issue > nextIssue_)
+                stats_.dependStallCycles += issue - nextIssue_;
+
+            const bool can_open_pair =
+                (info.pair == isa::PairClass::UV
+                 || info.pair == isa::PairClass::PU)
+                && info.blocking == 1 && mem_penalty == 0 && !mispredict;
+            uSlot_.valid = can_open_pair;
+            uSlot_.cycle = issue;
+            uSlot_.unit = info.unit;
+            uSlot_.isMem = event.mem != isa::MemMode::None;
+            uSlot_.dst = event.dst;
+
+            nextIssue_ = issue + info.blocking + mem_penalty;
+            if (info.blocking > 1)
+                stats_.blockingExtraCycles += info.blocking - 1;
+        }
+
+        ready_[event.dst] = issue + info.latency + mem_penalty;
+        ready_[isa::kNoReg] = 0; // restore the sentinel (dst may be absent)
+
+        if (mispredict) {
+            nextIssue_ += config_.mispredict_penalty;
+            stats_.mispredictCycles += config_.mispredict_penalty;
+            uSlot_.valid = false;
+        }
+
+        return nextIssue_ - before;
+    }
 
     /** Total cycles of everything consumed so far. */
     uint64_t cycles() const { return nextIssue_; }
@@ -101,17 +180,56 @@ class PentiumTimer
         isa::RegTag dst = isa::kNoReg;
     };
 
-    bool canPairInV(const isa::InstrEvent &event, const isa::OpInfo &info,
-                    uint64_t ready, uint32_t mem_penalty,
-                    bool mispredict) const;
+    bool
+    canPairInV(const isa::InstrEvent &event, const isa::OpInfo &info,
+               uint64_t ready, uint32_t mem_penalty, bool mispredict) const
+    {
+        if (!uSlot_.valid)
+            return false;
+        // Only simple single-cycle, non-stalling instructions pair in V;
+        // anything that blocks would stall the pair anyway.
+        if (info.pair != isa::PairClass::UV && info.pair != isa::PairClass::PV)
+            return false;
+        if (info.blocking != 1 || mem_penalty != 0 || mispredict)
+            return false;
+        // Operands must be ready at the U-pipe issue cycle.
+        if (ready > uSlot_.cycle)
+            return false;
+        // No intra-pair RAW or WAW dependence.
+        if (isa::tagValid(uSlot_.dst)) {
+            if (event.src0 == uSlot_.dst || event.src1 == uSlot_.dst)
+                return false;
+            if (event.dst == uSlot_.dst)
+                return false;
+        }
+        // One memory reference per pair (ignoring dual-banked hits).
+        if (event.mem != isa::MemMode::None && uSlot_.isMem)
+            return false;
+        // Single-instance MMX multiplier and shifter units.
+        if (info.unit == isa::Unit::MmxMul && uSlot_.unit == isa::Unit::MmxMul)
+            return false;
+        if (info.unit == isa::Unit::MmxShift
+            && uSlot_.unit == isa::Unit::MmxShift)
+            return false;
+        return true;
+    }
 
     TimerConfig config_;
     mem::MemoryHierarchy memory_;
     mem::Btb btb_;
+    /** isa::opTable().data(), hoisted so consume() skips the per-call
+     *  range check and static-init guard of isa::opInfo(). */
+    const isa::OpInfo *ops_;
 
     uint64_t nextIssue_ = 0; ///< earliest cycle the next instr may issue
     OpenSlot uSlot_;
-    std::array<uint64_t, isa::kNumTagSlots> ready_{};
+    /**
+     * Result-ready cycle per scoreboard slot, indexed directly by RegTag.
+     * Sized 256 (not kNumTagSlots) so slot isa::kNoReg (0xff) is a live
+     * sentinel pinned at zero: reads and writes for absent operands go
+     * through it unconditionally instead of branching on tag validity.
+     */
+    std::array<uint64_t, 256> ready_{};
     TimerStats stats_;
 };
 

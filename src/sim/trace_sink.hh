@@ -11,6 +11,8 @@
 #ifndef MMXDSP_SIM_TRACE_SINK_HH
 #define MMXDSP_SIM_TRACE_SINK_HH
 
+#include <span>
+
 #include "isa/event.hh"
 
 namespace mmxdsp::sim {
@@ -23,6 +25,21 @@ class TraceSink
 
     /** Called in program order for every executed instruction. */
     virtual void onInstr(const isa::InstrEvent &event) = 0;
+
+    /**
+     * Called with a block of consecutive instructions in program order.
+     * Batch-aware producers (trace::MaterializedTrace) deliver events in
+     * cache-friendly blocks so a sink pays one virtual dispatch per
+     * block instead of one per instruction; sinks that care override
+     * this with a tight loop. The default forwards to onInstr() so
+     * every existing sink keeps working unchanged.
+     */
+    virtual void
+    onInstrBatch(std::span<const isa::InstrEvent> events)
+    {
+        for (const isa::InstrEvent &event : events)
+            onInstr(event);
+    }
 
     /** Called when the runtime enters a named function (after `call`). */
     virtual void onEnterFunction(const char *name) { (void)name; }
@@ -51,6 +68,15 @@ class TeeSink final : public TraceSink
             first_->onInstr(event);
         if (second_)
             second_->onInstr(event);
+    }
+
+    void
+    onInstrBatch(std::span<const isa::InstrEvent> events) override
+    {
+        if (first_)
+            first_->onInstrBatch(events);
+        if (second_)
+            second_->onInstrBatch(events);
     }
 
     void

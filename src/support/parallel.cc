@@ -21,6 +21,21 @@ resolveThreads(int requested)
 void
 parallelFor(size_t n, int threads, const std::function<void(size_t)> &fn)
 {
+    // Fast path: a single iteration (or an explicit single-worker
+    // request) runs inline on the calling thread without touching
+    // std::thread::hardware_concurrency() or pool machinery at all.
+    if (n == 0)
+        return;
+    if (n == 1) {
+        fn(0);
+        return;
+    }
+    if (threads == 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
     const int workers =
         static_cast<int>(std::min<size_t>(resolveThreads(threads), n));
     if (workers <= 1) {

@@ -25,9 +25,11 @@ int resolveThreads(int requested);
 /**
  * Run fn(0) .. fn(n-1), distributing iterations over up to
  * resolveThreads(threads) workers (iterations may run in any order).
- * With one worker or one iteration it degenerates to a plain loop.
- * The first exception thrown by any iteration is rethrown on the
- * calling thread after all workers join.
+ * With one worker or one iteration it runs inline on the calling
+ * thread — no pool is spawned and the hardware concurrency is not even
+ * queried, so single-config replays and 1-core containers pay zero
+ * threading overhead. The first exception thrown by any iteration is
+ * rethrown on the calling thread after all workers join.
  */
 void parallelFor(size_t n, int threads,
                  const std::function<void(size_t)> &fn);

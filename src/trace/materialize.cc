@@ -1,0 +1,432 @@
+#include "materialize.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <unordered_map>
+
+#include "support/logging.hh"
+#include "support/parallel.hh"
+
+namespace mmxdsp::trace {
+
+using isa::InstrEvent;
+using isa::MemMode;
+
+namespace {
+
+/** Events staged per onInstrBatch() call: big enough to amortize the
+ *  virtual dispatch, small enough to stay resident in L1D. */
+constexpr size_t kBatchEvents = 512;
+
+} // namespace
+
+/**
+ * The recording sink build() drives the TraceReader through: writes
+ * every event into the pre-sized structure-of-arrays buffers, interns
+ * function names, and resolves the owning function id per event. Event
+ * fields go through raw pointers (the arrays were resized to the
+ * header's instruction count up front), so the per-event cost is plain
+ * stores rather than nine capacity-checked push_backs.
+ */
+struct MaterializedTrace::BuildSink final : sim::TraceSink
+{
+    BuildSink(MaterializedTrace &trace, size_t count)
+        : t(trace), n(count), op(trace.op_.data()),
+          flags(trace.flags_.data()), size(trace.size_.data()),
+          src0(trace.src0_.data()), src1(trace.src1_.data()),
+          dst(trace.dst_.data()), site(trace.site_.data()),
+          addr(trace.addr_.data()), fnId(trace.fnId_.data())
+    {
+        // Per-op flag bits (control / call-ret / overhead), derived once
+        // so onInstr() and the replay kernels never consult the op tables.
+        const auto &table = profile::opReplayTable();
+        for (size_t o = 0; o < opBits.size(); ++o) {
+            uint8_t b = 0;
+            if (isa::isControl(static_cast<isa::Op>(o)))
+                b |= kFlagControl;
+            if (table[o].costClass == profile::kCostCall
+                || table[o].costClass == profile::kCostRet)
+                b |= kFlagCallRet | kFlagOverhead;
+            else if (table[o].costClass == profile::kCostPushPop)
+                b |= kFlagOverhead;
+            opBits[o] = b;
+        }
+    }
+
+    void
+    onInstr(const InstrEvent &e) override
+    {
+        if (idx >= n) {
+            overflow = true;
+            return;
+        }
+        const size_t i = idx++;
+        op[i] = static_cast<uint16_t>(e.op);
+        flags[i] = static_cast<uint8_t>(
+            (static_cast<uint8_t>(e.mem) & kFlagMemMask)
+            | (e.taken ? kFlagTaken : 0)
+            | opBits[static_cast<size_t>(e.op)]);
+        size[i] = e.size;
+        src0[i] = e.src0;
+        src1[i] = e.src1;
+        dst[i] = e.dst;
+        site[i] = e.site;
+        addr[i] = e.addr;
+        fnId[i] = current;
+        ++run;
+    }
+
+    void
+    onEnterFunction(const char *name) override
+    {
+        flushRun();
+        auto [it, inserted] =
+            fnIds.try_emplace(name ? name : "", static_cast<uint32_t>(0));
+        if (inserted) {
+            it->second = static_cast<uint32_t>(t.fnNames_.size());
+            t.fnNames_.push_back(it->first);
+            t.fnCounts_.emplace_back();
+        }
+        const uint32_t id = it->second;
+        stack.push_back(id);
+        current = id;
+        ++t.fnCounts_[id].calls;
+        t.segments_.push_back({Segment::Enter, id});
+    }
+
+    void
+    onLeaveFunction() override
+    {
+        flushRun();
+        if (!stack.empty())
+            stack.pop_back();
+        current = stack.empty() ? 0 : stack.back();
+        t.segments_.push_back({Segment::Leave, 0});
+    }
+
+    /** Close the open instruction run (instead of touching segments_
+     *  per event, onInstr just counts and a marker flushes). */
+    void
+    flushRun()
+    {
+        if (run) {
+            t.segments_.push_back({Segment::Run, run});
+            run = 0;
+        }
+    }
+
+    MaterializedTrace &t;
+    size_t n;
+    uint16_t *op;
+    uint8_t *flags;
+    uint8_t *size;
+    uint8_t *src0;
+    uint8_t *src1;
+    uint8_t *dst;
+    uint32_t *site;
+    uint64_t *addr;
+    uint32_t *fnId;
+    std::array<uint8_t, isa::kNumOps> opBits{};
+    std::unordered_map<std::string, uint32_t> fnIds;
+    std::vector<uint32_t> stack;
+    size_t idx = 0;
+    bool overflow = false;
+    uint32_t current = 0;
+    uint32_t run = 0; ///< length of the currently open instruction run
+};
+
+bool
+MaterializedTrace::build(const TraceReader &reader)
+{
+    *this = MaterializedTrace();
+    if (!reader.valid())
+        return false;
+
+    benchmark_ = reader.benchmark();
+    version_ = reader.version();
+    configHash_ = reader.configHash();
+
+    const size_t n = static_cast<size_t>(reader.instrCount());
+    op_.resize(n);
+    flags_.resize(n);
+    size_.resize(n);
+    src0_.resize(n);
+    src1_.resize(n);
+    dst_.resize(n);
+    site_.resize(n);
+    addr_.resize(n);
+    fnId_.resize(n);
+
+    fnNames_.emplace_back(profile::rootFunctionName());
+    fnCounts_.emplace_back();
+
+    BuildSink sink(*this, n);
+    // A body whose event count disagrees with the header is corrupt.
+    if (!reader.replayTo(sink) || sink.overflow || sink.idx != n) {
+        *this = MaterializedTrace();
+        return false;
+    }
+    sink.flushRun();
+
+    // Everything derivable from the filled buffers happens in this
+    // finalize scan, keeping the per-event sink above to plain stores.
+    uint32_t maxSite = 0;
+    for (size_t i = 0; i < n; ++i)
+        maxSite = std::max(maxSite, site_[i]);
+    siteTableSize_ = n ? maxSite + 1 : 0;
+    for (size_t i = 0; i < n; ++i)
+        ++fnCounts_[fnId_[i]].instructions;
+
+    // Fold every config-independent metric into the result template so
+    // the per-config kernel only has to produce cycle attribution.
+    const auto &table = profile::opReplayTable();
+    std::vector<uint8_t> seen(siteTableSize_, 0);
+    counts_.dynamicInstructions = op_.size();
+    for (size_t i = 0; i < op_.size(); ++i) {
+        const size_t op_idx = op_[i];
+        const size_t mem_idx = flags_[i] & kFlagMemMask;
+        const profile::OpReplayEntry &entry = table[op_idx];
+        counts_.uops += entry.uopsByMem[mem_idx];
+        counts_.memoryReferences += mem_idx != 0;
+        ++counts_.opCounts[op_idx];
+        if (entry.mmxCategory)
+            ++counts_.mmxByCategory[entry.mmxCategory];
+        counts_.functionCalls += entry.costClass == profile::kCostCall;
+        controlCount_ += (flags_[i] & kFlagControl) != 0;
+        const uint32_t site = site_[i];
+        counts_.staticInstructions += seen[site] == 0;
+        seen[site] = 1;
+    }
+    for (size_t c = 1; c < counts_.mmxByCategory.size(); ++c)
+        counts_.mmxInstructions += counts_.mmxByCategory[c];
+
+    // Re-intern the trace's site metadata into a dense table.
+    if (!reader.sites().empty()) {
+        siteMeta_.resize(siteTableSize_);
+        std::unordered_map<std::string, int32_t> stringIds;
+        auto intern = [&](const std::string &s) {
+            auto [it, inserted] =
+                stringIds.try_emplace(s, static_cast<int32_t>(0));
+            if (inserted) {
+                it->second = static_cast<int32_t>(strings_.size());
+                strings_.push_back(s);
+            }
+            return it->second;
+        };
+        for (const auto &[id, site] : reader.sites()) {
+            if (id >= siteMeta_.size())
+                siteMeta_.resize(static_cast<size_t>(id) + 1);
+            SiteMeta &meta = siteMeta_[id];
+            meta.line = site.line;
+            meta.column = site.column;
+            meta.file = intern(site.file);
+            meta.function = intern(site.function);
+        }
+    }
+
+    valid_ = true;
+    return true;
+}
+
+size_t
+MaterializedTrace::byteSize() const
+{
+    size_t bytes = op_.size()
+                       * (sizeof(uint16_t) + 4 * sizeof(uint8_t)
+                          + 2 * sizeof(uint32_t) + sizeof(uint64_t))
+                   + segments_.size() * sizeof(Segment)
+                   + siteMeta_.size() * sizeof(SiteMeta);
+    for (const std::string &s : fnNames_)
+        bytes += s.size();
+    for (const std::string &s : strings_)
+        bytes += s.size();
+    return bytes;
+}
+
+bool
+MaterializedTrace::replayTo(sim::TraceSink &sink) const
+{
+    if (!valid_)
+        return false;
+    std::array<InstrEvent, kBatchEvents> buf;
+    size_t pos = 0;
+    for (const Segment &seg : segments_) {
+        switch (seg.kind) {
+          case Segment::Enter:
+            sink.onEnterFunction(fnNames_[seg.value].c_str());
+            break;
+          case Segment::Leave:
+            sink.onLeaveFunction();
+            break;
+          case Segment::Run: {
+            size_t remaining = seg.value;
+            while (remaining) {
+                const size_t chunk = std::min(remaining, kBatchEvents);
+                for (size_t i = 0; i < chunk; ++i)
+                    buf[i] = eventAt(pos + i);
+                sink.onInstrBatch(
+                    std::span<const InstrEvent>(buf.data(), chunk));
+                pos += chunk;
+                remaining -= chunk;
+            }
+            break;
+          }
+        }
+    }
+    return true;
+}
+
+MaterializedTrace::BtbMemo
+MaterializedTrace::buildBtbMemo(uint32_t entries, uint32_t ways) const
+{
+    BtbMemo memo;
+    memo.bits.assign((controlCount_ + 63) / 64, 0);
+    mem::Btb btb(entries, ways);
+    const uint8_t *flags = flags_.data();
+    const uint32_t *site = site_.data();
+    const size_t n = op_.size();
+    size_t branch = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const uint8_t f = flags[i];
+        if (f & kFlagControl) {
+            if (btb.predict(site[i], (f & kFlagTaken) != 0))
+                memo.bits[branch >> 6] |= uint64_t{1} << (branch & 63);
+            ++branch;
+        }
+    }
+    memo.stats = btb.stats();
+    return memo;
+}
+
+profile::ProfileResult
+MaterializedTrace::runKernel(const sim::TimerConfig &config,
+                             const BtbMemo *memo) const
+{
+    // Start from the config-independent template; this loop only runs
+    // the timing model and attributes its cycles.
+    profile::ProfileResult r = counts_;
+    sim::PentiumTimer timer(config);
+    std::vector<uint64_t> fnCycles(fnNames_.size(), 0);
+    uint64_t callRet = 0;
+    uint64_t overhead = 0;
+
+    const uint8_t *flags = flags_.data();
+    const uint32_t *fnId = fnId_.data();
+    const uint64_t *bits = memo ? memo->bits.data() : nullptr;
+    size_t branch = 0;
+
+    const size_t n = op_.size();
+    for (size_t i = 0; i < n; ++i) {
+        const InstrEvent e = eventAt(i);
+        const uint8_t f = flags[i];
+        uint64_t cost;
+        if (bits) {
+            // Branch outcomes were recorded once for this BTB geometry.
+            bool mispredict = false;
+            if (f & kFlagControl) {
+                mispredict = (bits[branch >> 6] >> (branch & 63)) & 1;
+                ++branch;
+            }
+            cost = timer.consumeWithPrediction(e, mispredict);
+        } else {
+            cost = timer.consume(e);
+        }
+        fnCycles[fnId[i]] += cost;
+        // Branchless attribution from the pre-decoded flag bits.
+        callRet += cost & -static_cast<uint64_t>((f & kFlagCallRet) != 0);
+        overhead += cost & -static_cast<uint64_t>((f & kFlagOverhead) != 0);
+    }
+
+    r.cycles = timer.cycles();
+    r.callRetCycles = callRet;
+    r.callOverheadCycles = overhead;
+    r.timer = timer.stats();
+    r.l1 = timer.memory().l1().stats();
+    r.l2 = timer.memory().l2().stats();
+    r.btb = memo ? memo->stats : timer.btb().stats();
+    for (size_t id = 0; id < fnCounts_.size(); ++id) {
+        const profile::FunctionStats &st = fnCounts_[id];
+        if (st.calls || st.instructions) {
+            profile::FunctionStats full = st;
+            full.cycles = fnCycles[id];
+            r.functions.emplace(fnNames_[id], full);
+        }
+    }
+    return r;
+}
+
+profile::ProfileResult
+MaterializedTrace::replayProfile(const sim::TimerConfig &config) const
+{
+    return runKernel(config, nullptr);
+}
+
+std::vector<profile::ProfileResult>
+MaterializedTrace::replaySweep(const std::vector<sim::TimerConfig> &configs,
+                               int threads) const
+{
+    std::vector<profile::ProfileResult> results(configs.size());
+
+    // Group configurations by BTB geometry; any geometry that appears
+    // more than once gets one recorded prediction pass for the group.
+    std::vector<uint64_t> keys(configs.size());
+    for (size_t i = 0; i < configs.size(); ++i)
+        keys[i] = (static_cast<uint64_t>(configs[i].btb_entries) << 32)
+                  | configs[i].btb_ways;
+    std::vector<int> memoOf(configs.size(), -1);
+    std::vector<BtbMemo> memos;
+    for (size_t i = 0; i < configs.size(); ++i) {
+        if (memoOf[i] >= 0)
+            continue;
+        bool shared = false;
+        for (size_t j = i + 1; j < configs.size(); ++j)
+            shared = shared || keys[j] == keys[i];
+        if (!shared)
+            continue;
+        const int m = static_cast<int>(memos.size());
+        memos.push_back(
+            buildBtbMemo(configs[i].btb_entries, configs[i].btb_ways));
+        for (size_t j = i; j < configs.size(); ++j)
+            if (keys[j] == keys[i])
+                memoOf[j] = m;
+    }
+
+    parallelFor(configs.size(), threads, [&](size_t i) {
+        results[i] = runKernel(
+            configs[i], memoOf[i] >= 0 ? &memos[memoOf[i]] : nullptr);
+    });
+    return results;
+}
+
+std::string
+MaterializedTrace::siteLabel(uint32_t site) const
+{
+    if (site >= siteMeta_.size() || siteMeta_[site].file < 0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "site#%u", site);
+        return buf;
+    }
+    const SiteMeta &meta = siteMeta_[site];
+    const char *file = strings_[static_cast<size_t>(meta.file)].c_str();
+    if (const char *slash = std::strrchr(file, '/'))
+        file = slash + 1;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%s:%u", file, meta.line);
+    return buf;
+}
+
+MaterializedTrace
+materialize(const TraceReader &reader)
+{
+    MaterializedTrace mat;
+    if (!mat.build(reader))
+        mmxdsp_fatal("corrupt trace body for %s.%s",
+                     reader.benchmark().c_str(),
+                     reader.version().c_str());
+    return mat;
+}
+
+} // namespace mmxdsp::trace

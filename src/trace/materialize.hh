@@ -1,0 +1,223 @@
+/**
+ * @file
+ * MaterializedTrace — the decode-once fast replay path.
+ *
+ * TraceReader::replayTo() re-parses the varint/delta body on every
+ * replay, which makes an N-configuration sweep pay N full decodes plus
+ * one virtual sink call per instruction. A MaterializedTrace parses the
+ * trace exactly once into dense structure-of-arrays event buffers and
+ * then serves any number of replays straight from memory:
+ *
+ *  - one contiguous array per event field (op, packed mem/taken flags,
+ *    memory address/size, site id, register tags, owning-function id),
+ *    so replay walks sequential cache lines instead of a byte-stream
+ *    decoder;
+ *  - function enter/leave markers collapsed into a segment list with an
+ *    interned function-name table, and the trace's site metadata table
+ *    re-interned densely for hotspot labelling;
+ *  - per-event facts that no timing configuration can change (micro-op
+ *    counts, instruction/op/MMX-category/memory-reference totals,
+ *    per-function call and instruction counts, the static-site count)
+ *    folded into a ProfileResult template at materialize time, so a
+ *    per-configuration replay only has to run the timing model and
+ *    attribute cycles.
+ *
+ * replayTo() streams the buffers through sim::TraceSink::onInstrBatch
+ * in cache-friendly blocks (any sink, bit-identical event stream);
+ * replayProfile() / replaySweep() run the specialized profile kernel
+ * whose results are bit-identical to a full VProf replay. One
+ * MaterializedTrace is immutable after build() and safely shared by
+ * any number of replay threads.
+ */
+
+#ifndef MMXDSP_TRACE_MATERIALIZE_HH
+#define MMXDSP_TRACE_MATERIALIZE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "profile/vprof.hh"
+#include "sim/pentium_timer.hh"
+#include "sim/trace_sink.hh"
+#include "trace/reader.hh"
+
+namespace mmxdsp::trace {
+
+class MaterializedTrace
+{
+  public:
+    MaterializedTrace() = default;
+
+    /**
+     * Decode @p reader's body exactly once into the dense buffers.
+     * Returns false (leaving this trace invalid) when the reader is
+     * invalid or its body is corrupt.
+     */
+    bool build(const TraceReader &reader);
+
+    bool valid() const { return valid_; }
+    uint64_t instrCount() const { return op_.size(); }
+    const std::string &benchmark() const { return benchmark_; }
+    const std::string &version() const { return version_; }
+    uint64_t configHash() const { return configHash_; }
+    /** One past the largest site id in the event stream (0 if empty). */
+    uint32_t siteTableSize() const { return siteTableSize_; }
+    /** Interned function names; index 0 is the measured root. */
+    const std::vector<std::string> &functionNames() const
+    {
+        return fnNames_;
+    }
+    /** Resident size of the materialized buffers in bytes. */
+    size_t byteSize() const;
+
+    /**
+     * Deliver the identical event stream a TraceReader replay would
+     * produce, but via batched dispatch: instruction runs arrive through
+     * sink.onInstrBatch() in blocks, enter/leave markers in original
+     * order between them.
+     */
+    bool replayTo(sim::TraceSink &sink) const;
+
+    /**
+     * The fast replay kernel: profile this trace under @p config and
+     * return metrics bit-identical to replaying through a fresh
+     * profile::VProf. Config-independent counts come from the template
+     * computed at build time; the per-event loop runs only the timing
+     * model and cycle attribution.
+     */
+    profile::ProfileResult
+    replayProfile(const sim::TimerConfig &config = sim::TimerConfig{}) const;
+
+    /**
+     * Replay under every configuration in @p configs, fanning out over
+     * @p threads workers (0 = auto); all workers share these buffers.
+     * Branch prediction depends only on BTB geometry, so configurations
+     * that share one (the common case in cache sweeps) also share a
+     * single recorded prediction pass instead of re-simulating the BTB
+     * per config. Results are index-aligned with @p configs and
+     * bit-identical to per-config replayProfile() calls.
+     */
+    std::vector<profile::ProfileResult>
+    replaySweep(const std::vector<sim::TimerConfig> &configs,
+                int threads = 0) const;
+
+    /** "file.cc:123" for a recorded site, or "site#N" when unknown. */
+    std::string siteLabel(uint32_t site) const;
+
+  private:
+    struct BuildSink;
+
+    /** Reassemble the i-th event from the structure-of-arrays buffers. */
+    isa::InstrEvent eventAt(size_t i) const
+    {
+        isa::InstrEvent e;
+        e.op = static_cast<isa::Op>(op_[i]);
+        const uint8_t flags = flags_[i];
+        e.mem = static_cast<isa::MemMode>(flags & 3);
+        e.taken = (flags & 4) != 0;
+        e.addr = addr_[i];
+        e.size = size_[i];
+        e.site = site_[i];
+        e.src0 = src0_[i];
+        e.src1 = src1_[i];
+        e.dst = dst_[i];
+        return e;
+    }
+
+    bool valid_ = false;
+    std::string benchmark_;
+    std::string version_;
+    uint64_t configHash_ = 0;
+
+    /**
+     * Bit layout of flags_: everything the replay kernel branches on,
+     * pre-decoded per event so the per-config loop never consults the
+     * op tables. Bits 3-5 are derived from the op at build time.
+     */
+    enum : uint8_t {
+        kFlagMemMask = 3,    ///< isa::MemMode
+        kFlagTaken = 1 << 2, ///< branch outcome
+        kFlagControl = 1 << 3,  ///< op is Jmp/Jcc/Call/Ret
+        kFlagCallRet = 1 << 4,  ///< cost attributed to call/ret
+        kFlagOverhead = 1 << 5, ///< cost attributed to call overhead
+    };
+
+    // -- structure-of-arrays event buffers, all instrCount() long --
+    std::vector<uint16_t> op_;    ///< isa::Op (also the OpInfo index)
+    std::vector<uint8_t> flags_;  ///< see the flag enum above
+    std::vector<uint8_t> size_;   ///< memory operand size
+    std::vector<uint8_t> src0_;
+    std::vector<uint8_t> src1_;
+    std::vector<uint8_t> dst_;
+    std::vector<uint32_t> site_;
+    std::vector<uint64_t> addr_;
+    /** Owning function per event (enter/leave pre-resolved; 0 = root). */
+    std::vector<uint32_t> fnId_;
+
+    /**
+     * The marker stream for sink-level replay: instruction runs
+     * interleaved with enter/leave in original program order.
+     */
+    struct Segment
+    {
+        enum Kind : uint8_t { Run, Enter, Leave };
+        Kind kind;
+        uint32_t value; ///< Run: event count; Enter: function id
+    };
+    std::vector<Segment> segments_;
+
+    std::vector<std::string> fnNames_;
+    /** Per-function calls/instructions (config-independent). */
+    std::vector<profile::FunctionStats> fnCounts_;
+
+    /**
+     * ProfileResult template holding every config-independent metric;
+     * cycle-dependent fields stay zero until a replay fills them.
+     */
+    profile::ProfileResult counts_;
+
+    uint32_t siteTableSize_ = 0;
+    uint64_t controlCount_ = 0; ///< number of events with kFlagControl
+
+    /**
+     * One recorded branch-prediction pass: the mispredict outcome of
+     * every control event in stream order (packed bits) plus the final
+     * predictor statistics. Outcomes depend only on BTB geometry, so
+     * sweep configurations sharing one share a memo.
+     */
+    struct BtbMemo
+    {
+        std::vector<uint64_t> bits;
+        mem::BtbStats stats;
+    };
+
+    /** Run the BTB once over the control events of this trace. */
+    BtbMemo buildBtbMemo(uint32_t entries, uint32_t ways) const;
+
+    /**
+     * The per-config replay loop behind replayProfile()/replaySweep().
+     * With a memo, branch outcomes come from its recorded bits (and its
+     * stats are reported); without one the timer's own BTB runs.
+     */
+    profile::ProfileResult runKernel(const sim::TimerConfig &config,
+                                     const BtbMemo *memo) const;
+
+    // -- re-interned site metadata for hotspot labelling --
+    struct SiteMeta
+    {
+        uint32_t line = 0;
+        uint32_t column = 0;
+        int32_t file = -1; ///< index into strings_, -1 = unknown site
+        int32_t function = -1;
+    };
+    std::vector<SiteMeta> siteMeta_; ///< dense by site id
+    std::vector<std::string> strings_;
+};
+
+/** Convenience wrapper: materialize @p reader, fatal on corruption. */
+MaterializedTrace materialize(const TraceReader &reader);
+
+} // namespace mmxdsp::trace
+
+#endif // MMXDSP_TRACE_MATERIALIZE_HH

@@ -1,5 +1,6 @@
 #include "reader.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -19,6 +20,7 @@ TraceReader::parse(std::vector<uint8_t> data)
     body_ = nullptr;
     bodySize_ = 0;
     sites_.clear();
+    siteTableSize_ = 0;
 
     ByteReader r(data_.data(), data_.size());
     const uint8_t *magic = r.getBytes(4);
@@ -63,6 +65,7 @@ TraceReader::parse(std::vector<uint8_t> data)
             return false;
         site.file = strings[static_cast<size_t>(file_idx)];
         site.function = strings[static_cast<size_t>(func_idx)];
+        siteTableSize_ = std::max(siteTableSize_, id + 1);
         sites_.emplace(id, std::move(site));
     }
     if (!r.ok())

@@ -67,6 +67,13 @@ class TraceReader
         return sites_;
     }
 
+    /**
+     * One past the largest site id in the recorded site table (0 when
+     * captured without a Cpu) — the dense-table size hint replay sinks
+     * use to pre-size their per-site statistics.
+     */
+    uint32_t siteTableSize() const { return siteTableSize_; }
+
     /** "file.cc:123" for a recorded site, or "site#N" when unknown. */
     std::string siteLabel(uint32_t site) const;
 
@@ -82,6 +89,7 @@ class TraceReader
     uint64_t instrCount_ = 0;
 
     std::unordered_map<uint32_t, Site> sites_;
+    uint32_t siteTableSize_ = 0;
 };
 
 } // namespace mmxdsp::trace

@@ -1,7 +1,7 @@
 #include "replay.hh"
 
 #include "support/logging.hh"
-#include "support/parallel.hh"
+#include "trace/materialize.hh"
 
 namespace mmxdsp::trace {
 
@@ -9,6 +9,7 @@ profile::ProfileResult
 replayProfile(const TraceReader &reader, const sim::TimerConfig &config)
 {
     profile::VProf prof(config);
+    prof.reserveReplay(reader.siteTableSize(), 32);
     if (!reader.replayTo(prof))
         mmxdsp_fatal("corrupt trace body for %s.%s",
                      reader.benchmark().c_str(), reader.version().c_str());
@@ -19,11 +20,10 @@ std::vector<profile::ProfileResult>
 replaySweep(const TraceReader &reader,
             const std::vector<sim::TimerConfig> &configs, int threads)
 {
-    std::vector<profile::ProfileResult> results(configs.size());
-    parallelFor(configs.size(), threads, [&](size_t i) {
-        results[i] = replayProfile(reader, configs[i]);
-    });
-    return results;
+    // Decode the trace body once into a MaterializedTrace shared by all
+    // workers, instead of paying a full varint decode per configuration.
+    const MaterializedTrace mat = materialize(reader);
+    return mat.replaySweep(configs, threads);
 }
 
 } // namespace mmxdsp::trace

@@ -103,7 +103,7 @@ TEST(VProf, PerEventCostsSumToTotalCycles)
     cpu.attachSink(nullptr);
 
     uint64_t site_sum = 0;
-    for (const auto &[site, st] : prof.sites())
+    for (const auto &st : prof.sites())
         site_sum += st.cycles;
     EXPECT_EQ(site_sum, prof.result().cycles);
 }

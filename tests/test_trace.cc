@@ -20,6 +20,7 @@
 #include "support/rng.hh"
 #include "trace/cache.hh"
 #include "trace/format.hh"
+#include "trace/materialize.hh"
 #include "trace/reader.hh"
 #include "trace/replay.hh"
 #include "trace/writer.hh"
@@ -422,6 +423,151 @@ TEST(TraceReplay, SweepVariesWithGeometry)
     // The paper-machine sweep column equals the normal run.
     expectSameProfile(results[1], suite.run("fft", "mmx").profile,
                       "sweep default config");
+}
+
+// ---------------- materialized fast path ----------------
+
+TEST(MaterializedTraceTest, BatchedReplayDeliversTheExactStream)
+{
+    // Same randomized stream as the codec round-trip: the materialized
+    // replay (batched onInstrBatch dispatch) must deliver event-for-event
+    // what the streaming decoder delivers, including enter/leave order.
+    Rng rng(23);
+    trace::TraceWriter writer("rand", "c", 9);
+    int depth = 0;
+    for (int i = 0; i < 3000; ++i) {
+        const uint32_t roll = rng.nextBelow(16);
+        if (roll == 0) {
+            const char *names[] = {"alpha", "beta", "gamma"};
+            writer.onEnterFunction(names[rng.nextBelow(3)]);
+            ++depth;
+        } else if (roll == 1 && depth > 0) {
+            writer.onLeaveFunction();
+            --depth;
+        } else {
+            writer.onInstr(randomEvent(rng));
+        }
+    }
+    writer.finish();
+
+    trace::TraceReader reader;
+    ASSERT_TRUE(reader.parse(writer.serialize()));
+    RecordingSink streamed;
+    ASSERT_TRUE(reader.replayTo(streamed));
+
+    trace::MaterializedTrace mat;
+    ASSERT_TRUE(mat.build(reader));
+    EXPECT_EQ(mat.instrCount(), reader.instrCount());
+    EXPECT_EQ(mat.benchmark(), reader.benchmark());
+    EXPECT_EQ(mat.version(), reader.version());
+    EXPECT_EQ(mat.configHash(), reader.configHash());
+    EXPECT_GT(mat.byteSize(), 0u);
+
+    RecordingSink batched;
+    ASSERT_TRUE(mat.replayTo(batched));
+    ASSERT_EQ(batched.events.size(), streamed.events.size());
+    for (size_t i = 0; i < batched.events.size(); ++i)
+        ASSERT_TRUE(sameEvent(batched.events[i], streamed.events[i])) << i;
+    EXPECT_EQ(batched.enters, streamed.enters);
+    EXPECT_EQ(batched.leaves, streamed.leaves);
+}
+
+TEST(MaterializedTraceTest, BuildRejectsInvalidReader)
+{
+    trace::TraceReader unparsed;
+    trace::MaterializedTrace mat;
+    EXPECT_FALSE(mat.build(unparsed));
+    EXPECT_FALSE(mat.valid());
+}
+
+TEST(MaterializedTraceTest, EveryPairMatchesStreamingAndLive)
+{
+    // The core guarantee of the fast path: for every (benchmark, version)
+    // pair, both the batched generic replay (materialized -> VProf) and
+    // the specialized profile kernel produce metrics bit-identical to
+    // the streaming replay and to the live run.
+    ScratchDir scratch("mmxdsp_trace_materialize_test");
+    harness::BenchmarkSuite suite(
+        tinyConfig(), harness::TraceOptions{true, scratch.path.string()});
+    for (const auto &[bench, version] : harness::BenchmarkSuite::allRuns()) {
+        const std::string what = bench + "." + version;
+        const harness::RunResult &live = suite.run(bench, version);
+        auto reader = suite.traceFor(bench, version);
+        ASSERT_NE(reader, nullptr);
+        const profile::ProfileResult streaming =
+            trace::replayProfile(*reader);
+
+        trace::MaterializedTrace mat;
+        ASSERT_TRUE(mat.build(*reader)) << what;
+        EXPECT_EQ(mat.instrCount(), live.profile.dynamicInstructions);
+
+        profile::VProf prof;
+        ASSERT_TRUE(mat.replayTo(prof)) << what;
+        expectSameProfile(prof.result(), live.profile,
+                          what + " batched replay");
+
+        const profile::ProfileResult fast = mat.replayProfile();
+        expectSameProfile(fast, streaming, what + " fast kernel");
+        expectSameProfile(fast, live.profile, what + " fast kernel vs live");
+    }
+}
+
+TEST(MaterializedTraceTest, SiteLabelsMatchTheReader)
+{
+    ScratchDir scratch("mmxdsp_trace_sitelabel_test");
+    harness::BenchmarkSuite suite(
+        tinyConfig(), harness::TraceOptions{true, scratch.path.string()});
+    auto reader = suite.traceFor("fir", "mmx");
+    ASSERT_NE(reader, nullptr);
+    ASSERT_FALSE(reader->sites().empty());
+    trace::MaterializedTrace mat;
+    ASSERT_TRUE(mat.build(*reader));
+    for (const auto &[id, site] : reader->sites())
+        EXPECT_EQ(mat.siteLabel(id), reader->siteLabel(id)) << id;
+    EXPECT_EQ(mat.siteLabel(0x7fffffff), reader->siteLabel(0x7fffffff));
+}
+
+TEST(MaterializedTraceTest, SweepMatchesPerConfigReplayAtAnyThreadCount)
+{
+    // replaySweep (which materializes once and shares the buffers) must
+    // be bit-identical to a per-configuration streaming replay, and
+    // independent of the worker-thread count.
+    ScratchDir scratch("mmxdsp_trace_matsweep_test");
+    harness::BenchmarkSuite suite(
+        tinyConfig(), harness::TraceOptions{true, scratch.path.string()});
+    auto reader = suite.traceFor("fft", "mmx");
+    ASSERT_NE(reader, nullptr);
+
+    std::vector<sim::TimerConfig> configs;
+    for (uint32_t kb : {1u, 4u, 16u}) {
+        sim::TimerConfig c;
+        c.l1.size_bytes = kb * 1024;
+        configs.push_back(c);
+    }
+    configs.back().mispredict_penalty = 9;
+
+    const auto serial = trace::replaySweep(*reader, configs, 1);
+    const auto parallel = trace::replaySweep(*reader, configs, 0);
+    ASSERT_EQ(serial.size(), configs.size());
+    ASSERT_EQ(parallel.size(), configs.size());
+    for (size_t i = 0; i < configs.size(); ++i) {
+        const std::string what = "config " + std::to_string(i);
+        expectSameProfile(serial[i], parallel[i], what + " thread count");
+        expectSameProfile(serial[i],
+                          trace::replayProfile(*reader, configs[i]),
+                          what + " vs streaming");
+    }
+
+    // The suite's sweep path (cached MaterializedTrace) agrees too, and
+    // repeated sweeps reuse the cached buffers.
+    const auto via_suite = suite.sweep("fft", "mmx", configs, 2);
+    auto mat = suite.materializedFor("fft", "mmx");
+    ASSERT_NE(mat, nullptr);
+    EXPECT_EQ(suite.materializedFor("fft", "mmx").get(), mat.get());
+    ASSERT_EQ(via_suite.size(), configs.size());
+    for (size_t i = 0; i < configs.size(); ++i)
+        expectSameProfile(via_suite[i], serial[i],
+                          "suite sweep config " + std::to_string(i));
 }
 
 } // namespace
