@@ -8,6 +8,7 @@ endfunction()
 
 mmxdsp_add_bench(table2_characteristics)
 mmxdsp_add_bench(table3_ratios)
+mmxdsp_add_bench(table_p5_vs_p6)
 mmxdsp_add_bench(fig1a_mmx_mix)
 mmxdsp_add_bench(fig1b_instr_ratios)
 mmxdsp_add_bench(fig2a_c_vs_mmx)

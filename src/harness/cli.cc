@@ -15,11 +15,12 @@ namespace {
 usage(const char *prog, int exit_code)
 {
     std::printf(
-        "usage: %s [--scale=N] [--threads=N] [--trace-dir=PATH]\n"
-        "          [--no-trace-cache]\n"
+        "usage: %s [--scale=N] [--threads=N] [--model=p5|p6]\n"
+        "          [--trace-dir=PATH] [--no-trace-cache]\n"
         "\n"
         "  --scale=N         shrink every workload by ~N for quick runs\n"
         "  --threads=N       replay worker threads (0 = auto)\n"
+        "  --model=p5|p6     timing model profiles run on (default p5)\n"
         "  --trace-dir=PATH  instruction-trace cache directory\n"
         "                    (default traces; MMXDSP_TRACE_DIR overrides)\n"
         "  --no-trace-cache  always execute; skip trace capture/replay\n",
@@ -60,10 +61,16 @@ BenchOptions::traceOptions() const
     return topts;
 }
 
+sim::MachineConfig
+BenchOptions::machineConfig() const
+{
+    return sim::MachineConfig{model, sim::TimerConfig{}};
+}
+
 BenchmarkSuite
 BenchOptions::makeSuite() const
 {
-    return BenchmarkSuite(suiteConfig(), traceOptions());
+    return BenchmarkSuite(suiteConfig(), traceOptions(), machineConfig());
 }
 
 BenchOptions
@@ -78,6 +85,12 @@ parseBenchArgs(int argc, char **argv)
             if (opts.scale < 1)
                 opts.scale = 1;
         } else if (parseIntFlag(arg, "--threads", &opts.threads)) {
+        } else if (std::strncmp(arg, "--model=", 8) == 0) {
+            if (!sim::parseModelName(arg + 8, &opts.model)) {
+                std::fprintf(stderr, "%s: unknown model '%s'\n\n", argv[0],
+                             arg + 8);
+                usage(argv[0], 1);
+            }
         } else if (std::strncmp(arg, "--trace-dir=", 12) == 0
                    && arg[12] != '\0') {
             opts.trace_dir = arg + 12;

@@ -8,6 +8,7 @@
  *
  *   --scale=N          shrink every workload by ~N (SuiteConfig::scaleDown)
  *   --threads=N        replay worker threads (0 = auto, default 0)
+ *   --model=p5|p6      timing model the profiles run on (default p5)
  *   --trace-dir=PATH   on-disk trace cache directory (default "traces")
  *   --no-trace-cache   always execute; do not read or write trace files
  *   --help             usage
@@ -29,6 +30,7 @@ struct BenchOptions
 {
     int scale = 1;
     int threads = 0; ///< 0 = auto (support/parallel resolveThreads)
+    sim::ModelKind model = sim::ModelKind::P5;
     bool trace_cache = true;
     std::string trace_dir = "traces";
 
@@ -38,7 +40,10 @@ struct BenchOptions
     /** The trace options implied by the flags. */
     TraceOptions traceOptions() const;
 
-    /** Convenience: a suite built from the two above. */
+    /** The machine --model selected (with default timer parameters). */
+    sim::MachineConfig machineConfig() const;
+
+    /** Convenience: a suite built from the three above. */
     BenchmarkSuite makeSuite() const;
 };
 

@@ -71,8 +71,10 @@ struct BenchmarkSuite::Impl
 };
 
 BenchmarkSuite::BenchmarkSuite(const SuiteConfig &config,
-                               const TraceOptions &trace_options)
+                               const TraceOptions &trace_options,
+                               const sim::MachineConfig &machine)
     : config_(config),
+      machine_(machine),
       traceCache_(
           trace::TraceCache::fromEnv(trace_options.dir, trace_options.enabled)),
       impl_(std::make_unique<Impl>())
@@ -235,12 +237,12 @@ BenchmarkSuite::run(const std::string &benchmark, const std::string &version)
     }
 
     if (cached != traces_.end()) {
-        result.profile = trace::replayProfile(*cached->second);
+        result.profile = trace::replayProfile(*cached->second, machine_);
         result.replayed = true;
     } else if (traceCache_.enabled()) {
         // Live run: profile and capture in one pass through a tee.
         const uint64_t h = config_.hash();
-        profile::VProf prof;
+        profile::VProf prof(machine_);
         trace::TraceWriter writer(benchmark, version, h);
         sim::TeeSink tee(&prof, &writer);
         executeLive(benchmark, version, &tee);
@@ -255,7 +257,7 @@ BenchmarkSuite::run(const std::string &benchmark, const std::string &version)
         result.profile = prof.result();
         ++activity_.captured;
     } else {
-        profile::VProf prof;
+        profile::VProf prof(machine_);
         executeLive(benchmark, version, &prof);
         result.profile = prof.result();
     }
@@ -321,7 +323,7 @@ BenchmarkSuite::runAll(int n_threads)
     // Phase 4 (parallel): each worker replays a trace through its own
     // profiler/timing model; the shared readers are immutable.
     parallelFor(jobs.size(), n_threads, [&](size_t i) {
-        jobs[i].profile = trace::replayProfile(*jobs[i].reader);
+        jobs[i].profile = trace::replayProfile(*jobs[i].reader, machine_);
     });
 
     for (Job &job : jobs) {
@@ -349,6 +351,16 @@ BenchmarkSuite::sweep(const std::string &benchmark,
 {
     return materializedFor(benchmark, version)
         ->replaySweep(configs, threads);
+}
+
+std::vector<profile::ProfileResult>
+BenchmarkSuite::sweep(const std::string &benchmark,
+                      const std::string &version,
+                      const std::vector<sim::MachineConfig> &machines,
+                      int threads)
+{
+    return materializedFor(benchmark, version)
+        ->replaySweep(machines, threads);
 }
 
 std::shared_ptr<const trace::MaterializedTrace>

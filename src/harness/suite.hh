@@ -26,6 +26,7 @@
 #include "profile/vprof.hh"
 #include "runtime/cpu.hh"
 #include "sim/pentium_timer.hh"
+#include "sim/timing_model.hh"
 #include "trace/cache.hh"
 #include "trace/materialize.hh"
 #include "trace/reader.hh"
@@ -82,8 +83,16 @@ struct RunResult
 class BenchmarkSuite
 {
   public:
-    explicit BenchmarkSuite(const SuiteConfig &config = SuiteConfig{},
-                            const TraceOptions &trace_options = TraceOptions{});
+    /**
+     * @p machine selects the timing model every run()/runAll() profile
+     * is computed on (default: P5 with default parameters). Captured
+     * traces are model-independent, so suites with different machines
+     * share the same trace cache entries.
+     */
+    explicit BenchmarkSuite(
+        const SuiteConfig &config = SuiteConfig{},
+        const TraceOptions &trace_options = TraceOptions{},
+        const sim::MachineConfig &machine = sim::MachineConfig{});
     ~BenchmarkSuite();
 
     /**
@@ -136,6 +145,14 @@ class BenchmarkSuite
     sweep(const std::string &benchmark, const std::string &version,
           const std::vector<sim::TimerConfig> &configs, int threads = 0);
 
+    /**
+     * Cross-model sweep: each entry selects its own machine (P5 or P6)
+     * and timer parameters, all replayed from the same captured trace.
+     */
+    std::vector<profile::ProfileResult>
+    sweep(const std::string &benchmark, const std::string &version,
+          const std::vector<sim::MachineConfig> &machines, int threads = 0);
+
     /** All (benchmark, version) pairs, kernels first (paper order). */
     static std::vector<std::pair<std::string, std::string>> allRuns();
 
@@ -146,6 +163,8 @@ class BenchmarkSuite
     double speedup(const std::string &benchmark);
 
     const SuiteConfig &config() const { return config_; }
+    /** The machine run()/runAll() results are computed on. */
+    const sim::MachineConfig &machine() const { return machine_; }
     const trace::TraceCache &traceCache() const { return traceCache_; }
 
     /** How traces were obtained so far (for provenance footers). */
@@ -171,6 +190,7 @@ class BenchmarkSuite
     ensureTrace(const std::string &benchmark, const std::string &version);
 
     SuiteConfig config_;
+    sim::MachineConfig machine_;
     trace::TraceCache traceCache_;
     TraceActivity activity_;
     std::unique_ptr<Impl> impl_;

@@ -108,7 +108,12 @@ rootFunctionName()
 }
 
 VProf::VProf(const sim::TimerConfig &config)
-    : timer_(config)
+    : VProf(sim::MachineConfig{sim::ModelKind::P5, config})
+{
+}
+
+VProf::VProf(const sim::MachineConfig &machine)
+    : timer_(sim::makeTimingModel(machine))
 {
     fnNames_.emplace_back(kRootName);
     fnStats_.emplace_back();
@@ -117,7 +122,7 @@ VProf::VProf(const sim::TimerConfig &config)
 void
 VProf::reset()
 {
-    timer_.reset();
+    timer_->reset();
     dynamicInstructions_ = 0;
     uops_ = 0;
     memoryReferences_ = 0;
@@ -153,7 +158,7 @@ VProf::account(const InstrEvent &event)
 {
     const size_t op_idx = static_cast<size_t>(event.op);
     const OpReplayEntry &entry = opReplayTable()[op_idx];
-    const uint64_t cost = timer_.consume(event);
+    const uint64_t cost = timer_->consume(event);
 
     ++dynamicInstructions_;
     uops_ += entry.uopsByMem[static_cast<size_t>(event.mem)];
@@ -246,7 +251,7 @@ VProf::result() const
     r.dynamicInstructions = dynamicInstructions_;
     r.staticInstructions = staticSites_;
     r.uops = uops_;
-    r.cycles = timer_.cycles();
+    r.cycles = timer_->cycles();
     r.memoryReferences = memoryReferences_;
     for (size_t c = 1; c < mmxByCategory_.size(); ++c)
         r.mmxInstructions += mmxByCategory_[c];
@@ -260,10 +265,10 @@ VProf::result() const
         if (st.calls || st.instructions)
             r.functions.emplace(fnNames_[id], st);
     }
-    r.timer = timer_.stats();
-    r.l1 = timer_.memory().l1().stats();
-    r.l2 = timer_.memory().l2().stats();
-    r.btb = timer_.btb().stats();
+    r.timer = timer_->stats();
+    r.l1 = timer_->memory().l1().stats();
+    r.l2 = timer_->memory().l2().stats();
+    r.btb = timer_->btb().stats();
     return r;
 }
 

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -35,7 +36,7 @@
 #include "isa/event.hh"
 #include "mem/btb.hh"
 #include "mem/cache.hh"
-#include "sim/pentium_timer.hh"
+#include "sim/timing_model.hh"
 #include "sim/trace_sink.hh"
 
 namespace mmxdsp::runtime {
@@ -124,7 +125,11 @@ const char *rootFunctionName();
 class VProf : public sim::TraceSink
 {
   public:
+    /** Profile on the default machine (P5) with @p config. */
     explicit VProf(const sim::TimerConfig &config = sim::TimerConfig{});
+
+    /** Profile on the machine @p machine selects (P5 or P6). */
+    explicit VProf(const sim::MachineConfig &machine);
 
     void onInstr(const isa::InstrEvent &event) override;
     void onInstrBatch(std::span<const isa::InstrEvent> events) override;
@@ -175,7 +180,11 @@ class VProf : public sim::TraceSink
      */
     void printReport(const SiteLabeler &label, size_t top_sites = 10) const;
 
-    const sim::PentiumTimer &timer() const { return timer_; }
+    /** The timing model this profiler is attached to. */
+    const sim::TimingModel &timer() const { return *timer_; }
+
+    /** Which microarchitecture this profiler simulates. */
+    sim::ModelKind model() const { return timer_->kind(); }
 
   private:
     /** The per-event accounting body shared by onInstr/onInstrBatch. */
@@ -184,7 +193,7 @@ class VProf : public sim::TraceSink
     /** Id for @p name, interning it on first sight (0 = measured root). */
     uint32_t internFunction(const char *name);
 
-    sim::PentiumTimer timer_;
+    std::unique_ptr<sim::TimingModel> timer_;
 
     uint64_t dynamicInstructions_ = 0;
     uint64_t uops_ = 0;

@@ -1,0 +1,47 @@
+#include "p6_timer.hh"
+
+#include "isa/op.hh"
+
+namespace mmxdsp::sim {
+
+P6Timer::P6Timer(const TimerConfig &config)
+    : config_(config),
+      memory_(config.l1, config.l2, config.penalties),
+      btb_(config.btb_entries, config.btb_ways),
+      uops_(uopTable().data())
+{
+    // Result latencies: the P5 table, minus the non-pipelined integer
+    // multiplier. The P6 multiplier is pipelined with a 4-cycle latency
+    // (vs 10 on the Pentium), which is half of why the paper's FIR/LMS
+    // kernels behave so differently across the two machines.
+    const auto &ops = isa::opTable();
+    for (size_t i = 0; i < isa::kNumOps; ++i)
+        latency_[i] = ops[i].latency;
+    latency_[static_cast<size_t>(isa::Op::Imul)] = 4;
+    latency_[static_cast<size_t>(isa::Op::Mul)] = 4;
+}
+
+void
+P6Timer::reset()
+{
+    resetTimeOnly();
+    memory_.flush();
+    memory_.resetStats();
+    btb_.flush();
+    btb_.resetStats();
+}
+
+void
+P6Timer::resetTimeOnly()
+{
+    time_ = 0;
+    groupCycle_ = 0;
+    slotsLeft_ = 0;
+    uopsLeft_ = 0;
+    complexFree_ = true;
+    retiredUops_ = 0;
+    ready_.fill(0);
+    stats_ = TimerStats{};
+}
+
+} // namespace mmxdsp::sim

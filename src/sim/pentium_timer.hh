@@ -28,55 +28,30 @@
 #include "isa/event.hh"
 #include "mem/btb.hh"
 #include "mem/cache.hh"
+#include "sim/timing_model.hh"
 
 namespace mmxdsp::sim {
 
-/** Tunable parameters of the timing model. */
-struct TimerConfig
-{
-    mem::CacheConfig l1{"L1D", 16 * 1024, 32, 4};
-    mem::CacheConfig l2{"L2", 512 * 1024, 32, 4};
-    mem::MemoryHierarchy::Penalties penalties{};
-    uint32_t btb_entries = 256;
-    uint32_t btb_ways = 4;
-    uint32_t mispredict_penalty = 4;
-};
-
-/** Aggregate timing statistics. */
-struct TimerStats
-{
-    uint64_t instructions = 0;
-    uint64_t pairs = 0;           ///< instructions issued into the V pipe
-    uint64_t memPenaltyCycles = 0;
-    uint64_t mispredictCycles = 0;
-    uint64_t dependStallCycles = 0;
-    uint64_t blockingExtraCycles = 0; ///< cycles >1 held by NP/long ops
-
-    /** Fraction of instructions that paired into the V pipe. */
-    double
-    pairRate() const
-    {
-        return instructions ? static_cast<double>(pairs)
-                                  / static_cast<double>(instructions)
-                            : 0.0;
-    }
-};
-
 /**
- * The cycle-accounting engine. Feed it events in program order with
+ * The P5 cycle-accounting engine. Feed it events in program order with
  * consume(); each call returns the cycles that event advanced the machine
  * (0 for the V-pipe half of a pair), so a caller can attribute every
  * cycle to a site or function and the per-event costs sum exactly to
  * cycles().
+ *
+ * The class is final and its per-event methods are defined inline: the
+ * replay kernels hold a PentiumTimer by concrete type, so the virtual
+ * TimingModel calls devirtualize and the issue/scoreboard state lives in
+ * registers across loop iterations.
  */
-class PentiumTimer
+class PentiumTimer final : public TimingModel
 {
   public:
     explicit PentiumTimer(const TimerConfig &config = TimerConfig{});
 
     /** Account one instruction; returns the cycle cost charged to it. */
     uint64_t
-    consume(const isa::InstrEvent &event)
+    consume(const isa::InstrEvent &event) override
     {
         bool mispredict = false;
         if (isa::isControl(event.op))
@@ -98,7 +73,8 @@ class PentiumTimer
      * across iterations.
      */
     uint64_t
-    consumeWithPrediction(const isa::InstrEvent &event, bool mispredict)
+    consumeWithPrediction(const isa::InstrEvent &event,
+                          bool mispredict) override
     {
         const isa::OpInfo &info = ops_[static_cast<size_t>(event.op)];
         const uint64_t before = nextIssue_;
@@ -155,19 +131,29 @@ class PentiumTimer
         return nextIssue_ - before;
     }
 
+    /** Batched consume: one virtual dispatch per block of events. */
+    void
+    consumeBatch(std::span<const isa::InstrEvent> events,
+                 uint64_t *costs) override
+    {
+        for (size_t i = 0; i < events.size(); ++i)
+            costs[i] = consume(events[i]);
+    }
+
     /** Total cycles of everything consumed so far. */
-    uint64_t cycles() const { return nextIssue_; }
+    uint64_t cycles() const override { return nextIssue_; }
 
     /** Reset time, scoreboard, caches, and BTB. */
-    void reset();
+    void reset() override;
 
     /** Reset time/scoreboard but keep cache + BTB contents warm. */
     void resetTimeOnly();
 
-    const TimerStats &stats() const { return stats_; }
-    const mem::MemoryHierarchy &memory() const { return memory_; }
-    const mem::Btb &btb() const { return btb_; }
-    const TimerConfig &config() const { return config_; }
+    const TimerStats &stats() const override { return stats_; }
+    const mem::MemoryHierarchy &memory() const override { return memory_; }
+    const mem::Btb &btb() const override { return btb_; }
+    const TimerConfig &config() const override { return config_; }
+    ModelKind kind() const override { return ModelKind::P5; }
 
   private:
     /** The U-pipe instruction still waiting for a V-pipe partner. */

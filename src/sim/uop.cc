@@ -66,4 +66,22 @@ uopCount(const isa::InstrEvent &event)
     return info.uops;
 }
 
+const std::array<uint8_t, isa::kNumOps * 3> &
+uopTable()
+{
+    static const std::array<uint8_t, isa::kNumOps * 3> table = [] {
+        std::array<uint8_t, isa::kNumOps * 3> t{};
+        for (size_t op = 0; op < isa::kNumOps; ++op) {
+            for (size_t mem = 0; mem < 3; ++mem) {
+                isa::InstrEvent e;
+                e.op = static_cast<Op>(op);
+                e.mem = static_cast<MemMode>(mem);
+                t[op * 3 + mem] = static_cast<uint8_t>(uopCount(e));
+            }
+        }
+        return t;
+    }();
+    return table;
+}
+
 } // namespace mmxdsp::sim

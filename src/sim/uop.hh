@@ -11,9 +11,11 @@
 #ifndef MMXDSP_SIM_UOP_HH
 #define MMXDSP_SIM_UOP_HH
 
+#include <array>
 #include <cstdint>
 
 #include "isa/event.hh"
+#include "isa/op.hh"
 
 namespace mmxdsp::sim {
 
@@ -29,6 +31,23 @@ namespace mmxdsp::sim {
  *  - reg-reg forms use the per-op table value (isa::OpInfo::uops).
  */
 uint32_t uopCount(const isa::InstrEvent &event);
+
+/**
+ * The same decode rules as uopCount(), flattened into a dense table
+ * indexed by `op * 3 + MemMode` so per-event hot loops (the P6 issue
+ * model, the materialized replay kernel) take one load instead of two
+ * branches and an OpInfo fetch. uopTableIndex() builds the index;
+ * uopTable()[uopTableIndex(e)] == uopCount(e) for every event.
+ */
+const std::array<uint8_t, isa::kNumOps * 3> &uopTable();
+
+/** Index of @p event's decode entry in uopTable(). */
+inline size_t
+uopTableIndex(const isa::InstrEvent &event)
+{
+    return static_cast<size_t>(event.op) * 3
+           + static_cast<size_t>(event.mem);
+}
 
 } // namespace mmxdsp::sim
 

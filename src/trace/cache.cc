@@ -87,13 +87,32 @@ TraceCache::load(const std::string &benchmark, const std::string &version,
 {
     if (!enabled())
         return false;
+    const std::string p = path(benchmark, version, config_hash);
     std::vector<uint8_t> data;
-    if (!readFile(path(benchmark, version, config_hash), data))
+    if (!readFile(p, data)) {
+        // A missing file is the normal cold-cache miss and stays quiet;
+        // an existing file we cannot read is worth a warning.
+        std::error_code ec;
+        if (std::filesystem::exists(p, ec))
+            mmxdsp_warn("trace cache: cannot read %s; "
+                        "falling back to live execution",
+                        p.c_str());
         return false;
-    if (!out.parse(std::move(data)))
+    }
+    if (!out.parse(std::move(data))) {
+        mmxdsp_warn("trace cache: corrupt or truncated trace %s; "
+                    "falling back to live execution",
+                    p.c_str());
         return false;
-    return out.benchmark() == benchmark && out.version() == version
-           && out.configHash() == config_hash;
+    }
+    if (out.benchmark() != benchmark || out.version() != version
+        || out.configHash() != config_hash) {
+        mmxdsp_warn("trace cache: stale or foreign trace %s "
+                    "(key mismatch); falling back to live execution",
+                    p.c_str());
+        return false;
+    }
+    return true;
 }
 
 bool

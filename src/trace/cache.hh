@@ -51,7 +51,11 @@ class TraceCache
 
     /**
      * Look up a trace; on a hit, @p out holds the parsed trace and the
-     * result is true. Any validation failure is a miss.
+     * result is true. Any validation failure is a miss: a missing file
+     * misses silently (the normal cold cache), while a truncated,
+     * corrupt, or key-mismatched file logs a warning so the caller's
+     * live-execution fallback (which re-captures and rewrites the
+     * entry) is visible rather than a mystery slowdown.
      */
     bool load(const std::string &benchmark, const std::string &version,
               uint64_t config_hash, TraceReader &out) const;

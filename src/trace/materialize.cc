@@ -7,6 +7,7 @@
 #include <span>
 #include <unordered_map>
 
+#include "sim/p6_timer.hh"
 #include "support/logging.hh"
 #include "support/parallel.hh"
 
@@ -302,13 +303,28 @@ MaterializedTrace::buildBtbMemo(uint32_t entries, uint32_t ways) const
 }
 
 profile::ProfileResult
-MaterializedTrace::runKernel(const sim::TimerConfig &config,
+MaterializedTrace::runKernel(const sim::MachineConfig &machine,
                              const BtbMemo *memo) const
 {
+    switch (machine.model) {
+      case sim::ModelKind::P6:
+        return runKernelImpl<sim::P6Timer>(machine.timer, memo);
+      case sim::ModelKind::P5:
+        break;
+    }
+    return runKernelImpl<sim::PentiumTimer>(machine.timer, memo);
+}
+
+template <typename Model>
+profile::ProfileResult
+MaterializedTrace::runKernelImpl(const sim::TimerConfig &config,
+                                 const BtbMemo *memo) const
+{
     // Start from the config-independent template; this loop only runs
-    // the timing model and attributes its cycles.
+    // the timing model and attributes its cycles. Model is a final
+    // class, so every consume call below devirtualizes and inlines.
     profile::ProfileResult r = counts_;
-    sim::PentiumTimer timer(config);
+    Model timer(config);
     std::vector<uint64_t> fnCycles(fnNames_.size(), 0);
     uint64_t callRet = 0;
     uint64_t overhead = 0;
@@ -361,42 +377,63 @@ MaterializedTrace::runKernel(const sim::TimerConfig &config,
 profile::ProfileResult
 MaterializedTrace::replayProfile(const sim::TimerConfig &config) const
 {
-    return runKernel(config, nullptr);
+    return runKernel(sim::MachineConfig{sim::ModelKind::P5, config},
+                     nullptr);
+}
+
+profile::ProfileResult
+MaterializedTrace::replayProfile(const sim::MachineConfig &machine) const
+{
+    return runKernel(machine, nullptr);
 }
 
 std::vector<profile::ProfileResult>
 MaterializedTrace::replaySweep(const std::vector<sim::TimerConfig> &configs,
                                int threads) const
 {
-    std::vector<profile::ProfileResult> results(configs.size());
+    std::vector<sim::MachineConfig> machines;
+    machines.reserve(configs.size());
+    for (const sim::TimerConfig &config : configs)
+        machines.push_back({sim::ModelKind::P5, config});
+    return replaySweep(machines, threads);
+}
 
-    // Group configurations by BTB geometry; any geometry that appears
-    // more than once gets one recorded prediction pass for the group.
-    std::vector<uint64_t> keys(configs.size());
-    for (size_t i = 0; i < configs.size(); ++i)
-        keys[i] = (static_cast<uint64_t>(configs[i].btb_entries) << 32)
-                  | configs[i].btb_ways;
-    std::vector<int> memoOf(configs.size(), -1);
+std::vector<profile::ProfileResult>
+MaterializedTrace::replaySweep(const std::vector<sim::MachineConfig> &machines,
+                               int threads) const
+{
+    std::vector<profile::ProfileResult> results(machines.size());
+
+    // Group entries by BTB geometry; any geometry that appears more
+    // than once gets one recorded prediction pass for the group. The
+    // key deliberately ignores the model: prediction depends only on
+    // the mem::Btb geometry, so a P5 and a P6 entry share a memo.
+    std::vector<uint64_t> keys(machines.size());
+    for (size_t i = 0; i < machines.size(); ++i)
+        keys[i] =
+            (static_cast<uint64_t>(machines[i].timer.btb_entries) << 32)
+            | machines[i].timer.btb_ways;
+    std::vector<int> memoOf(machines.size(), -1);
     std::vector<BtbMemo> memos;
-    for (size_t i = 0; i < configs.size(); ++i) {
+    for (size_t i = 0; i < machines.size(); ++i) {
         if (memoOf[i] >= 0)
             continue;
         bool shared = false;
-        for (size_t j = i + 1; j < configs.size(); ++j)
+        for (size_t j = i + 1; j < machines.size(); ++j)
             shared = shared || keys[j] == keys[i];
         if (!shared)
             continue;
         const int m = static_cast<int>(memos.size());
-        memos.push_back(
-            buildBtbMemo(configs[i].btb_entries, configs[i].btb_ways));
-        for (size_t j = i; j < configs.size(); ++j)
+        memos.push_back(buildBtbMemo(machines[i].timer.btb_entries,
+                                     machines[i].timer.btb_ways));
+        for (size_t j = i; j < machines.size(); ++j)
             if (keys[j] == keys[i])
                 memoOf[j] = m;
     }
 
-    parallelFor(configs.size(), threads, [&](size_t i) {
+    parallelFor(machines.size(), threads, [&](size_t i) {
         results[i] = runKernel(
-            configs[i], memoOf[i] >= 0 ? &memos[memoOf[i]] : nullptr);
+            machines[i], memoOf[i] >= 0 ? &memos[memoOf[i]] : nullptr);
     });
     return results;
 }

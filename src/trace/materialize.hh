@@ -39,6 +39,7 @@
 
 #include "profile/vprof.hh"
 #include "sim/pentium_timer.hh"
+#include "sim/timing_model.hh"
 #include "sim/trace_sink.hh"
 #include "trace/reader.hh"
 
@@ -80,14 +81,18 @@ class MaterializedTrace
     bool replayTo(sim::TraceSink &sink) const;
 
     /**
-     * The fast replay kernel: profile this trace under @p config and
-     * return metrics bit-identical to replaying through a fresh
-     * profile::VProf. Config-independent counts come from the template
-     * computed at build time; the per-event loop runs only the timing
-     * model and cycle attribution.
+     * The fast replay kernel: profile this trace under @p config on the
+     * default machine (P5) and return metrics bit-identical to replaying
+     * through a fresh profile::VProf. Config-independent counts come
+     * from the template computed at build time; the per-event loop runs
+     * only the timing model and cycle attribution.
      */
     profile::ProfileResult
     replayProfile(const sim::TimerConfig &config = sim::TimerConfig{}) const;
+
+    /** replayProfile() on the machine (P5 or P6) @p machine selects. */
+    profile::ProfileResult
+    replayProfile(const sim::MachineConfig &machine) const;
 
     /**
      * Replay under every configuration in @p configs, fanning out over
@@ -100,6 +105,17 @@ class MaterializedTrace
      */
     std::vector<profile::ProfileResult>
     replaySweep(const std::vector<sim::TimerConfig> &configs,
+                int threads = 0) const;
+
+    /**
+     * Multi-model sweep: each entry picks its own machine and timer
+     * parameters. Branch prediction goes through an identical mem::Btb
+     * on every machine, so a P5 and a P6 entry with the same BTB
+     * geometry land in one memo group and share a single recorded
+     * prediction pass.
+     */
+    std::vector<profile::ProfileResult>
+    replaySweep(const std::vector<sim::MachineConfig> &machines,
                 int threads = 0) const;
 
     /** "file.cc:123" for a recorded site, or "site#N" when unknown. */
@@ -196,12 +212,22 @@ class MaterializedTrace
     BtbMemo buildBtbMemo(uint32_t entries, uint32_t ways) const;
 
     /**
-     * The per-config replay loop behind replayProfile()/replaySweep().
-     * With a memo, branch outcomes come from its recorded bits (and its
-     * stats are reported); without one the timer's own BTB runs.
+     * The per-config replay loop behind replayProfile()/replaySweep(),
+     * dispatching once per replay to the kernel instantiated for the
+     * selected machine. With a memo, branch outcomes come from its
+     * recorded bits (and its stats are reported); without one the
+     * timer's own BTB runs.
      */
-    profile::ProfileResult runKernel(const sim::TimerConfig &config,
+    profile::ProfileResult runKernel(const sim::MachineConfig &machine,
                                      const BtbMemo *memo) const;
+
+    /**
+     * The kernel body, templated on the concrete (final) model class so
+     * the per-event consume calls devirtualize and inline.
+     */
+    template <typename Model>
+    profile::ProfileResult runKernelImpl(const sim::TimerConfig &config,
+                                         const BtbMemo *memo) const;
 
     // -- re-interned site metadata for hotspot labelling --
     struct SiteMeta

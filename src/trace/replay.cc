@@ -8,7 +8,14 @@ namespace mmxdsp::trace {
 profile::ProfileResult
 replayProfile(const TraceReader &reader, const sim::TimerConfig &config)
 {
-    profile::VProf prof(config);
+    return replayProfile(reader,
+                         sim::MachineConfig{sim::ModelKind::P5, config});
+}
+
+profile::ProfileResult
+replayProfile(const TraceReader &reader, const sim::MachineConfig &machine)
+{
+    profile::VProf prof(machine);
     prof.reserveReplay(reader.siteTableSize(), 32);
     if (!reader.replayTo(prof))
         mmxdsp_fatal("corrupt trace body for %s.%s",
@@ -24,6 +31,14 @@ replaySweep(const TraceReader &reader,
     // workers, instead of paying a full varint decode per configuration.
     const MaterializedTrace mat = materialize(reader);
     return mat.replaySweep(configs, threads);
+}
+
+std::vector<profile::ProfileResult>
+replaySweep(const TraceReader &reader,
+            const std::vector<sim::MachineConfig> &machines, int threads)
+{
+    const MaterializedTrace mat = materialize(reader);
+    return mat.replaySweep(machines, threads);
 }
 
 } // namespace mmxdsp::trace

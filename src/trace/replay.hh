@@ -13,18 +13,24 @@
 
 #include "profile/vprof.hh"
 #include "sim/pentium_timer.hh"
+#include "sim/timing_model.hh"
 #include "trace/reader.hh"
 
 namespace mmxdsp::trace {
 
 /**
- * Replay @p reader through a fresh profile::VProf built with @p config.
- * The returned metrics are bit-identical to what a live run with the
- * same sink would have produced. Fatal on a corrupt trace body.
+ * Replay @p reader through a fresh profile::VProf built with @p config
+ * on the default machine (P5). The returned metrics are bit-identical
+ * to what a live run with the same sink would have produced. Fatal on a
+ * corrupt trace body.
  */
 profile::ProfileResult
 replayProfile(const TraceReader &reader,
               const sim::TimerConfig &config = sim::TimerConfig{});
+
+/** replayProfile() on the machine (P5 or P6) @p machine selects. */
+profile::ProfileResult
+replayProfile(const TraceReader &reader, const sim::MachineConfig &machine);
 
 /**
  * Replay one trace under every configuration in @p configs, fanning out
@@ -34,6 +40,15 @@ replayProfile(const TraceReader &reader,
 std::vector<profile::ProfileResult>
 replaySweep(const TraceReader &reader,
             const std::vector<sim::TimerConfig> &configs, int threads = 0);
+
+/**
+ * Multi-model sweep: replay one trace under every machine in
+ * @p machines (each entry selects its own model and timer parameters).
+ */
+std::vector<profile::ProfileResult>
+replaySweep(const TraceReader &reader,
+            const std::vector<sim::MachineConfig> &machines,
+            int threads = 0);
 
 } // namespace mmxdsp::trace
 

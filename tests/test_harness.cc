@@ -91,6 +91,33 @@ TEST(SuiteConfigTest, ScaleDownKeepsValidSizes)
         << "image byte size must stay a multiple of 24";
 }
 
+TEST(SuiteConfigTest, HashCoversEveryWorkloadField)
+{
+    // The trace cache is keyed by this hash; if a workload field were
+    // left out, a config change could silently replay the wrong stream.
+    const SuiteConfig base;
+    const uint64_t base_hash = base.hash();
+    EXPECT_EQ(SuiteConfig{}.hash(), base_hash) << "hash must be stable";
+
+    const auto changed = [&](auto mutate, const char *field) {
+        SuiteConfig c;
+        mutate(c);
+        EXPECT_NE(c.hash(), base_hash) << field;
+    };
+    changed([](SuiteConfig &c) { ++c.fir_samples; }, "fir_samples");
+    changed([](SuiteConfig &c) { ++c.iir_samples; }, "iir_samples");
+    changed([](SuiteConfig &c) { c.fft_size *= 2; }, "fft_size");
+    changed([](SuiteConfig &c) { ++c.matvec_dim; }, "matvec_dim");
+    changed([](SuiteConfig &c) { ++c.image_width; }, "image_width");
+    changed([](SuiteConfig &c) { ++c.image_height; }, "image_height");
+    changed([](SuiteConfig &c) { ++c.jpeg_width; }, "jpeg_width");
+    changed([](SuiteConfig &c) { ++c.jpeg_height; }, "jpeg_height");
+    changed([](SuiteConfig &c) { ++c.jpeg_quality; }, "jpeg_quality");
+    changed([](SuiteConfig &c) { ++c.g722_samples; }, "g722_samples");
+    changed([](SuiteConfig &c) { ++c.radar_echoes; }, "radar_echoes");
+    changed([](SuiteConfig &c) { ++c.seed; }, "seed");
+}
+
 TEST(PaperData, TablesAreCompleteAndConsistent)
 {
     // Table 2: 19 rows, Table 3: 11 rows (as published).

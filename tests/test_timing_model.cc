@@ -1,0 +1,427 @@
+/**
+ * @file
+ * Unit tests for the sim::TimingModel layer: the P6 (Pentium II) decode
+ * and issue model, the model factory and name parsing, the batched
+ * consume contract shared by both backends, and the edge timer
+ * geometries (direct-mapped caches, 1-entry BTB) that a sweep may
+ * request.
+ */
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "isa/event.hh"
+#include "sim/p6_timer.hh"
+#include "sim/pentium_timer.hh"
+#include "sim/timing_model.hh"
+#include "sim/uop.hh"
+#include "support/rng.hh"
+
+namespace mmxdsp::sim {
+namespace {
+
+using isa::InstrEvent;
+using isa::MemMode;
+using isa::Op;
+using isa::RegClass;
+
+InstrEvent
+ev(Op op, isa::RegTag s0 = isa::kNoReg, isa::RegTag s1 = isa::kNoReg,
+   isa::RegTag dst = isa::kNoReg)
+{
+    InstrEvent e;
+    e.op = op;
+    e.src0 = s0;
+    e.src1 = s1;
+    e.dst = dst;
+    return e;
+}
+
+InstrEvent
+load(Op op, uint64_t addr, uint8_t size, isa::RegTag dst)
+{
+    InstrEvent e = ev(op, isa::kNoReg, isa::kNoReg, dst);
+    e.mem = MemMode::Load;
+    e.addr = addr;
+    e.size = size;
+    return e;
+}
+
+InstrEvent
+store(Op op, uint64_t addr, uint8_t size, isa::RegTag src)
+{
+    InstrEvent e = ev(op, src);
+    e.mem = MemMode::Store;
+    e.addr = addr;
+    e.size = size;
+    return e;
+}
+
+InstrEvent
+branch(Op op, uint32_t site, bool taken)
+{
+    InstrEvent e = ev(op);
+    e.site = site;
+    e.taken = taken;
+    return e;
+}
+
+constexpr isa::RegTag r0 = isa::makeTag(RegClass::Int, 0);
+constexpr isa::RegTag r1 = isa::makeTag(RegClass::Int, 1);
+constexpr isa::RegTag r2 = isa::makeTag(RegClass::Int, 2);
+constexpr isa::RegTag r3 = isa::makeTag(RegClass::Int, 3);
+constexpr isa::RegTag m0 = isa::makeTag(RegClass::Mmx, 0);
+constexpr isa::RegTag m1 = isa::makeTag(RegClass::Mmx, 1);
+
+// ---------------- uop decode table ----------------
+
+TEST(UopTable, MatchesUopCountForEveryOpAndMemMode)
+{
+    for (size_t op = 0; op < isa::kNumOps; ++op) {
+        for (size_t mem = 0; mem < 3; ++mem) {
+            InstrEvent e;
+            e.op = static_cast<Op>(op);
+            e.mem = static_cast<MemMode>(mem);
+            EXPECT_EQ(uopTable()[uopTableIndex(e)], uopCount(e))
+                << isa::opInfo(e.op).name << " mem " << mem;
+        }
+    }
+}
+
+// ---------------- P6 decode grouping ----------------
+
+TEST(P6Timer, ThreeIndependentSinglesShareAGroup)
+{
+    P6Timer t;
+    // Three independent single-uop ops fill the 3 decoders in one cycle.
+    EXPECT_EQ(t.consume(ev(Op::Add, r1, isa::kNoReg, r0)), 1u);
+    EXPECT_EQ(t.consume(ev(Op::Sub, r3, isa::kNoReg, r2)), 0u);
+    EXPECT_EQ(t.consume(ev(Op::And, m1, isa::kNoReg, m0)), 0u);
+    EXPECT_EQ(t.cycles(), 1u);
+    EXPECT_EQ(t.stats().pairs, 2u);
+    EXPECT_EQ(t.stats().uopsIssued, 3u);
+    // The fourth starts the next group one cycle later.
+    EXPECT_EQ(t.consume(ev(Op::Xor, r1, isa::kNoReg, r0)), 1u);
+    EXPECT_EQ(t.cycles(), 2u);
+}
+
+TEST(P6Timer, IssueWidthBoundsTheGroup)
+{
+    P6Timer t;
+    // add (1 uop) + adc (2 uops) exhaust the 3-uop issue bandwidth...
+    EXPECT_EQ(t.consume(ev(Op::Add, r1, isa::kNoReg, r0)), 1u);
+    EXPECT_EQ(t.consume(ev(Op::Adc, r3, isa::kNoReg, r2)), 0u);
+    // ...so a third instruction cannot join even though a decode slot
+    // is free.
+    EXPECT_EQ(t.consume(ev(Op::Sub, m1, isa::kNoReg, m0)), 1u);
+    EXPECT_EQ(t.cycles(), 2u);
+    EXPECT_EQ(t.stats().pairs, 1u);
+}
+
+TEST(P6Timer, OnlyDecoderZeroTakesMultiUopOps)
+{
+    // Widen issue so uop bandwidth cannot mask the 4-1-1 rule.
+    TimerConfig config;
+    config.p6.issue_width = 6;
+    P6Timer t(config);
+    EXPECT_EQ(t.consume(ev(Op::Add, r1, isa::kNoReg, r0)), 1u);
+    // First multi-uop op takes decoder 0...
+    EXPECT_EQ(t.consume(ev(Op::Adc, r3, isa::kNoReg, r2)), 0u);
+    // ...the second must wait for the next group even though issue
+    // bandwidth and a decode slot remain.
+    EXPECT_EQ(t.consume(ev(Op::Sbb, m1, isa::kNoReg, m0)), 1u);
+    EXPECT_EQ(t.cycles(), 2u);
+    EXPECT_EQ(t.stats().pairs, 1u);
+}
+
+TEST(P6Timer, MicrocodedOpsStreamAloneFromTheRom)
+{
+    P6Timer t;
+    // emms is 11 uops: microcoded, decodes alone, and drains through
+    // the 3-wide issue port over ceil(11/3) = 4 cycles.
+    EXPECT_EQ(t.consume(ev(Op::Emms)), 4u);
+    EXPECT_EQ(t.stats().blockingExtraCycles, 3u);
+    // The group is closed: the next op starts a fresh cycle.
+    EXPECT_EQ(t.consume(ev(Op::Add, r1, isa::kNoReg, r0)), 1u);
+    EXPECT_EQ(t.cycles(), 5u);
+    EXPECT_EQ(t.stats().pairs, 0u);
+}
+
+TEST(P6Timer, CallTemplateOccupiesTwoIssueCycles)
+{
+    P6Timer t;
+    // call is a 4-uop template: ceil(4/3) = 2 issue cycles.
+    EXPECT_EQ(t.consumeWithPrediction(ev(Op::Call), false), 2u);
+    EXPECT_EQ(t.cycles(), 2u);
+    EXPECT_EQ(t.stats().uopsIssued, 4u);
+}
+
+TEST(P6Timer, PipelinedMultiplierShortensDependencyStalls)
+{
+    // The P6 multiplier is pipelined: imul latency drops from the
+    // Pentium's 10 to 4, so a dependent consumer waits 3 extra cycles,
+    // not 9.
+    P6Timer p6;
+    p6.consume(ev(Op::Imul, r1, isa::kNoReg, r0));
+    p6.consume(ev(Op::Add, r0, isa::kNoReg, r2));
+    EXPECT_EQ(p6.cycles(), 5u);
+    EXPECT_EQ(p6.stats().dependStallCycles, 3u);
+
+    PentiumTimer p5;
+    p5.consume(ev(Op::Imul, r1, isa::kNoReg, r0));
+    p5.consume(ev(Op::Add, r0, isa::kNoReg, r2));
+    EXPECT_EQ(p5.cycles(), 11u);
+    EXPECT_GT(p5.cycles(), p6.cycles());
+}
+
+TEST(P6Timer, RetireWidthBackpressuresDecode)
+{
+    // Narrow retirement to make the ROB drain the bottleneck: three
+    // uops issue in cycle 0 but retire one per cycle, so the next
+    // group cannot start before cycle 3.
+    TimerConfig config;
+    config.p6.retire_width = 1;
+    P6Timer t(config);
+    t.consume(ev(Op::Add, r1, isa::kNoReg, r0));
+    t.consume(ev(Op::Sub, r3, isa::kNoReg, r2));
+    t.consume(ev(Op::And, m1, isa::kNoReg, m0));
+    EXPECT_EQ(t.cycles(), 1u);
+    EXPECT_EQ(t.consume(ev(Op::Xor, r1, isa::kNoReg, r0)), 3u);
+    EXPECT_EQ(t.stats().retireStallCycles, 2u);
+    EXPECT_EQ(t.cycles(), 4u);
+}
+
+TEST(P6Timer, MispredictPaysTheDeepPipelinePenalty)
+{
+    P6Timer t;
+    // Supplied-outcome path: a mispredicted branch charges the P6's
+    // 11-cycle penalty on top of its own issue cycle.
+    EXPECT_EQ(t.consumeWithPrediction(branch(Op::Jcc, 7, true), true), 12u);
+    EXPECT_EQ(t.stats().mispredictCycles, 11u);
+    // The fetch bubble closes the decode group.
+    EXPECT_EQ(t.consume(ev(Op::Add, r1, isa::kNoReg, r0)), 1u);
+    EXPECT_EQ(t.cycles(), 13u);
+}
+
+TEST(P6Timer, ConsumePredictsThroughTheSharedBtb)
+{
+    P6Timer t;
+    // Cold BTB: a taken branch is predicted not-taken -> mispredict.
+    EXPECT_EQ(t.consume(branch(Op::Jcc, 7, true)), 12u);
+    // Now allocated weakly-taken: the same branch predicts correctly.
+    EXPECT_EQ(t.consume(branch(Op::Jcc, 7, true)), 1u);
+    EXPECT_EQ(t.btb().stats().branches, 2u);
+    EXPECT_EQ(t.btb().stats().mispredicts, 1u);
+}
+
+TEST(P6Timer, UopsIssuedMatchesTheDecodeTable)
+{
+    const std::vector<InstrEvent> events = {
+        ev(Op::Add, r1, isa::kNoReg, r0),     // 1 uop
+        ev(Op::Adc, r3, isa::kNoReg, r2),     // 2 uops
+        load(Op::Mov, 0x1000, 4, r0),         // pure load: 1 uop
+        load(Op::Add, 0x2000, 4, r2),         // load + alu: 2 uops
+        store(Op::Mov, 0x3000, 4, r0),        // store addr + data: 2 uops
+        store(Op::Push, 0x4000, 4, r1),       // + esp update: 3 uops
+        ev(Op::Emms),                         // microcoded: 11 uops
+    };
+    uint64_t expected = 0;
+    for (const InstrEvent &e : events)
+        expected += uopCount(e);
+
+    P6Timer t;
+    uint64_t cost_sum = 0;
+    for (const InstrEvent &e : events)
+        cost_sum += t.consume(e);
+    EXPECT_EQ(t.stats().uopsIssued, expected);
+    EXPECT_EQ(t.stats().instructions, events.size());
+    EXPECT_EQ(cost_sum, t.cycles());
+}
+
+TEST(P6Timer, ResetClearsTimeAndScoreboard)
+{
+    P6Timer t;
+    t.consume(ev(Op::Imul, r1, isa::kNoReg, r0));
+    t.consume(load(Op::Mov, 0x80, 8, r2));
+    ASSERT_GT(t.cycles(), 0u);
+    t.reset();
+    EXPECT_EQ(t.cycles(), 0u);
+    EXPECT_EQ(t.stats().instructions, 0u);
+    // The scoreboard is clear: a consumer of the pre-reset imul result
+    // does not stall.
+    t.consume(ev(Op::Add, r0, isa::kNoReg, r2));
+    EXPECT_EQ(t.cycles(), 1u);
+    EXPECT_EQ(t.stats().dependStallCycles, 0u);
+}
+
+// ---------------- shared TimingModel contract ----------------
+
+/** A randomized but well-formed event, mirroring the trace codec test. */
+InstrEvent
+randomEvent(Rng &rng)
+{
+    InstrEvent e;
+    e.op = static_cast<Op>(rng.nextBelow(isa::kNumOps));
+    e.mem = static_cast<MemMode>(rng.nextBelow(3));
+    if (e.mem != MemMode::None) {
+        e.addr = rng.nextBelow(1 << 20);
+        e.size = static_cast<uint8_t>(1u << rng.nextBelow(4));
+    }
+    e.site = rng.nextBelow(500);
+    auto tag = [&]() -> isa::RegTag {
+        if (rng.nextBelow(4) == 0)
+            return isa::kNoReg;
+        return isa::makeTag(static_cast<RegClass>(rng.nextBelow(3)),
+                            static_cast<uint8_t>(rng.nextBelow(8)));
+    };
+    e.src0 = tag();
+    e.src1 = tag();
+    e.dst = tag();
+    e.taken = rng.nextBelow(2) != 0;
+    return e;
+}
+
+TEST(TimingModel, PerEventCostsSumToCyclesOnBothModels)
+{
+    Rng rng(101);
+    std::vector<InstrEvent> events;
+    for (int i = 0; i < 3000; ++i)
+        events.push_back(randomEvent(rng));
+
+    for (ModelKind kind : {ModelKind::P5, ModelKind::P6}) {
+        auto model = makeTimingModel(MachineConfig{kind, TimerConfig{}});
+        uint64_t sum = 0;
+        for (const InstrEvent &e : events)
+            sum += model->consume(e);
+        EXPECT_EQ(sum, model->cycles()) << modelName(kind);
+        EXPECT_EQ(model->stats().instructions, events.size())
+            << modelName(kind);
+    }
+}
+
+TEST(TimingModel, ConsumeBatchMatchesTheConsumeLoop)
+{
+    Rng rng(55);
+    std::vector<InstrEvent> events;
+    for (int i = 0; i < 2000; ++i)
+        events.push_back(randomEvent(rng));
+
+    for (ModelKind kind : {ModelKind::P5, ModelKind::P6}) {
+        const MachineConfig machine{kind, TimerConfig{}};
+        auto looped = makeTimingModel(machine);
+        std::vector<uint64_t> loop_costs(events.size());
+        for (size_t i = 0; i < events.size(); ++i)
+            loop_costs[i] = looped->consume(events[i]);
+
+        auto batched = makeTimingModel(machine);
+        std::vector<uint64_t> batch_costs(events.size());
+        batched->consumeBatch(std::span<const InstrEvent>(events),
+                              batch_costs.data());
+
+        EXPECT_EQ(batched->cycles(), looped->cycles()) << modelName(kind);
+        EXPECT_EQ(batch_costs, loop_costs) << modelName(kind);
+        EXPECT_EQ(batched->stats().pairs, looped->stats().pairs)
+            << modelName(kind);
+    }
+}
+
+TEST(TimingModel, FactoryBuildsTheRequestedModel)
+{
+    auto p5 = makeTimingModel(MachineConfig{ModelKind::P5, TimerConfig{}});
+    ASSERT_NE(p5, nullptr);
+    EXPECT_EQ(p5->kind(), ModelKind::P5);
+    EXPECT_EQ(p5->cycles(), 0u);
+
+    TimerConfig tweaked;
+    tweaked.l1.size_bytes = 8 * 1024;
+    auto p6 = makeTimingModel(MachineConfig{ModelKind::P6, tweaked});
+    ASSERT_NE(p6, nullptr);
+    EXPECT_EQ(p6->kind(), ModelKind::P6);
+    EXPECT_EQ(p6->config().l1.size_bytes, 8u * 1024u);
+}
+
+TEST(TimingModel, ModelNamesRoundTrip)
+{
+    for (ModelKind kind : {ModelKind::P5, ModelKind::P6}) {
+        ModelKind parsed{};
+        ASSERT_TRUE(parseModelName(modelName(kind), &parsed));
+        EXPECT_EQ(parsed, kind);
+    }
+    ModelKind ignored{};
+    EXPECT_FALSE(parseModelName("p7", &ignored));
+    EXPECT_FALSE(parseModelName("", &ignored));
+    EXPECT_FALSE(parseModelName("P5", &ignored)); // names are lower-case
+}
+
+// ---------------- edge timer geometries ----------------
+
+TEST(TimingModel, DirectMappedCachesThrashOnConflict)
+{
+    // assoc=1 on both levels: two addresses one L1-wavelength apart
+    // evict each other on every access.
+    TimerConfig config;
+    config.l1.ways = 1;
+    config.l2.ways = 1;
+    const uint64_t stride =
+        static_cast<uint64_t>(config.l1.size_bytes); // same L1 set
+
+    for (ModelKind kind : {ModelKind::P5, ModelKind::P6}) {
+        auto model = makeTimingModel(MachineConfig{kind, config});
+        uint64_t sum = 0;
+        const int rounds = 64;
+        for (int i = 0; i < rounds; ++i) {
+            sum += model->consume(load(Op::Mov, 0, 4, r0));
+            sum += model->consume(load(Op::Mov, stride, 4, r1));
+        }
+        EXPECT_EQ(sum, model->cycles()) << modelName(kind);
+        const mem::CacheStats &l1 = model->memory().l1().stats();
+        EXPECT_EQ(l1.accesses, 2u * rounds) << modelName(kind);
+        // Direct-mapped: every access after the first pair conflicts.
+        EXPECT_EQ(l1.misses, 2u * rounds) << modelName(kind);
+        // The two lines land in different L2 sets, so L2 only cold-misses.
+        EXPECT_EQ(model->memory().l2().stats().misses, 2u)
+            << modelName(kind);
+    }
+
+    // The same stream on the default 4-way L1 hits after the cold pair.
+    auto assoc = makeTimingModel(MachineConfig{ModelKind::P5, TimerConfig{}});
+    for (int i = 0; i < 64; ++i) {
+        assoc->consume(load(Op::Mov, 0, 4, r0));
+        assoc->consume(load(Op::Mov, stride, 4, r1));
+    }
+    EXPECT_EQ(assoc->memory().l1().stats().misses, 2u);
+}
+
+TEST(TimingModel, SingleEntryBtbThrashesBetweenTwoBranches)
+{
+    TimerConfig config;
+    config.btb_entries = 1;
+    config.btb_ways = 1;
+
+    for (ModelKind kind : {ModelKind::P5, ModelKind::P6}) {
+        auto model = makeTimingModel(MachineConfig{kind, config});
+        uint64_t sum = 0;
+        const int rounds = 32;
+        for (int i = 0; i < rounds; ++i) {
+            sum += model->consume(branch(Op::Jcc, 1, true));
+            sum += model->consume(branch(Op::Jcc, 2, true));
+        }
+        EXPECT_EQ(sum, model->cycles()) << modelName(kind);
+        const mem::BtbStats &btb = model->btb().stats();
+        EXPECT_EQ(btb.branches, 2u * rounds) << modelName(kind);
+        // One entry: each taken branch evicts the other, so every
+        // prediction is a miss-allocate mispredict.
+        EXPECT_EQ(btb.mispredicts, 2u * rounds) << modelName(kind);
+    }
+
+    // A single repeated branch fits even the 1-entry BTB.
+    auto model = makeTimingModel(MachineConfig{ModelKind::P6, config});
+    for (int i = 0; i < 32; ++i)
+        model->consume(branch(Op::Jcc, 1, true));
+    EXPECT_EQ(model->btb().stats().mispredicts, 1u);
+}
+
+} // namespace
+} // namespace mmxdsp::sim

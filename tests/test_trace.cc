@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "isa/event.hh"
 #include "isa/op.hh"
 #include "profile/vprof.hh"
+#include "sim/timing_model.hh"
 #include "sim/trace_sink.hh"
 #include "support/rng.hh"
 #include "trace/cache.hh"
@@ -323,6 +325,8 @@ expectSameProfile(const profile::ProfileResult &a,
     EXPECT_EQ(a.opCounts, b.opCounts);
     EXPECT_EQ(a.timer.instructions, b.timer.instructions);
     EXPECT_EQ(a.timer.pairs, b.timer.pairs);
+    EXPECT_EQ(a.timer.uopsIssued, b.timer.uopsIssued);
+    EXPECT_EQ(a.timer.retireStallCycles, b.timer.retireStallCycles);
     EXPECT_EQ(a.timer.memPenaltyCycles, b.timer.memPenaltyCycles);
     EXPECT_EQ(a.timer.mispredictCycles, b.timer.mispredictCycles);
     EXPECT_EQ(a.timer.dependStallCycles, b.timer.dependStallCycles);
@@ -568,6 +572,145 @@ TEST(MaterializedTraceTest, SweepMatchesPerConfigReplayAtAnyThreadCount)
     for (size_t i = 0; i < configs.size(); ++i)
         expectSameProfile(via_suite[i], serial[i],
                           "suite sweep config " + std::to_string(i));
+}
+
+// ---------------- damaged cache entries ----------------
+
+/** Flip one byte in the middle of @p p, or cut the file in half. */
+void
+corruptFile(const fs::path &p, bool truncate)
+{
+    ASSERT_TRUE(fs::exists(p)) << p;
+    const uintmax_t size = fs::file_size(p);
+    ASSERT_GT(size, 4u);
+    if (truncate) {
+        fs::resize_file(p, size / 2);
+        return;
+    }
+    std::FILE *f = std::fopen(p.string().c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, static_cast<long>(size / 2), SEEK_SET);
+    const int byte = std::fgetc(f);
+    std::fseek(f, -1, SEEK_CUR);
+    std::fputc(byte ^ 0x20, f);
+    std::fclose(f);
+}
+
+TEST(TraceCacheTest, DamagedEntryFallsBackToLiveAndIsRewritten)
+{
+    // A bit-flipped or truncated trace file must never replay wrong
+    // numbers: the load is a (warned) miss, the suite re-executes the
+    // benchmark live, and the recapture overwrites the bad file.
+    for (const bool truncate : {false, true}) {
+        SCOPED_TRACE(truncate ? "truncated" : "bit-flipped");
+        ScratchDir scratch("mmxdsp_trace_corrupt_test");
+        harness::TraceOptions topts{true, scratch.path.string()};
+
+        harness::BenchmarkSuite first(tinyConfig(), topts);
+        first.run("fir", "mmx");
+        ASSERT_EQ(first.traceActivity().captured, 1);
+
+        trace::TraceCache cache(scratch.path.string());
+        const uint64_t key = tinyConfig().hash();
+        corruptFile(cache.path("fir", "mmx", key), truncate);
+
+        trace::TraceReader damaged;
+        EXPECT_FALSE(cache.load("fir", "mmx", key, damaged));
+
+        harness::BenchmarkSuite second(tinyConfig(), topts);
+        const harness::RunResult &relived = second.run("fir", "mmx");
+        EXPECT_FALSE(relived.replayed);
+        EXPECT_EQ(second.traceActivity().disk_hits, 0);
+        EXPECT_EQ(second.traceActivity().captured, 1);
+
+        // The recapture rewrote the entry: a third suite replays it,
+        // bit-identical to the fallback's live run.
+        harness::BenchmarkSuite third(tinyConfig(), topts);
+        const harness::RunResult &replayed = third.run("fir", "mmx");
+        EXPECT_TRUE(replayed.replayed);
+        EXPECT_EQ(third.traceActivity().disk_hits, 1);
+        expectSameProfile(replayed.profile, relived.profile,
+                          "rewritten entry");
+    }
+}
+
+// ---------------- cross-model replay ----------------
+
+TEST(TraceReplay, P6EveryPairIsBitIdenticalToLive)
+{
+    // The P6 model under the same engine guarantee as the P5: for every
+    // (benchmark, version) pair, replaying the captured trace — both
+    // the streaming decoder and the materialized fast kernel — must
+    // reproduce the live P6 profile exactly.
+    ScratchDir scratch("mmxdsp_trace_p6_identity_test");
+    const sim::MachineConfig p6{sim::ModelKind::P6, sim::TimerConfig{}};
+    harness::BenchmarkSuite suite(
+        tinyConfig(), harness::TraceOptions{true, scratch.path.string()},
+        p6);
+    for (const auto &[bench, version] : harness::BenchmarkSuite::allRuns()) {
+        const std::string what = bench + "." + version + " p6";
+        const harness::RunResult &live = suite.run(bench, version);
+        EXPECT_FALSE(live.replayed);
+        EXPECT_GT(live.profile.timer.uopsIssued, 0u) << what;
+        auto reader = suite.traceFor(bench, version);
+        ASSERT_NE(reader, nullptr);
+        expectSameProfile(trace::replayProfile(*reader, p6), live.profile,
+                          what + " streaming");
+        auto mat = suite.materializedFor(bench, version);
+        ASSERT_NE(mat, nullptr);
+        expectSameProfile(mat->replayProfile(p6), live.profile,
+                          what + " fast kernel");
+    }
+}
+
+TEST(TraceReplay, CrossModelSweepKeepsP5ColumnsBitIdentical)
+{
+    // A mixed {P5, P6} sweep must not perturb the P5 columns: they stay
+    // bit-identical to the plain P5 replay paths that predate the
+    // TimingModel layer, at any thread count.
+    ScratchDir scratch("mmxdsp_trace_xmodel_test");
+    harness::BenchmarkSuite suite(
+        tinyConfig(), harness::TraceOptions{true, scratch.path.string()});
+    auto reader = suite.traceFor("fft", "mmx");
+    ASSERT_NE(reader, nullptr);
+
+    sim::TimerConfig small;
+    small.l1.size_bytes = 1024;
+    const std::vector<sim::MachineConfig> machines = {
+        {sim::ModelKind::P5, sim::TimerConfig{}},
+        {sim::ModelKind::P6, sim::TimerConfig{}},
+        {sim::ModelKind::P5, small},
+        {sim::ModelKind::P6, small},
+    };
+
+    const auto serial = trace::replaySweep(*reader, machines, 1);
+    const auto parallel = trace::replaySweep(*reader, machines, 0);
+    ASSERT_EQ(serial.size(), machines.size());
+    ASSERT_EQ(parallel.size(), machines.size());
+    for (size_t i = 0; i < machines.size(); ++i) {
+        const std::string what = "machine " + std::to_string(i);
+        expectSameProfile(serial[i], parallel[i], what + " thread count");
+        expectSameProfile(serial[i],
+                          trace::replayProfile(*reader, machines[i]),
+                          what + " vs streaming");
+    }
+
+    // The P5 columns are exactly the legacy TimerConfig-only results.
+    expectSameProfile(serial[0], trace::replayProfile(*reader),
+                      "P5 default vs legacy replay");
+    expectSameProfile(serial[2], trace::replayProfile(*reader, small),
+                      "P5 small-L1 vs legacy replay");
+    // The P6 columns really ran the other machine.
+    EXPECT_EQ(serial[0].timer.uopsIssued, 0u);
+    EXPECT_GT(serial[1].timer.uopsIssued, 0u);
+    EXPECT_NE(serial[1].cycles, serial[0].cycles);
+
+    // The suite's cross-model sweep overload agrees.
+    const auto via_suite = suite.sweep("fft", "mmx", machines, 2);
+    ASSERT_EQ(via_suite.size(), machines.size());
+    for (size_t i = 0; i < machines.size(); ++i)
+        expectSameProfile(via_suite[i], serial[i],
+                          "suite machine " + std::to_string(i));
 }
 
 } // namespace
