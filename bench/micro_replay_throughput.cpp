@@ -10,6 +10,10 @@
  *    trace::MaterializedTrace and every configuration replays from the
  *    shared structure-of-arrays buffers.
  *
+ * Also times live capture (functional execution + block-buffered emit +
+ * encoding, no timing model) of the same pair on a fresh suite, so the
+ * capture-once cost can be read next to the replay-many cost.
+ *
  * Reports single-replay throughput (events/sec) for both paths and the
  * wall time of an N-configuration sweep, verifies the two sweeps are
  * bit-identical, writes everything to BENCH_replay.json, and exits
@@ -166,6 +170,25 @@ main(int argc, char **argv)
             materialized.single_seconds = dt;
     }
 
+    // -- live-capture arm: execute + capture, no timing model --
+    // A fresh suite with the disk cache off pays the full capture each
+    // time: functional execution, block-buffered emit, encoding.
+    double capture_seconds = 0.0;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+        harness::BenchmarkSuite live(opts.suiteConfig(),
+                                     harness::TraceOptions{},
+                                     opts.machineConfig());
+        const double t0 = now();
+        auto captured = live.traceFor(bench, version);
+        const double dt = now() - t0;
+        if (captured->instrCount() != events) {
+            std::fprintf(stderr, "FAIL: live capture event count drifted\n");
+            return 1;
+        }
+        if (!rep || dt < capture_seconds)
+            capture_seconds = dt;
+    }
+
     // -- bit-identity gate --
     bool identical = fast.size() == streamed.size();
     for (size_t i = 0; identical && i < fast.size(); ++i)
@@ -177,6 +200,7 @@ main(int argc, char **argv)
         static_cast<double>(events) / materialized.single_seconds;
     const double speedup =
         streaming.sweep_seconds / materialized.sweep_seconds;
+    const double capture_eps = static_cast<double>(events) / capture_seconds;
 
     std::printf("replay throughput — %s.%s, %llu events, %zu configs\n\n",
                 bench, version, static_cast<unsigned long long>(events),
@@ -194,6 +218,10 @@ main(int argc, char **argv)
                   Table::fmtCount(static_cast<int64_t>(
                       materialized.single_seconds * 1e3)),
                   Table::fmtCount(static_cast<int64_t>(materialized_eps))});
+    table.addRow({"live capture", "n/a",
+                  Table::fmtCount(
+                      static_cast<int64_t>(capture_seconds * 1e3)),
+                  Table::fmtCount(static_cast<int64_t>(capture_eps))});
     table.print();
     std::printf("\nmaterialize cost      %.1f ms (%.1f MB resident)\n",
                 materialized.build_seconds * 1e3,
@@ -224,6 +252,10 @@ main(int argc, char **argv)
             "    \"events_per_sec\": %.0f,\n"
             "    \"resident_bytes\": %zu\n"
             "  },\n"
+            "  \"live_capture\": {\n"
+            "    \"capture_seconds\": %.6f,\n"
+            "    \"events_per_sec\": %.0f\n"
+            "  },\n"
             "  \"sweep_speedup\": %.3f,\n"
             "  \"identical\": %s\n"
             "}\n",
@@ -233,7 +265,8 @@ main(int argc, char **argv)
             streaming.single_seconds, streaming_eps,
             materialized.build_seconds, materialized.sweep_seconds,
             materialized.single_seconds, materialized_eps, mat.byteSize(),
-            speedup, identical ? "true" : "false");
+            capture_seconds, capture_eps, speedup,
+            identical ? "true" : "false");
         std::fclose(json);
         std::fprintf(stderr, "wrote BENCH_replay.json\n");
     }

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * X-macro inventory of the MMX value operations.
+ *
+ * Every layer that needs "one entry per op" — the dispatch header's
+ * inline forwarders, Cpu's instrumented methods, the differential test
+ * suite, and the throughput microbenchmark — expands these lists instead
+ * of hand-maintaining four copies of the same 44 names. Each entry pairs
+ * the mnemonic with its isa::Op enumerator.
+ */
+
+#ifndef MMXDSP_MMX_MMX_OP_LIST_HH
+#define MMXDSP_MMX_MMX_OP_LIST_HH
+
+/** Two-operand value ops: X(mnemonic, isa::Op enumerator). */
+#define MMXDSP_MMX_BINOP_LIST(X)                                             \
+    X(paddb, Paddb)                                                          \
+    X(paddw, Paddw)                                                          \
+    X(paddd, Paddd)                                                          \
+    X(paddsb, Paddsb)                                                        \
+    X(paddsw, Paddsw)                                                        \
+    X(paddusb, Paddusb)                                                      \
+    X(paddusw, Paddusw)                                                      \
+    X(psubb, Psubb)                                                          \
+    X(psubw, Psubw)                                                          \
+    X(psubd, Psubd)                                                          \
+    X(psubsb, Psubsb)                                                        \
+    X(psubsw, Psubsw)                                                        \
+    X(psubusb, Psubusb)                                                      \
+    X(psubusw, Psubusw)                                                      \
+    X(pmulhw, Pmulhw)                                                        \
+    X(pmullw, Pmullw)                                                        \
+    X(pmaddwd, Pmaddwd)                                                      \
+    X(pcmpeqb, Pcmpeqb)                                                      \
+    X(pcmpeqw, Pcmpeqw)                                                      \
+    X(pcmpeqd, Pcmpeqd)                                                      \
+    X(pcmpgtb, Pcmpgtb)                                                      \
+    X(pcmpgtw, Pcmpgtw)                                                      \
+    X(pcmpgtd, Pcmpgtd)                                                      \
+    X(packsswb, Packsswb)                                                    \
+    X(packssdw, Packssdw)                                                    \
+    X(packuswb, Packuswb)                                                    \
+    X(punpcklbw, Punpcklbw)                                                  \
+    X(punpcklwd, Punpcklwd)                                                  \
+    X(punpckldq, Punpckldq)                                                  \
+    X(punpckhbw, Punpckhbw)                                                  \
+    X(punpckhwd, Punpckhwd)                                                  \
+    X(punpckhdq, Punpckhdq)                                                  \
+    X(pand, Pand)                                                            \
+    X(pandn, Pandn)                                                          \
+    X(por, Por)                                                              \
+    X(pxor, Pxor)
+
+/** Immediate-count shifts: X(mnemonic, isa::Op enumerator). */
+#define MMXDSP_MMX_SHIFT_LIST(X)                                             \
+    X(psllw, Psllw)                                                          \
+    X(pslld, Pslld)                                                          \
+    X(psllq, Psllq)                                                          \
+    X(psrlw, Psrlw)                                                          \
+    X(psrld, Psrld)                                                          \
+    X(psrlq, Psrlq)                                                          \
+    X(psraw, Psraw)                                                          \
+    X(psrad, Psrad)
+
+#endif // MMXDSP_MMX_MMX_OP_LIST_HH

@@ -1,8 +1,15 @@
-#include "mmx_ops.hh"
+/**
+ * Scalar lane-loop reference implementations (mmx_scalar.hh). Kept
+ * out-of-line on purpose: this is the golden oracle the SWAR and host
+ * paths are differentially tested against, and the active path when the
+ * build forces MMXDSP_FORCE_SCALAR_MMX.
+ */
+
+#include "mmx_scalar.hh"
 
 #include "support/fixed_point.hh"
 
-namespace mmxdsp::mmx {
+namespace mmxdsp::mmx::scalar {
 
 namespace {
 
@@ -37,22 +44,6 @@ mapD(MmxReg a, MmxReg b, Fn fn)
     for (int i = 0; i < 2; ++i)
         r.setD(i, fn(a, b, i));
     return r;
-}
-
-uint8_t
-satU8FromInt(int v)
-{
-    return saturateU8(v);
-}
-
-uint16_t
-satU16FromInt(int v)
-{
-    if (v > 65535)
-        return 65535;
-    if (v < 0)
-        return 0;
-    return static_cast<uint16_t>(v);
 }
 
 } // namespace
@@ -103,7 +94,7 @@ MmxReg
 paddusb(MmxReg a, MmxReg b)
 {
     return mapB(a, b, [](MmxReg x, MmxReg y, int i) {
-        return satU8FromInt(x.ub(i) + y.ub(i));
+        return saturateU8(x.ub(i) + y.ub(i));
     });
 }
 
@@ -111,7 +102,7 @@ MmxReg
 paddusw(MmxReg a, MmxReg b)
 {
     return mapW(a, b, [](MmxReg x, MmxReg y, int i) {
-        return satU16FromInt(x.uw(i) + y.uw(i));
+        return saturateU16(x.uw(i) + y.uw(i));
     });
 }
 
@@ -161,7 +152,7 @@ MmxReg
 psubusb(MmxReg a, MmxReg b)
 {
     return mapB(a, b, [](MmxReg x, MmxReg y, int i) {
-        return satU8FromInt(x.ub(i) - y.ub(i));
+        return saturateU8(x.ub(i) - y.ub(i));
     });
 }
 
@@ -169,7 +160,7 @@ MmxReg
 psubusw(MmxReg a, MmxReg b)
 {
     return mapW(a, b, [](MmxReg x, MmxReg y, int i) {
-        return satU16FromInt(x.uw(i) - y.uw(i));
+        return saturateU16(x.uw(i) - y.uw(i));
     });
 }
 
@@ -470,4 +461,4 @@ psrad(MmxReg a, unsigned count)
     return r;
 }
 
-} // namespace mmxdsp::mmx
+} // namespace mmxdsp::mmx::scalar

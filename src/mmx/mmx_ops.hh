@@ -1,6 +1,6 @@
 /**
  * @file
- * Functional semantics for the MMX instruction set.
+ * Functional semantics for the MMX instruction set — dispatch header.
  *
  * Each function implements one MMX mnemonic exactly as specified in the
  * Intel Architecture Software Developer's Manual: wraparound arithmetic
@@ -8,84 +8,60 @@
  * pack instructions narrow with saturation, unpack instructions
  * interleave, and pmaddwd forms two 32-bit dot-product halves.
  *
- * These are pure value functions; the instrumented runtime (runtime/cpu.hh)
- * wraps them with instruction-event emission. Keeping semantics separate
- * lets the unit tests verify bit-exactness in isolation.
+ * Three interchangeable implementations live behind the same names:
+ *
+ *  - mmx::scalar — lane-at-a-time golden reference (mmx_scalar.hh,
+ *    out-of-line), always compiled;
+ *  - mmx::swar   — branchless SWAR over one uint64_t (mmx_swar.hh,
+ *    header-inline), always compiled;
+ *  - mmx::host   — SSE2 intrinsics on the low 64 bits of an XMM
+ *    register, compiled when the host has __SSE2__.
+ *
+ * The public mmxdsp::mmx::paddb(...) etc. are inline forwarders to the
+ * `active` namespace: scalar when the build sets MMXDSP_FORCE_SCALAR_MMX
+ * (a CMake option, applied globally so every translation unit agrees),
+ * otherwise host when available, otherwise swar. Being header-inline is
+ * what lets runtime::Cpu's MMX methods compile down to straight-line
+ * bit ops. The differential tests assert all paths bit-identical, so
+ * swapping paths can never change benchmark outputs or captured traces.
+ *
+ * These are pure value functions; the instrumented runtime
+ * (runtime/cpu.hh) wraps them with instruction-event emission. Keeping
+ * semantics separate lets the unit tests verify bit-exactness in
+ * isolation.
  */
 
 #ifndef MMXDSP_MMX_MMX_OPS_HH
 #define MMXDSP_MMX_MMX_OPS_HH
 
+#include "mmx/mmx_op_list.hh"
 #include "mmx/mmx_reg.hh"
+#include "mmx/mmx_scalar.hh"
+#include "mmx/mmx_swar.hh"
 
 namespace mmxdsp::mmx {
 
-// ---- packed add: wraparound ----
-MmxReg paddb(MmxReg a, MmxReg b);
-MmxReg paddw(MmxReg a, MmxReg b);
-MmxReg paddd(MmxReg a, MmxReg b);
+#if defined(MMXDSP_FORCE_SCALAR_MMX)
+namespace active = scalar;
+#elif defined(MMXDSP_MMX_HAVE_HOST_SIMD)
+namespace active = host;
+#else
+namespace active = swar;
+#endif
 
-// ---- packed add: signed / unsigned saturation ----
-MmxReg paddsb(MmxReg a, MmxReg b);
-MmxReg paddsw(MmxReg a, MmxReg b);
-MmxReg paddusb(MmxReg a, MmxReg b);
-MmxReg paddusw(MmxReg a, MmxReg b);
-
-// ---- packed subtract: wraparound ----
-MmxReg psubb(MmxReg a, MmxReg b);
-MmxReg psubw(MmxReg a, MmxReg b);
-MmxReg psubd(MmxReg a, MmxReg b);
-
-// ---- packed subtract: signed / unsigned saturation ----
-MmxReg psubsb(MmxReg a, MmxReg b);
-MmxReg psubsw(MmxReg a, MmxReg b);
-MmxReg psubusb(MmxReg a, MmxReg b);
-MmxReg psubusw(MmxReg a, MmxReg b);
-
-// ---- packed multiply ----
-/** High 16 bits of the signed 16x16 products. */
-MmxReg pmulhw(MmxReg a, MmxReg b);
-/** Low 16 bits of the 16x16 products. */
-MmxReg pmullw(MmxReg a, MmxReg b);
-/** Multiply-accumulate: dword0 = a0*b0 + a1*b1, dword1 = a2*b2 + a3*b3. */
-MmxReg pmaddwd(MmxReg a, MmxReg b);
-
-// ---- packed compare (result lanes all-ones / all-zeros) ----
-MmxReg pcmpeqb(MmxReg a, MmxReg b);
-MmxReg pcmpeqw(MmxReg a, MmxReg b);
-MmxReg pcmpeqd(MmxReg a, MmxReg b);
-MmxReg pcmpgtb(MmxReg a, MmxReg b);
-MmxReg pcmpgtw(MmxReg a, MmxReg b);
-MmxReg pcmpgtd(MmxReg a, MmxReg b);
-
-// ---- pack (narrow with saturation); low half from a, high from b ----
-MmxReg packsswb(MmxReg a, MmxReg b);
-MmxReg packssdw(MmxReg a, MmxReg b);
-MmxReg packuswb(MmxReg a, MmxReg b);
-
-// ---- unpack (interleave); "l" = low halves, "h" = high halves ----
-MmxReg punpcklbw(MmxReg a, MmxReg b);
-MmxReg punpcklwd(MmxReg a, MmxReg b);
-MmxReg punpckldq(MmxReg a, MmxReg b);
-MmxReg punpckhbw(MmxReg a, MmxReg b);
-MmxReg punpckhwd(MmxReg a, MmxReg b);
-MmxReg punpckhdq(MmxReg a, MmxReg b);
-
-// ---- logical ----
-MmxReg pand(MmxReg a, MmxReg b);
-MmxReg pandn(MmxReg a, MmxReg b); ///< (~a) & b
-MmxReg por(MmxReg a, MmxReg b);
-MmxReg pxor(MmxReg a, MmxReg b);
+#define MMXDSP_X(name, op_enum)                                              \
+    inline MmxReg name(MmxReg a, MmxReg b) { return active::name(a, b); }
+MMXDSP_MMX_BINOP_LIST(MMXDSP_X)
+#undef MMXDSP_X
 
 // ---- shifts (count >= lane width zeroes; psra* saturates count) ----
-MmxReg psllw(MmxReg a, unsigned count);
-MmxReg pslld(MmxReg a, unsigned count);
-MmxReg psllq(MmxReg a, unsigned count);
-MmxReg psrlw(MmxReg a, unsigned count);
-MmxReg psrld(MmxReg a, unsigned count);
-MmxReg psrlq(MmxReg a, unsigned count);
-MmxReg psraw(MmxReg a, unsigned count);
-MmxReg psrad(MmxReg a, unsigned count);
+#define MMXDSP_X(name, op_enum)                                              \
+    inline MmxReg name(MmxReg a, unsigned count)                             \
+    {                                                                        \
+        return active::name(a, count);                                       \
+    }
+MMXDSP_MMX_SHIFT_LIST(MMXDSP_X)
+#undef MMXDSP_X
 
 } // namespace mmxdsp::mmx
 

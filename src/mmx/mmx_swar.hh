@@ -1,0 +1,808 @@
+/**
+ * @file
+ * Branchless SWAR (SIMD-within-a-register) implementations of the MMX
+ * operations over one host uint64_t, plus an optional host-SSE2 path.
+ *
+ * This is the paper's thesis applied to our own emulator: all 8/4/2
+ * lanes of an MMX operation are computed in a handful of full-width ALU
+ * ops instead of a lane-at-a-time loop. The building blocks:
+ *
+ *  - carry-isolated add/sub: mask off every lane's MSB so the low bits
+ *    add without crossing lane boundaries, then patch the MSBs back in
+ *    with XOR (a half-adder on the top bit):
+ *        sum  = ((x & ~H) + (y & ~H)) ^ ((x ^ y) & H)
+ *        diff = ((x |  H) - (y & ~H)) ^ ((x ^ ~y) & H)
+ *    where H has only each lane's MSB set;
+ *  - carry/borrow/overflow extraction at the MSB for saturation:
+ *        carry  = (x & y) | ((x | y) & ~sum)      (unsigned overflow)
+ *        borrow = (~x & y) | ((~x | y) & diff)    (unsigned underflow)
+ *        sovf   = ~(x ^ y) & (x ^ sum)            (signed, add)
+ *        sovf   =  (x ^ y) & (x ^ diff)           (signed, subtract)
+ *  - MSB smear: a per-lane flag bit is widened to an all-ones lane mask
+ *    with one shift, one AND, and one multiply by the lane's all-ones
+ *    pattern (the multiply cannot carry between lanes because each
+ *    partial product is a single 0/1 per lane);
+ *  - compares: eq via "lane is zero" detection on x ^ y, signed gt via
+ *    bias-to-unsigned (x ^ H) and the subtract borrow;
+ *  - pack/unpack: bit-group gather/spread ("morton-style" masked
+ *    shift-and-or cascades) after a compare-and-blend clamp;
+ *  - shifts: one full-width shift plus a lane-boundary mask replicated
+ *    with a multiply; psraw/psrad OR the smeared sign back in.
+ *
+ * Everything here is straight-line (the only branches are the shift
+ * count guards, which constant-fold at every call site in the tree).
+ * The multiplies (pmullw/pmulhw/pmaddwd) stay per-lane but fully
+ * unrolled: 16x16 products genuinely need 32 bits per lane, so a SWAR
+ * formulation over 64 bits has no room; the host multiplier is fast.
+ *
+ * When the host has SSE2 (and MMXDSP_NO_HOST_SSE2 is not defined), the
+ * `host` namespace maps each op to one _mm_* intrinsic on the low 64
+ * bits of an XMM register — MMX semantics are a subset of SSE2's, so
+ * the mapping is exact, including shift-count overflow behavior.
+ *
+ * The differential test suite asserts both namespaces against the
+ * scalar reference (mmx_scalar.hh) bit-for-bit over random and
+ * adversarial lane values.
+ */
+
+#ifndef MMXDSP_MMX_MMX_SWAR_HH
+#define MMXDSP_MMX_MMX_SWAR_HH
+
+#include "mmx/mmx_reg.hh"
+#include "support/fixed_point.hh"
+
+#if defined(__SSE2__) && !defined(MMXDSP_NO_HOST_SSE2)
+#define MMXDSP_MMX_HAVE_HOST_SIMD 1
+#include <emmintrin.h>
+#endif
+
+namespace mmxdsp::mmx::swar {
+
+namespace detail {
+
+// Per-lane MSB ("H") and LSB ("L") patterns for 8/16/32-bit lanes.
+inline constexpr uint64_t kHiB = 0x8080808080808080ull;
+inline constexpr uint64_t kLoB = 0x0101010101010101ull;
+inline constexpr uint64_t kHiW = 0x8000800080008000ull;
+inline constexpr uint64_t kLoW = 0x0001000100010001ull;
+inline constexpr uint64_t kHiD = 0x8000000080000000ull;
+inline constexpr uint64_t kLoD = 0x0000000100000001ull;
+
+/** Lane-wise wraparound add: carry-isolated MSB half-adder. */
+constexpr uint64_t
+addLanes(uint64_t x, uint64_t y, uint64_t hi)
+{
+    return ((x & ~hi) + (y & ~hi)) ^ ((x ^ y) & hi);
+}
+
+/** Lane-wise wraparound subtract (borrow-isolated). */
+constexpr uint64_t
+subLanes(uint64_t x, uint64_t y, uint64_t hi)
+{
+    return ((x | hi) - (y & ~hi)) ^ ((x ^ ~y) & hi);
+}
+
+/** MSB flags where x + y carried out of the lane (s = addLanes sum). */
+constexpr uint64_t
+carryOut(uint64_t x, uint64_t y, uint64_t s, uint64_t hi)
+{
+    return ((x & y) | ((x | y) & ~s)) & hi;
+}
+
+/** MSB flags where x - y borrowed (d = subLanes difference). */
+constexpr uint64_t
+borrowOut(uint64_t x, uint64_t y, uint64_t d, uint64_t hi)
+{
+    return ((~x & y) | ((~x | y) & d)) & hi;
+}
+
+// -- MSB-flag smears: widen a per-lane MSB flag to an all-ones lane --
+
+constexpr uint64_t
+smearB(uint64_t msb_flags)
+{
+    return ((msb_flags >> 7) & kLoB) * 0xffull;
+}
+
+constexpr uint64_t
+smearW(uint64_t msb_flags)
+{
+    return ((msb_flags >> 15) & kLoW) * 0xffffull;
+}
+
+constexpr uint64_t
+smearD(uint64_t msb_flags)
+{
+    return ((msb_flags >> 31) & kLoD) * 0xffffffffull;
+}
+
+// -- "lane == 0" detection: MSB flag set iff the whole lane is zero --
+
+constexpr uint64_t
+zeroFlagsB(uint64_t t)
+{
+    // Low 7 bits propagate a carry into the MSB when nonzero; OR in the
+    // MSB itself, then invert.
+    return ((((t & ~kHiB) + ~kHiB) | t) & kHiB) ^ kHiB;
+}
+
+constexpr uint64_t
+zeroFlagsW(uint64_t t)
+{
+    return ((((t & ~kHiW) + ~kHiW) | t) & kHiW) ^ kHiW;
+}
+
+constexpr uint64_t
+zeroFlagsD(uint64_t t)
+{
+    return ((((t & ~kHiD) + ~kHiD) | t) & kHiD) ^ kHiD;
+}
+
+// -- signed per-lane greater-than masks (all-ones where x > y) --
+
+constexpr uint64_t
+gtMaskB(uint64_t x, uint64_t y)
+{
+    // Bias to unsigned; x > y iff y - x borrows.
+    const uint64_t xs = x ^ kHiB, ys = y ^ kHiB;
+    return smearB(borrowOut(ys, xs, subLanes(ys, xs, kHiB), kHiB));
+}
+
+constexpr uint64_t
+gtMaskW(uint64_t x, uint64_t y)
+{
+    const uint64_t xs = x ^ kHiW, ys = y ^ kHiW;
+    return smearW(borrowOut(ys, xs, subLanes(ys, xs, kHiW), kHiW));
+}
+
+constexpr uint64_t
+gtMaskD(uint64_t x, uint64_t y)
+{
+    const uint64_t xs = x ^ kHiD, ys = y ^ kHiD;
+    return smearD(borrowOut(ys, xs, subLanes(ys, xs, kHiD), kHiD));
+}
+
+/** Blend: mask lanes from @p sat, the rest from @p v. */
+constexpr uint64_t
+blend(uint64_t v, uint64_t sat, uint64_t mask)
+{
+    return (v & ~mask) | (sat & mask);
+}
+
+/** Clamp signed word lanes to [lo, hi] (lanes replicated patterns). */
+constexpr uint64_t
+clampW(uint64_t v, uint64_t lo_rep, uint64_t hi_rep)
+{
+    v = blend(v, hi_rep, gtMaskW(v, hi_rep));
+    v = blend(v, lo_rep, gtMaskW(lo_rep, v));
+    return v;
+}
+
+/** Clamp signed dword lanes to [lo, hi]. */
+constexpr uint64_t
+clampD(uint64_t v, uint64_t lo_rep, uint64_t hi_rep)
+{
+    v = blend(v, hi_rep, gtMaskD(v, hi_rep));
+    v = blend(v, lo_rep, gtMaskD(lo_rep, v));
+    return v;
+}
+
+/** Compress each word lane's low byte into the low 32 bits. */
+constexpr uint64_t
+gatherLowBytes(uint64_t x)
+{
+    x &= 0x00ff00ff00ff00ffull;
+    x = (x | (x >> 8)) & 0x0000ffff0000ffffull;
+    x = (x | (x >> 16)) & 0x00000000ffffffffull;
+    return x;
+}
+
+/** Compress each dword lane's low word into the low 32 bits. */
+constexpr uint64_t
+gatherLowWords(uint64_t x)
+{
+    x &= 0x0000ffff0000ffffull;
+    x = (x | (x >> 16)) & 0x00000000ffffffffull;
+    return x;
+}
+
+/** Spread the low 4 bytes into the low byte of each word lane. */
+constexpr uint64_t
+spreadBytes(uint64_t x)
+{
+    x &= 0x00000000ffffffffull;
+    x = (x | (x << 16)) & 0x0000ffff0000ffffull;
+    x = (x | (x << 8)) & 0x00ff00ff00ff00ffull;
+    return x;
+}
+
+/** Spread the low 2 words into the low word of each dword lane. */
+constexpr uint64_t
+spreadWords(uint64_t x)
+{
+    x &= 0x00000000ffffffffull;
+    x = (x | (x << 16)) & 0x0000ffff0000ffffull;
+    return x;
+}
+
+/** Replicate a 16-bit pattern into all four word lanes. */
+constexpr uint64_t
+repW(uint64_t pattern16)
+{
+    return pattern16 * kLoW;
+}
+
+/** Replicate a 32-bit pattern into both dword lanes. */
+constexpr uint64_t
+repD(uint64_t pattern32)
+{
+    return pattern32 * kLoD;
+}
+
+} // namespace detail
+
+// ---------------- add / subtract: wraparound ----------------
+
+constexpr MmxReg
+paddb(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    return MmxReg(addLanes(a.bits, b.bits, kHiB));
+}
+
+constexpr MmxReg
+paddw(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    return MmxReg(addLanes(a.bits, b.bits, kHiW));
+}
+
+constexpr MmxReg
+paddd(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    return MmxReg(addLanes(a.bits, b.bits, kHiD));
+}
+
+constexpr MmxReg
+psubb(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    return MmxReg(subLanes(a.bits, b.bits, kHiB));
+}
+
+constexpr MmxReg
+psubw(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    return MmxReg(subLanes(a.bits, b.bits, kHiW));
+}
+
+constexpr MmxReg
+psubd(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    return MmxReg(subLanes(a.bits, b.bits, kHiD));
+}
+
+// ---------------- add / subtract: unsigned saturation ----------------
+
+constexpr MmxReg
+paddusb(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    const uint64_t s = addLanes(a.bits, b.bits, kHiB);
+    return MmxReg(s | smearB(carryOut(a.bits, b.bits, s, kHiB)));
+}
+
+constexpr MmxReg
+paddusw(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    const uint64_t s = addLanes(a.bits, b.bits, kHiW);
+    return MmxReg(s | smearW(carryOut(a.bits, b.bits, s, kHiW)));
+}
+
+constexpr MmxReg
+psubusb(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    const uint64_t d = subLanes(a.bits, b.bits, kHiB);
+    return MmxReg(d & ~smearB(borrowOut(a.bits, b.bits, d, kHiB)));
+}
+
+constexpr MmxReg
+psubusw(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    const uint64_t d = subLanes(a.bits, b.bits, kHiW);
+    return MmxReg(d & ~smearW(borrowOut(a.bits, b.bits, d, kHiW)));
+}
+
+// ---------------- add / subtract: signed saturation ----------------
+// Overflowed lanes are replaced by 0x7f.. + sign(x): 0x80.. (INT_MIN)
+// when x was negative, 0x7f.. (INT_MAX) otherwise — the sign of the
+// true result picks the clamp direction.
+
+constexpr MmxReg
+paddsb(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    const uint64_t s = addLanes(a.bits, b.bits, kHiB);
+    const uint64_t ovf = ~(a.bits ^ b.bits) & (a.bits ^ s) & kHiB;
+    const uint64_t sat = 0x7f7f7f7f7f7f7f7full + ((a.bits >> 7) & kLoB);
+    return MmxReg(blend(s, sat, smearB(ovf)));
+}
+
+constexpr MmxReg
+paddsw(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    const uint64_t s = addLanes(a.bits, b.bits, kHiW);
+    const uint64_t ovf = ~(a.bits ^ b.bits) & (a.bits ^ s) & kHiW;
+    const uint64_t sat = 0x7fff7fff7fff7fffull + ((a.bits >> 15) & kLoW);
+    return MmxReg(blend(s, sat, smearW(ovf)));
+}
+
+constexpr MmxReg
+psubsb(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    const uint64_t d = subLanes(a.bits, b.bits, kHiB);
+    const uint64_t ovf = (a.bits ^ b.bits) & (a.bits ^ d) & kHiB;
+    const uint64_t sat = 0x7f7f7f7f7f7f7f7full + ((a.bits >> 7) & kLoB);
+    return MmxReg(blend(d, sat, smearB(ovf)));
+}
+
+constexpr MmxReg
+psubsw(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    const uint64_t d = subLanes(a.bits, b.bits, kHiW);
+    const uint64_t ovf = (a.bits ^ b.bits) & (a.bits ^ d) & kHiW;
+    const uint64_t sat = 0x7fff7fff7fff7fffull + ((a.bits >> 15) & kLoW);
+    return MmxReg(blend(d, sat, smearW(ovf)));
+}
+
+// ---------------- multiply (unrolled per-lane; see file comment) ----
+
+constexpr MmxReg
+pmullw(MmxReg a, MmxReg b)
+{
+    const uint32_t p0 = static_cast<uint32_t>(a.sw(0) * b.sw(0));
+    const uint32_t p1 = static_cast<uint32_t>(a.sw(1) * b.sw(1));
+    const uint32_t p2 = static_cast<uint32_t>(a.sw(2) * b.sw(2));
+    const uint32_t p3 = static_cast<uint32_t>(a.sw(3) * b.sw(3));
+    return MmxReg((static_cast<uint64_t>(p0 & 0xffff))
+                  | (static_cast<uint64_t>(p1 & 0xffff) << 16)
+                  | (static_cast<uint64_t>(p2 & 0xffff) << 32)
+                  | (static_cast<uint64_t>(p3 & 0xffff) << 48));
+}
+
+constexpr MmxReg
+pmulhw(MmxReg a, MmxReg b)
+{
+    const uint32_t p0 = static_cast<uint32_t>(a.sw(0) * b.sw(0));
+    const uint32_t p1 = static_cast<uint32_t>(a.sw(1) * b.sw(1));
+    const uint32_t p2 = static_cast<uint32_t>(a.sw(2) * b.sw(2));
+    const uint32_t p3 = static_cast<uint32_t>(a.sw(3) * b.sw(3));
+    return MmxReg((static_cast<uint64_t>(p0 >> 16))
+                  | (static_cast<uint64_t>(p1 >> 16) << 16)
+                  | (static_cast<uint64_t>(p2 >> 16) << 32)
+                  | (static_cast<uint64_t>(p3 >> 16) << 48));
+}
+
+constexpr MmxReg
+pmaddwd(MmxReg a, MmxReg b)
+{
+    // Wraparound add of the product pairs, matching hardware (the only
+    // overflow case is all four inputs equal to -32768).
+    const uint32_t lo = static_cast<uint32_t>(a.sw(0) * b.sw(0))
+                        + static_cast<uint32_t>(a.sw(1) * b.sw(1));
+    const uint32_t hi = static_cast<uint32_t>(a.sw(2) * b.sw(2))
+                        + static_cast<uint32_t>(a.sw(3) * b.sw(3));
+    return MmxReg(static_cast<uint64_t>(lo)
+                  | (static_cast<uint64_t>(hi) << 32));
+}
+
+// ---------------- compare ----------------
+
+constexpr MmxReg
+pcmpeqb(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    return MmxReg(smearB(zeroFlagsB(a.bits ^ b.bits)));
+}
+
+constexpr MmxReg
+pcmpeqw(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    return MmxReg(smearW(zeroFlagsW(a.bits ^ b.bits)));
+}
+
+constexpr MmxReg
+pcmpeqd(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    return MmxReg(smearD(zeroFlagsD(a.bits ^ b.bits)));
+}
+
+constexpr MmxReg
+pcmpgtb(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    return MmxReg(gtMaskB(a.bits, b.bits));
+}
+
+constexpr MmxReg
+pcmpgtw(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    return MmxReg(gtMaskW(a.bits, b.bits));
+}
+
+constexpr MmxReg
+pcmpgtd(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    return MmxReg(gtMaskD(a.bits, b.bits));
+}
+
+// ---------------- pack: clamp, then gather ----------------
+
+// The clamp bounds come from the shared support/fixed_point.hh
+// saturators (evaluated at +/- infinity-ish inputs), replicated across
+// lanes — one source of truth for the saturation ranges.
+
+constexpr MmxReg
+packsswb(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    const uint64_t lo = repW(static_cast<uint16_t>(
+        static_cast<int16_t>(saturate8(INT32_MIN)))); // 0xff80 per lane
+    const uint64_t hi = repW(static_cast<uint16_t>(
+        static_cast<int16_t>(saturate8(INT32_MAX)))); // 0x007f per lane
+    const uint64_t ga = gatherLowBytes(clampW(a.bits, lo, hi));
+    const uint64_t gb = gatherLowBytes(clampW(b.bits, lo, hi));
+    return MmxReg(ga | (gb << 32));
+}
+
+constexpr MmxReg
+packuswb(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    const uint64_t lo = repW(saturateU8(INT32_MIN)); // 0x0000 per lane
+    const uint64_t hi = repW(saturateU8(INT32_MAX)); // 0x00ff per lane
+    const uint64_t ga = gatherLowBytes(clampW(a.bits, lo, hi));
+    const uint64_t gb = gatherLowBytes(clampW(b.bits, lo, hi));
+    return MmxReg(ga | (gb << 32));
+}
+
+constexpr MmxReg
+packssdw(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    const uint64_t lo = repD(static_cast<uint32_t>(
+        static_cast<int32_t>(saturate16(INT32_MIN)))); // 0xffff8000
+    const uint64_t hi = repD(static_cast<uint32_t>(
+        static_cast<int32_t>(saturate16(INT32_MAX)))); // 0x00007fff
+    const uint64_t ga = gatherLowWords(clampD(a.bits, lo, hi));
+    const uint64_t gb = gatherLowWords(clampD(b.bits, lo, hi));
+    return MmxReg(ga | (gb << 32));
+}
+
+// ---------------- unpack: spread, then interleave ----------------
+
+constexpr MmxReg
+punpcklbw(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    return MmxReg(spreadBytes(a.bits) | (spreadBytes(b.bits) << 8));
+}
+
+constexpr MmxReg
+punpckhbw(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    return MmxReg(spreadBytes(a.bits >> 32)
+                  | (spreadBytes(b.bits >> 32) << 8));
+}
+
+constexpr MmxReg
+punpcklwd(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    return MmxReg(spreadWords(a.bits) | (spreadWords(b.bits) << 16));
+}
+
+constexpr MmxReg
+punpckhwd(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    return MmxReg(spreadWords(a.bits >> 32)
+                  | (spreadWords(b.bits >> 32) << 16));
+}
+
+constexpr MmxReg
+punpckldq(MmxReg a, MmxReg b)
+{
+    return MmxReg((a.bits & 0xffffffffull) | (b.bits << 32));
+}
+
+constexpr MmxReg
+punpckhdq(MmxReg a, MmxReg b)
+{
+    return MmxReg((a.bits >> 32) | (b.bits & 0xffffffff00000000ull));
+}
+
+// ---------------- logical ----------------
+
+constexpr MmxReg
+pand(MmxReg a, MmxReg b)
+{
+    return MmxReg(a.bits & b.bits);
+}
+
+constexpr MmxReg
+pandn(MmxReg a, MmxReg b)
+{
+    return MmxReg(~a.bits & b.bits);
+}
+
+constexpr MmxReg
+por(MmxReg a, MmxReg b)
+{
+    return MmxReg(a.bits | b.bits);
+}
+
+constexpr MmxReg
+pxor(MmxReg a, MmxReg b)
+{
+    return MmxReg(a.bits ^ b.bits);
+}
+
+// ---------------- shifts ----------------
+// One full-width shift plus a replicated lane-boundary mask; the count
+// guard is the only branch and constant-folds at every call site.
+
+constexpr MmxReg
+psllw(MmxReg a, unsigned count)
+{
+    using namespace detail;
+    if (count > 15)
+        return MmxReg(0);
+    return MmxReg((a.bits & repW(0xffffu >> count)) << count);
+}
+
+constexpr MmxReg
+pslld(MmxReg a, unsigned count)
+{
+    using namespace detail;
+    if (count > 31)
+        return MmxReg(0);
+    return MmxReg((a.bits & repD(0xffffffffull >> count)) << count);
+}
+
+constexpr MmxReg
+psllq(MmxReg a, unsigned count)
+{
+    if (count > 63)
+        return MmxReg(0);
+    return MmxReg(a.bits << count);
+}
+
+constexpr MmxReg
+psrlw(MmxReg a, unsigned count)
+{
+    using namespace detail;
+    if (count > 15)
+        return MmxReg(0);
+    return MmxReg((a.bits >> count) & repW(0xffffu >> count));
+}
+
+constexpr MmxReg
+psrld(MmxReg a, unsigned count)
+{
+    using namespace detail;
+    if (count > 31)
+        return MmxReg(0);
+    return MmxReg((a.bits >> count) & repD(0xffffffffull >> count));
+}
+
+constexpr MmxReg
+psrlq(MmxReg a, unsigned count)
+{
+    if (count > 63)
+        return MmxReg(0);
+    return MmxReg(a.bits >> count);
+}
+
+constexpr MmxReg
+psraw(MmxReg a, unsigned count)
+{
+    using namespace detail;
+    if (count > 15)
+        count = 15;
+    const uint64_t logical = (a.bits >> count) & repW(0xffffu >> count);
+    const uint64_t fill = repW((0xffffull << (16 - count)) & 0xffffull);
+    return MmxReg(logical | (smearW(a.bits & kHiW) & fill));
+}
+
+constexpr MmxReg
+psrad(MmxReg a, unsigned count)
+{
+    using namespace detail;
+    if (count > 31)
+        count = 31;
+    const uint64_t logical = (a.bits >> count) & repD(0xffffffffull >> count);
+    const uint64_t fill = repD((0xffffffffull << (32 - count))
+                               & 0xffffffffull);
+    return MmxReg(logical | (smearD(a.bits & kHiD) & fill));
+}
+
+} // namespace mmxdsp::mmx::swar
+
+#if defined(MMXDSP_MMX_HAVE_HOST_SIMD)
+
+namespace mmxdsp::mmx::host {
+
+namespace detail {
+
+inline __m128i
+toX(MmxReg a)
+{
+    return _mm_cvtsi64_si128(static_cast<long long>(a.bits));
+}
+
+inline MmxReg
+fromX(__m128i v)
+{
+    return MmxReg(static_cast<uint64_t>(_mm_cvtsi128_si64(v)));
+}
+
+/**
+ * SSE2 variable shifts read a 64-bit count and already implement the
+ * MMX overflow rules (zero at count >= width, sign fill for psra*);
+ * clamping to 64 first keeps any unsigned count exact.
+ */
+inline __m128i
+countX(unsigned count)
+{
+    return _mm_cvtsi32_si128(static_cast<int>(count > 64 ? 64 : count));
+}
+
+} // namespace detail
+
+#define MMXDSP_MMX_HOST_BINOP(name, intrin)                                  \
+    inline MmxReg name(MmxReg a, MmxReg b)                                   \
+    {                                                                        \
+        return detail::fromX(intrin(detail::toX(a), detail::toX(b)));        \
+    }
+
+MMXDSP_MMX_HOST_BINOP(paddb, _mm_add_epi8)
+MMXDSP_MMX_HOST_BINOP(paddw, _mm_add_epi16)
+MMXDSP_MMX_HOST_BINOP(paddd, _mm_add_epi32)
+MMXDSP_MMX_HOST_BINOP(paddsb, _mm_adds_epi8)
+MMXDSP_MMX_HOST_BINOP(paddsw, _mm_adds_epi16)
+MMXDSP_MMX_HOST_BINOP(paddusb, _mm_adds_epu8)
+MMXDSP_MMX_HOST_BINOP(paddusw, _mm_adds_epu16)
+MMXDSP_MMX_HOST_BINOP(psubb, _mm_sub_epi8)
+MMXDSP_MMX_HOST_BINOP(psubw, _mm_sub_epi16)
+MMXDSP_MMX_HOST_BINOP(psubd, _mm_sub_epi32)
+MMXDSP_MMX_HOST_BINOP(psubsb, _mm_subs_epi8)
+MMXDSP_MMX_HOST_BINOP(psubsw, _mm_subs_epi16)
+MMXDSP_MMX_HOST_BINOP(psubusb, _mm_subs_epu8)
+MMXDSP_MMX_HOST_BINOP(psubusw, _mm_subs_epu16)
+MMXDSP_MMX_HOST_BINOP(pmulhw, _mm_mulhi_epi16)
+MMXDSP_MMX_HOST_BINOP(pmullw, _mm_mullo_epi16)
+MMXDSP_MMX_HOST_BINOP(pmaddwd, _mm_madd_epi16)
+MMXDSP_MMX_HOST_BINOP(pcmpeqb, _mm_cmpeq_epi8)
+MMXDSP_MMX_HOST_BINOP(pcmpeqw, _mm_cmpeq_epi16)
+MMXDSP_MMX_HOST_BINOP(pcmpeqd, _mm_cmpeq_epi32)
+MMXDSP_MMX_HOST_BINOP(pcmpgtb, _mm_cmpgt_epi8)
+MMXDSP_MMX_HOST_BINOP(pcmpgtw, _mm_cmpgt_epi16)
+MMXDSP_MMX_HOST_BINOP(pcmpgtd, _mm_cmpgt_epi32)
+
+#undef MMXDSP_MMX_HOST_BINOP
+
+// Packs narrow 128 bits to 64; placing b's qword above a's makes the
+// low 64 bits of the SSE2 pack exactly the MMX result.
+inline MmxReg
+packsswb(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    const __m128i v = _mm_unpacklo_epi64(toX(a), toX(b));
+    return fromX(_mm_packs_epi16(v, v));
+}
+
+inline MmxReg
+packssdw(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    const __m128i v = _mm_unpacklo_epi64(toX(a), toX(b));
+    return fromX(_mm_packs_epi32(v, v));
+}
+
+inline MmxReg
+packuswb(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    const __m128i v = _mm_unpacklo_epi64(toX(a), toX(b));
+    return fromX(_mm_packus_epi16(v, v));
+}
+
+// SSE2 unpacklo interleaves the low 8 bytes of each operand; the MMX
+// low-half result is its low qword and the high-half result its high
+// qword.
+inline MmxReg
+punpcklbw(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    return fromX(_mm_unpacklo_epi8(toX(a), toX(b)));
+}
+
+inline MmxReg
+punpckhbw(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    return fromX(_mm_srli_si128(_mm_unpacklo_epi8(toX(a), toX(b)), 8));
+}
+
+inline MmxReg
+punpcklwd(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    return fromX(_mm_unpacklo_epi16(toX(a), toX(b)));
+}
+
+inline MmxReg
+punpckhwd(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    return fromX(_mm_srli_si128(_mm_unpacklo_epi16(toX(a), toX(b)), 8));
+}
+
+inline MmxReg
+punpckldq(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    return fromX(_mm_unpacklo_epi32(toX(a), toX(b)));
+}
+
+inline MmxReg
+punpckhdq(MmxReg a, MmxReg b)
+{
+    using namespace detail;
+    return fromX(_mm_srli_si128(_mm_unpacklo_epi32(toX(a), toX(b)), 8));
+}
+
+// Plain 64-bit logical ops beat a round trip through XMM.
+using swar::pand;
+using swar::pandn;
+using swar::por;
+using swar::pxor;
+
+#define MMXDSP_MMX_HOST_SHIFT(name, intrin)                                  \
+    inline MmxReg name(MmxReg a, unsigned count)                             \
+    {                                                                        \
+        return detail::fromX(intrin(detail::toX(a),                          \
+                                    detail::countX(count)));                 \
+    }
+
+MMXDSP_MMX_HOST_SHIFT(psllw, _mm_sll_epi16)
+MMXDSP_MMX_HOST_SHIFT(pslld, _mm_sll_epi32)
+MMXDSP_MMX_HOST_SHIFT(psllq, _mm_sll_epi64)
+MMXDSP_MMX_HOST_SHIFT(psrlw, _mm_srl_epi16)
+MMXDSP_MMX_HOST_SHIFT(psrld, _mm_srl_epi32)
+MMXDSP_MMX_HOST_SHIFT(psrlq, _mm_srl_epi64)
+MMXDSP_MMX_HOST_SHIFT(psraw, _mm_sra_epi16)
+MMXDSP_MMX_HOST_SHIFT(psrad, _mm_sra_epi32)
+
+#undef MMXDSP_MMX_HOST_SHIFT
+
+} // namespace mmxdsp::mmx::host
+
+#endif // MMXDSP_MMX_HAVE_HOST_SIMD
+
+#endif // MMXDSP_MMX_MMX_SWAR_HH

@@ -86,7 +86,22 @@ constexpr size_t kConstPoolMax = 4096;
 Cpu::Cpu()
     : stack_(kStackBytes), sp_(kStackBytes)
 {
+    emitBuf_.reserve(kEmitBatch);
     constPool_.reserve(kConstPoolMax);
+}
+
+void
+Cpu::attachSink(sim::TraceSink *sink)
+{
+    flushEmit(); // deliver the buffered tail to the previous sink
+    sink_ = sink;
+}
+
+void
+Cpu::setEmitBatch(uint32_t n)
+{
+    flushEmit();
+    emitCap_ = n ? n : 1;
 }
 
 const SiteInfo &
@@ -105,45 +120,6 @@ uint32_t
 Cpu::siteId(const Loc &loc)
 {
     return SiteTable::instance().idFor(loc);
-}
-
-void
-Cpu::emit(Op op, MemMode mem, const void *addr, uint8_t size, RegTag s0,
-          RegTag s1, RegTag dst, bool taken, const Loc &loc)
-{
-    if (!sink_)
-        return;
-    isa::InstrEvent e;
-    e.op = op;
-    e.mem = mem;
-    e.addr = reinterpret_cast<uint64_t>(addr);
-    e.size = size;
-    e.site = siteId(loc);
-    e.src0 = s0;
-    e.src1 = s1;
-    e.dst = dst;
-    e.taken = taken;
-    sink_->onInstr(e);
-}
-
-void
-Cpu::emitRR(Op op, RegTag s0, RegTag s1, RegTag dst, const Loc &loc)
-{
-    emit(op, MemMode::None, nullptr, 0, s0, s1, dst, false, loc);
-}
-
-void
-Cpu::emitLoad(Op op, const void *p, uint8_t size, RegTag s0, RegTag dst,
-              const Loc &loc)
-{
-    emit(op, MemMode::Load, p, size, s0, isa::kNoReg, dst, false, loc);
-}
-
-void
-Cpu::emitStore(Op op, const void *p, uint8_t size, RegTag s0, const Loc &loc)
-{
-    emit(op, MemMode::Store, p, size, s0, isa::kNoReg, isa::kNoReg, false,
-         loc);
 }
 
 RegTag
@@ -794,54 +770,9 @@ Cpu::mmxZero(Loc loc)
     return r;
 }
 
-/// Shared implementation for two-operand MMX value ops.
-#define MMXDSP_MMX_BINOP(method, op_enum, fn)                                \
-    M64                                                                      \
-    Cpu::method(M64 a, M64 b, Loc loc)                                       \
-    {                                                                        \
-        M64 r{mmx::fn(a.v, b.v), a.tag};                                     \
-        emitRR(Op::op_enum, a.tag, b.tag, r.tag, loc);                       \
-        return r;                                                            \
-    }
-
-MMXDSP_MMX_BINOP(paddb, Paddb, paddb)
-MMXDSP_MMX_BINOP(paddw, Paddw, paddw)
-MMXDSP_MMX_BINOP(paddd, Paddd, paddd)
-MMXDSP_MMX_BINOP(paddsb, Paddsb, paddsb)
-MMXDSP_MMX_BINOP(paddsw, Paddsw, paddsw)
-MMXDSP_MMX_BINOP(paddusb, Paddusb, paddusb)
-MMXDSP_MMX_BINOP(paddusw, Paddusw, paddusw)
-MMXDSP_MMX_BINOP(psubb, Psubb, psubb)
-MMXDSP_MMX_BINOP(psubw, Psubw, psubw)
-MMXDSP_MMX_BINOP(psubd, Psubd, psubd)
-MMXDSP_MMX_BINOP(psubsb, Psubsb, psubsb)
-MMXDSP_MMX_BINOP(psubsw, Psubsw, psubsw)
-MMXDSP_MMX_BINOP(psubusb, Psubusb, psubusb)
-MMXDSP_MMX_BINOP(psubusw, Psubusw, psubusw)
-MMXDSP_MMX_BINOP(pmulhw, Pmulhw, pmulhw)
-MMXDSP_MMX_BINOP(pmullw, Pmullw, pmullw)
-MMXDSP_MMX_BINOP(pmaddwd, Pmaddwd, pmaddwd)
-MMXDSP_MMX_BINOP(pcmpeqb, Pcmpeqb, pcmpeqb)
-MMXDSP_MMX_BINOP(pcmpeqw, Pcmpeqw, pcmpeqw)
-MMXDSP_MMX_BINOP(pcmpeqd, Pcmpeqd, pcmpeqd)
-MMXDSP_MMX_BINOP(pcmpgtb, Pcmpgtb, pcmpgtb)
-MMXDSP_MMX_BINOP(pcmpgtw, Pcmpgtw, pcmpgtw)
-MMXDSP_MMX_BINOP(pcmpgtd, Pcmpgtd, pcmpgtd)
-MMXDSP_MMX_BINOP(packsswb, Packsswb, packsswb)
-MMXDSP_MMX_BINOP(packssdw, Packssdw, packssdw)
-MMXDSP_MMX_BINOP(packuswb, Packuswb, packuswb)
-MMXDSP_MMX_BINOP(punpcklbw, Punpcklbw, punpcklbw)
-MMXDSP_MMX_BINOP(punpcklwd, Punpcklwd, punpcklwd)
-MMXDSP_MMX_BINOP(punpckldq, Punpckldq, punpckldq)
-MMXDSP_MMX_BINOP(punpckhbw, Punpckhbw, punpckhbw)
-MMXDSP_MMX_BINOP(punpckhwd, Punpckhwd, punpckhwd)
-MMXDSP_MMX_BINOP(punpckhdq, Punpckhdq, punpckhdq)
-MMXDSP_MMX_BINOP(pand, Pand, pand)
-MMXDSP_MMX_BINOP(pandn, Pandn, pandn)
-MMXDSP_MMX_BINOP(por, Por, por)
-MMXDSP_MMX_BINOP(pxor, Pxor, pxor)
-
-#undef MMXDSP_MMX_BINOP
+// The two-operand value ops and immediate-count shifts are generated
+// header-inline in cpu.hh from mmx/mmx_op_list.hh; only the load-op
+// forms (a memory operand needs emit(), not emitRR()) stay here.
 
 M64
 Cpu::pmaddwdLoad(M64 a, const void *p, Loc loc)
@@ -869,27 +800,6 @@ Cpu::pmullwLoad(M64 a, const void *p, Loc loc)
          loc);
     return r;
 }
-
-/// Shared implementation for immediate-count MMX shifts.
-#define MMXDSP_MMX_SHIFT(method, op_enum, fn)                                \
-    M64                                                                      \
-    Cpu::method(M64 a, int count, Loc loc)                                   \
-    {                                                                        \
-        M64 r{mmx::fn(a.v, static_cast<unsigned>(count)), a.tag};            \
-        emitRR(Op::op_enum, a.tag, isa::kNoReg, r.tag, loc);                 \
-        return r;                                                            \
-    }
-
-MMXDSP_MMX_SHIFT(psllw, Psllw, psllw)
-MMXDSP_MMX_SHIFT(pslld, Pslld, pslld)
-MMXDSP_MMX_SHIFT(psllq, Psllq, psllq)
-MMXDSP_MMX_SHIFT(psrlw, Psrlw, psrlw)
-MMXDSP_MMX_SHIFT(psrld, Psrld, psrld)
-MMXDSP_MMX_SHIFT(psrlq, Psrlq, psrlq)
-MMXDSP_MMX_SHIFT(psraw, Psraw, psraw)
-MMXDSP_MMX_SHIFT(psrad, Psrad, psrad)
-
-#undef MMXDSP_MMX_SHIFT
 
 void
 Cpu::emms(Loc loc)
@@ -921,6 +831,9 @@ Cpu::call(const char *name, Loc loc)
     void *slot = stackPush(); // return address
     emit(Op::Call, MemMode::Store, slot, 4, isa::kNoReg, isa::kNoReg,
          isa::kNoReg, true, loc);
+    // Drain the block buffer so the enter marker lands after the Call
+    // event in every sink, exactly like the per-instruction path.
+    flushEmit();
     if (sink_)
         sink_->onEnterFunction(name);
 }
@@ -951,6 +864,9 @@ Cpu::epilogue(int saved_regs, int args, Loc loc)
     emit(Op::Ret, MemMode::Load, &stack_[sp_], 4, isa::kNoReg, isa::kNoReg,
          isa::kNoReg, true, loc);
     stackPop(1); // return address
+    // Drain the block buffer so the leave marker lands after the Ret
+    // event (the caller-cleanup Add below stays after the marker).
+    flushEmit();
     if (sink_)
         sink_->onLeaveFunction();
     if (args > 0) {

@@ -11,7 +11,12 @@
  *      genuine and can be validated), and
  *   2. emits one isa::InstrEvent to the attached sim::TraceSink, carrying
  *      the mnemonic, memory operand, register dependency tags, and a
- *      static site id derived from std::source_location.
+ *      static site id derived from std::source_location. Events are
+ *      buffered and delivered in kEmitBatch-sized blocks through
+ *      TraceSink::onInstrBatch (one virtual dispatch per block, not per
+ *      instruction); attachSink(nullptr) flushes the tail, and function
+ *      enter/leave callbacks always flush first so ordering relative to
+ *      the markers is exactly the per-instruction sequence.
  *
  * Register modelling: values are carried in small handles (R32 / F64 /
  * M64) that hold both the concrete value and a register tag. Two-operand
@@ -77,9 +82,38 @@ class Cpu
   public:
     Cpu();
 
-    /** Attach/detach the event consumer (nullptr = run unobserved). */
-    void attachSink(sim::TraceSink *sink) { sink_ = sink; }
+    /** Events per onInstrBatch() block on the live-capture path. */
+    static constexpr uint32_t kEmitBatch = 512;
+
+    /**
+     * Attach/detach the event consumer (nullptr = run unobserved).
+     *
+     * Buffered events are flushed to the *previous* sink first, so
+     * detaching is also how a run is finalised: after
+     * `attachSink(nullptr)` the old sink has seen every instruction.
+     * A sink read while still attached may be missing up to one block
+     * of trailing events — call flushEmit() first. Destroying a Cpu
+     * with a sink still attached drops the buffered tail; detach first.
+     */
+    void attachSink(sim::TraceSink *sink);
     sim::TraceSink *sink() const { return sink_; }
+
+    /** Deliver buffered events to the attached sink (see attachSink). */
+    void
+    flushEmit()
+    {
+        if (sink_ && !emitBuf_.empty())
+            sink_->onInstrBatch({emitBuf_.data(), emitBuf_.size()});
+        emitBuf_.clear();
+    }
+
+    /**
+     * Override the emit block size (default kEmitBatch); flushes first
+     * so already-buffered events keep their delivery order. n == 1
+     * restores the historical one-virtual-call-per-instruction cadence;
+     * event content and ordering are identical at any block size.
+     */
+    void setEmitBatch(uint32_t n);
 
     /** Descriptive info for a site id (for profiler reports). */
     const SiteInfo &siteInfo(uint32_t site) const;
@@ -221,59 +255,39 @@ class Cpu
     /** pxor mm, mm — the canonical zero idiom (fresh register). */
     M64 mmxZero(Loc loc = Loc::current());
 
-    M64 paddb(M64 a, M64 b, Loc loc = Loc::current());
-    M64 paddw(M64 a, M64 b, Loc loc = Loc::current());
-    M64 paddd(M64 a, M64 b, Loc loc = Loc::current());
-    M64 paddsb(M64 a, M64 b, Loc loc = Loc::current());
-    M64 paddsw(M64 a, M64 b, Loc loc = Loc::current());
-    M64 paddusb(M64 a, M64 b, Loc loc = Loc::current());
-    M64 paddusw(M64 a, M64 b, Loc loc = Loc::current());
-    M64 psubb(M64 a, M64 b, Loc loc = Loc::current());
-    M64 psubw(M64 a, M64 b, Loc loc = Loc::current());
-    M64 psubd(M64 a, M64 b, Loc loc = Loc::current());
-    M64 psubsb(M64 a, M64 b, Loc loc = Loc::current());
-    M64 psubsw(M64 a, M64 b, Loc loc = Loc::current());
-    M64 psubusb(M64 a, M64 b, Loc loc = Loc::current());
-    M64 psubusw(M64 a, M64 b, Loc loc = Loc::current());
-    M64 pmulhw(M64 a, M64 b, Loc loc = Loc::current());
-    M64 pmullw(M64 a, M64 b, Loc loc = Loc::current());
-    M64 pmaddwd(M64 a, M64 b, Loc loc = Loc::current());
+    /*
+     * Two-operand MMX value ops, generated header-inline from
+     * mmx/mmx_op_list.hh: a call compiles down to the SWAR/SSE2 bit ops
+     * plus one buffered event append, with no out-of-line hop on the
+     * hot path of the NSP kernels.
+     */
+#define MMXDSP_X(op_name, op_enum)                                           \
+    M64 op_name(M64 a, M64 b, Loc loc = Loc::current())                      \
+    {                                                                        \
+        M64 r{mmx::op_name(a.v, b.v), a.tag};                                \
+        emitRR(isa::Op::op_enum, a.tag, b.tag, r.tag, loc);                  \
+        return r;                                                            \
+    }
+    MMXDSP_MMX_BINOP_LIST(MMXDSP_X)
+#undef MMXDSP_X
+
     /** pmaddwd mm, m64 (load-op form). */
     M64 pmaddwdLoad(M64 a, const void *p, Loc loc = Loc::current());
     /** paddw/paddsw/... load-op forms used by tight library loops. */
     M64 paddwLoad(M64 a, const void *p, Loc loc = Loc::current());
     M64 pmullwLoad(M64 a, const void *p, Loc loc = Loc::current());
 
-    M64 pcmpeqb(M64 a, M64 b, Loc loc = Loc::current());
-    M64 pcmpeqw(M64 a, M64 b, Loc loc = Loc::current());
-    M64 pcmpeqd(M64 a, M64 b, Loc loc = Loc::current());
-    M64 pcmpgtb(M64 a, M64 b, Loc loc = Loc::current());
-    M64 pcmpgtw(M64 a, M64 b, Loc loc = Loc::current());
-    M64 pcmpgtd(M64 a, M64 b, Loc loc = Loc::current());
-
-    M64 packsswb(M64 a, M64 b, Loc loc = Loc::current());
-    M64 packssdw(M64 a, M64 b, Loc loc = Loc::current());
-    M64 packuswb(M64 a, M64 b, Loc loc = Loc::current());
-    M64 punpcklbw(M64 a, M64 b, Loc loc = Loc::current());
-    M64 punpcklwd(M64 a, M64 b, Loc loc = Loc::current());
-    M64 punpckldq(M64 a, M64 b, Loc loc = Loc::current());
-    M64 punpckhbw(M64 a, M64 b, Loc loc = Loc::current());
-    M64 punpckhwd(M64 a, M64 b, Loc loc = Loc::current());
-    M64 punpckhdq(M64 a, M64 b, Loc loc = Loc::current());
-
-    M64 pand(M64 a, M64 b, Loc loc = Loc::current());
-    M64 pandn(M64 a, M64 b, Loc loc = Loc::current());
-    M64 por(M64 a, M64 b, Loc loc = Loc::current());
-    M64 pxor(M64 a, M64 b, Loc loc = Loc::current());
-
-    M64 psllw(M64 a, int count, Loc loc = Loc::current());
-    M64 pslld(M64 a, int count, Loc loc = Loc::current());
-    M64 psllq(M64 a, int count, Loc loc = Loc::current());
-    M64 psrlw(M64 a, int count, Loc loc = Loc::current());
-    M64 psrld(M64 a, int count, Loc loc = Loc::current());
-    M64 psrlq(M64 a, int count, Loc loc = Loc::current());
-    M64 psraw(M64 a, int count, Loc loc = Loc::current());
-    M64 psrad(M64 a, int count, Loc loc = Loc::current());
+    /* Immediate-count MMX shifts (count >= lane width zeroes; psra*
+     * sign-fills), header-inline like the two-operand ops above. */
+#define MMXDSP_X(op_name, op_enum)                                           \
+    M64 op_name(M64 a, int count, Loc loc = Loc::current())                  \
+    {                                                                        \
+        M64 r{mmx::op_name(a.v, static_cast<unsigned>(count)), a.tag};       \
+        emitRR(isa::Op::op_enum, a.tag, isa::kNoReg, r.tag, loc);            \
+        return r;                                                            \
+    }
+    MMXDSP_MMX_SHIFT_LIST(MMXDSP_X)
+#undef MMXDSP_X
 
     /** emms — leave MMX mode (the 50-cycle mode switch). */
     void emms(Loc loc = Loc::current());
@@ -292,17 +306,59 @@ class Cpu
 
   private:
     uint32_t siteId(const Loc &loc);
-    void emit(isa::Op op, isa::MemMode mem, const void *addr, uint8_t size,
-              isa::RegTag s0, isa::RegTag s1, isa::RegTag dst, bool taken,
-              const Loc &loc);
+
+    /**
+     * Append one event to the block buffer; a full block is flushed
+     * through TraceSink::onInstrBatch. Every enter/leave callback is
+     * preceded by a flush (call()/epilogue()), so batching never
+     * reorders events across function boundaries: sinks observe
+     * exactly the sequence the per-instruction path produced.
+     */
+    void
+    emit(isa::Op op, isa::MemMode mem, const void *addr, uint8_t size,
+         isa::RegTag s0, isa::RegTag s1, isa::RegTag dst, bool taken,
+         const Loc &loc)
+    {
+        if (!sink_)
+            return;
+        isa::InstrEvent e;
+        e.op = op;
+        e.mem = mem;
+        e.addr = reinterpret_cast<uint64_t>(addr);
+        e.size = size;
+        e.site = siteId(loc);
+        e.src0 = s0;
+        e.src1 = s1;
+        e.dst = dst;
+        e.taken = taken;
+        emitBuf_.push_back(e);
+        if (emitBuf_.size() >= emitCap_)
+            flushEmit();
+    }
 
     // Convenience emitters.
-    void emitRR(isa::Op op, isa::RegTag s0, isa::RegTag s1, isa::RegTag dst,
-                const Loc &loc);
-    void emitLoad(isa::Op op, const void *p, uint8_t size, isa::RegTag s0,
-                  isa::RegTag dst, const Loc &loc);
-    void emitStore(isa::Op op, const void *p, uint8_t size, isa::RegTag s0,
-                   const Loc &loc);
+    void
+    emitRR(isa::Op op, isa::RegTag s0, isa::RegTag s1, isa::RegTag dst,
+           const Loc &loc)
+    {
+        emit(op, isa::MemMode::None, nullptr, 0, s0, s1, dst, false, loc);
+    }
+
+    void
+    emitLoad(isa::Op op, const void *p, uint8_t size, isa::RegTag s0,
+             isa::RegTag dst, const Loc &loc)
+    {
+        emit(op, isa::MemMode::Load, p, size, s0, isa::kNoReg, dst, false,
+             loc);
+    }
+
+    void
+    emitStore(isa::Op op, const void *p, uint8_t size, isa::RegTag s0,
+              const Loc &loc)
+    {
+        emit(op, isa::MemMode::Store, p, size, s0, isa::kNoReg, isa::kNoReg,
+             false, loc);
+    }
 
     isa::RegTag newIntTag();
     isa::RegTag newFpTag();
@@ -313,6 +369,10 @@ class Cpu
     void stackPop(int slots);
 
     sim::TraceSink *sink_ = nullptr;
+
+    /** Pending live-capture events, flushed in kEmitBatch-sized blocks. */
+    std::vector<isa::InstrEvent> emitBuf_;
+    uint32_t emitCap_ = kEmitBatch;
 
     uint8_t intRr_ = 0;
     uint8_t fpRr_ = 0;

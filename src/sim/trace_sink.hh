@@ -28,11 +28,17 @@ class TraceSink
 
     /**
      * Called with a block of consecutive instructions in program order.
-     * Batch-aware producers (trace::MaterializedTrace) deliver events in
-     * cache-friendly blocks so a sink pays one virtual dispatch per
-     * block instead of one per instruction; sinks that care override
-     * this with a tight loop. The default forwards to onInstr() so
-     * every existing sink keeps working unchanged.
+     * Batch-aware producers — trace::MaterializedTrace replay and the
+     * runtime's live capture (runtime::Cpu buffers kEmitBatch events
+     * and flushes here) — deliver events in cache-friendly blocks so a
+     * sink pays one virtual dispatch per block instead of one per
+     * instruction; sinks that care override this with a tight loop.
+     * The default forwards to onInstr() so every existing sink keeps
+     * working unchanged. Producers always flush before
+     * onEnterFunction/onLeaveFunction, so batching never moves an
+     * event across a function marker: the concatenation of batches,
+     * interleaved with the markers, is exactly the program-order
+     * per-instruction stream.
      */
     virtual void
     onInstrBatch(std::span<const isa::InstrEvent> events)

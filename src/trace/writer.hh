@@ -15,7 +15,6 @@
 
 #include <cstdint>
 #include <map>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -39,6 +38,13 @@ class TraceWriter final : public sim::TraceSink
                 uint64_t config_hash);
 
     void onInstr(const isa::InstrEvent &event) override;
+    /**
+     * Batch form used by the runtime's block-buffered live capture and
+     * by trace::MaterializedTrace replay: one virtual dispatch, then a
+     * tight encode loop. Produces byte-identical output to delivering
+     * the same events one at a time through onInstr().
+     */
+    void onInstrBatch(std::span<const isa::InstrEvent> events) override;
     void onEnterFunction(const char *name) override;
     void onLeaveFunction() override;
 
@@ -59,6 +65,8 @@ class TraceWriter final : public sim::TraceSink
     uint64_t configHash() const { return configHash_; }
 
   private:
+    void encode(const isa::InstrEvent &event);
+
     std::string benchmark_;
     std::string version_;
     uint64_t configHash_;
@@ -71,7 +79,15 @@ class TraceWriter final : public sim::TraceSink
     uint64_t prevAddr_ = 0;
 
     std::map<std::string, uint64_t> nameIds_;
-    std::set<uint32_t> sites_;
+    /**
+     * Which site ids the body references, as a dense bitmap (site ids
+     * are small sequential ordinals from the runtime's site table). The
+     * live-capture encode loop marks one entry per event, so this must
+     * stay O(1) — it used to be a std::set whose per-event insert
+     * dominated capture cost. finish() walks it in ascending id order,
+     * matching the ordered-set iteration byte for byte.
+     */
+    std::vector<uint8_t> siteSeen_;
 
     // Site-metadata section, built by finish().
     std::vector<uint8_t> siteSection_;

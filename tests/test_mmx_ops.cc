@@ -10,7 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
+#include <vector>
 
 #include "mmx/mmx_ops.hh"
 #include "support/rng.hh"
@@ -403,6 +405,164 @@ TEST_P(MmxPropertyTest, ShiftEquivalences)
 INSTANTIATE_TEST_SUITE_P(Seeds, MmxPropertyTest,
                          ::testing::Values(1ull, 42ull, 12345ull,
                                            0xdeadbeefull));
+
+// ================= differential suite =================
+//
+// The dispatch header compiles three interchangeable implementations of
+// every op (scalar reference, generic SWAR, host SSE2 when available).
+// These tests drive all of them through the X-macro op list with
+// adversarial lane values and random operands and demand bit-for-bit
+// agreement with the scalar oracle — the gate that lets the fast paths
+// replace the reference on the capture hot path without ever changing
+// benchmark outputs or trace contents.
+
+struct BinOpEntry
+{
+    const char *name;
+    MmxReg (*ref)(MmxReg, MmxReg);
+    MmxReg (*fast)(MmxReg, MmxReg);
+    MmxReg (*act)(MmxReg, MmxReg);
+};
+
+constexpr BinOpEntry kBinOps[] = {
+#define MMXDSP_X(op, op_enum) {#op, &scalar::op, &swar::op, &op},
+    MMXDSP_MMX_BINOP_LIST(MMXDSP_X)
+#undef MMXDSP_X
+};
+
+struct ShiftOpEntry
+{
+    const char *name;
+    MmxReg (*ref)(MmxReg, unsigned);
+    MmxReg (*fast)(MmxReg, unsigned);
+    MmxReg (*act)(MmxReg, unsigned);
+};
+
+constexpr ShiftOpEntry kShiftOps[] = {
+#define MMXDSP_X(op, op_enum) {#op, &scalar::op, &swar::op, &op},
+    MMXDSP_MMX_SHIFT_LIST(MMXDSP_X)
+#undef MMXDSP_X
+};
+
+/** Saturation/carry corner operands plus lane-boundary patterns. */
+std::vector<MmxReg>
+adversarialRegs()
+{
+    std::vector<MmxReg> regs;
+    for (int16_t w : {int16_t(0), int16_t(1), int16_t(-1), int16_t(0x7fff),
+                      int16_t(-0x8000), int16_t(0x7ffe), int16_t(-0x7fff),
+                      int16_t(0x00ff), int16_t(0x0100), int16_t(-0x0100)})
+        regs.push_back(MmxReg::splatW(w));
+    for (uint8_t b : {uint8_t(0x00), uint8_t(0x01), uint8_t(0x7f),
+                      uint8_t(0x80), uint8_t(0xff), uint8_t(0x7e),
+                      uint8_t(0x81)})
+        regs.push_back(MmxReg::splatB(b));
+    // Mixed-lane extremes: saturating ops must clamp each lane
+    // independently, compares must not leak carries across lanes.
+    regs.push_back(MmxReg::fromWords(0x7fff, -0x8000, -1, 0));
+    regs.push_back(MmxReg::fromWords(-0x8000, 0x7fff, 1, -1));
+    regs.push_back(MmxReg::fromDwords(0x7fffffff, INT32_MIN));
+    regs.push_back(MmxReg::fromDwords(INT32_MIN, 0x7fffffff));
+    regs.push_back(MmxReg::fromBytes(0x7f, 0x80, 0xff, 0x00, 0x01, 0xfe,
+                                     0x81, 0x7e));
+    regs.push_back(MmxReg(0xaaaaaaaaaaaaaaaaull));
+    regs.push_back(MmxReg(0x5555555555555555ull));
+    return regs;
+}
+
+TEST(MmxDifferential, BinopsAgreeOnAdversarialLanes)
+{
+    const std::vector<MmxReg> regs = adversarialRegs();
+    for (const BinOpEntry &op : kBinOps) {
+        for (MmxReg a : regs) {
+            for (MmxReg b : regs) {
+                const MmxReg want = op.ref(a, b);
+                EXPECT_EQ(op.fast(a, b).bits, want.bits)
+                    << op.name << " swar mismatch, a=0x" << std::hex
+                    << a.bits << " b=0x" << b.bits;
+                EXPECT_EQ(op.act(a, b).bits, want.bits)
+                    << op.name << " active mismatch, a=0x" << std::hex
+                    << a.bits << " b=0x" << b.bits;
+            }
+        }
+    }
+}
+
+TEST(MmxDifferential, BinopsAgreeOnRandomLanes)
+{
+    Rng rng(0x5ca1ab1eull);
+    for (const BinOpEntry &op : kBinOps) {
+        for (int iter = 0; iter < 4096; ++iter) {
+            const MmxReg a = randomReg(rng);
+            const MmxReg b = randomReg(rng);
+            const MmxReg want = op.ref(a, b);
+            ASSERT_EQ(op.fast(a, b).bits, want.bits)
+                << op.name << " swar mismatch, a=0x" << std::hex << a.bits
+                << " b=0x" << b.bits;
+            ASSERT_EQ(op.act(a, b).bits, want.bits)
+                << op.name << " active mismatch, a=0x" << std::hex << a.bits
+                << " b=0x" << b.bits;
+        }
+    }
+}
+
+TEST(MmxDifferential, ShiftsAgreeIncludingOverwideCounts)
+{
+    const std::vector<MmxReg> regs = adversarialRegs();
+    const unsigned counts[] = {0,  1,  2,  3,  7,  8,  14, 15,
+                               16, 17, 30, 31, 32, 33, 47, 48,
+                               62, 63, 64, 65, 127, 1u << 20, UINT32_MAX};
+    for (const ShiftOpEntry &op : kShiftOps) {
+        for (MmxReg a : regs) {
+            for (unsigned c : counts) {
+                const MmxReg want = op.ref(a, c);
+                EXPECT_EQ(op.fast(a, c).bits, want.bits)
+                    << op.name << " swar mismatch, a=0x" << std::hex
+                    << a.bits << std::dec << " count=" << c;
+                EXPECT_EQ(op.act(a, c).bits, want.bits)
+                    << op.name << " active mismatch, a=0x" << std::hex
+                    << a.bits << std::dec << " count=" << c;
+            }
+        }
+    }
+}
+
+TEST(MmxDifferential, ShiftsAgreeOnRandomLanes)
+{
+    Rng rng(0xf005ba11ull);
+    for (const ShiftOpEntry &op : kShiftOps) {
+        for (int iter = 0; iter < 4096; ++iter) {
+            const MmxReg a = randomReg(rng);
+            const unsigned c = static_cast<unsigned>(rng.nextBelow(70));
+            ASSERT_EQ(op.fast(a, c).bits, op.ref(a, c).bits)
+                << op.name << " swar mismatch, a=0x" << std::hex << a.bits
+                << std::dec << " count=" << c;
+            ASSERT_EQ(op.act(a, c).bits, op.ref(a, c).bits)
+                << op.name << " active mismatch, a=0x" << std::hex << a.bits
+                << std::dec << " count=" << c;
+        }
+    }
+}
+
+// The SWAR formulations are constexpr: spot-check the saturation and
+// smear algebra at compile time.
+static_assert(swar::paddsw(MmxReg::splatW(0x7fff), MmxReg::splatW(1)).bits
+              == MmxReg::splatW(0x7fff).bits);
+static_assert(swar::paddsw(MmxReg::splatW(-0x8000), MmxReg::splatW(-1)).bits
+              == MmxReg::splatW(-0x8000).bits);
+static_assert(swar::paddusb(MmxReg::splatB(0xff), MmxReg::splatB(1)).bits
+              == MmxReg::splatB(0xff).bits);
+static_assert(swar::psubusw(MmxReg::splatW(0), MmxReg::splatW(1)).bits == 0);
+static_assert(swar::pcmpgtw(MmxReg::splatW(1), MmxReg::splatW(-1)).bits
+              == ~0ull);
+static_assert(swar::packsswb(MmxReg::splatW(0x300),
+                             MmxReg::splatW(-0x300)).bits
+              == MmxReg::fromBytes(0x7f, 0x7f, 0x7f, 0x7f, 0x80, 0x80, 0x80,
+                                   0x80).bits);
+static_assert(swar::psraw(MmxReg::splatW(-2), 1).bits
+              == MmxReg::splatW(-1).bits);
+static_assert(swar::psraw(MmxReg::splatW(-2), 999).bits
+              == MmxReg::splatW(-1).bits);
 
 } // namespace
 } // namespace mmxdsp::mmx

@@ -112,6 +112,7 @@ TEST(Cpu, EventsCarryMemoryOperands)
     int32_t x = 7;
     R32 v = cpu.load32(&x);
     cpu.store32(&x, v);
+    cpu.flushEmit();
 
     ASSERT_EQ(sink.events.size(), 2u);
     EXPECT_EQ(sink.events[0].op, Op::Mov);
@@ -131,6 +132,7 @@ TEST(Cpu, DistinctCallSitesGetDistinctSiteIds)
     R32 b = cpu.imm32(2);
     cpu.add(a, b);
     cpu.add(a, b);
+    cpu.flushEmit();
 
     ASSERT_EQ(sink.events.size(), 4u);
     EXPECT_NE(sink.events[2].site, sink.events[3].site);
@@ -146,6 +148,7 @@ TEST(Cpu, SameSiteInLoopKeepsOneId)
     for (int i = 0; i < 5; ++i)
         a = cpu.addImm(a, 1);
     EXPECT_EQ(a.v, 5);
+    cpu.flushEmit();
 
     uint32_t site = sink.events[1].site;
     for (size_t i = 2; i < sink.events.size(); ++i)
@@ -193,6 +196,7 @@ TEST(Cpu, FtoiEmitsFistpPlusReload)
     RecordingSink sink;
     cpu.attachSink(&sink);
     cpu.ftoi(F64{1.0, isa::kNoReg});
+    cpu.flushEmit();
     ASSERT_EQ(sink.events.size(), 2u);
     EXPECT_EQ(sink.events[0].op, Op::Fistp);
     EXPECT_EQ(sink.events[0].mem, MemMode::Store);
@@ -208,6 +212,7 @@ TEST(Cpu, FimmDedupesConstantPoolSlots)
     cpu.fimm(3.14159);
     cpu.fimm(3.14159);
     cpu.fimm(2.71828);
+    cpu.flushEmit();
     ASSERT_EQ(sink.events.size(), 3u);
     EXPECT_EQ(sink.events[0].addr, sink.events[1].addr);
     EXPECT_NE(sink.events[0].addr, sink.events[2].addr);
@@ -231,6 +236,7 @@ TEST(Cpu, MmxOpsComputeAndEmit)
     cpu.movqStore(out, prod);
     EXPECT_EQ(out[0], 6000);
     EXPECT_EQ(out[1], 14000);
+    cpu.flushEmit();
 
     EXPECT_EQ(sink.countOf(Op::Movq), 3u);
     EXPECT_EQ(sink.countOf(Op::Pmaddwd), 1u);
@@ -245,6 +251,7 @@ TEST(Cpu, BranchEventsCarryOutcome)
         cpu.cmpImm(cpu.imm32(i), 3);
         cpu.jcc(i + 1 < 3);
     }
+    cpu.flushEmit();
     ASSERT_EQ(sink.countOf(Op::Jcc), 3u);
     std::vector<bool> outcomes;
     for (const auto &e : sink.events) {
@@ -264,6 +271,7 @@ TEST(CallGuard, EmitsFullLinkageSequence)
         CallGuard g(cpu, "nspsFirTest", 3, 2);
         cpu.imm32(0); // one body instruction
     }
+    cpu.flushEmit();
 
     // 3 arg pushes + 1 ebp push + 2 saved pushes = 6 pushes.
     EXPECT_EQ(sink.countOf(Op::Push), 6u);
@@ -280,6 +288,127 @@ TEST(CallGuard, EmitsFullLinkageSequence)
     for (const auto &e : sink.events)
         saw_ret = saw_ret || e.op == Op::Ret;
     EXPECT_TRUE(saw_ret);
+}
+
+/** Records batch boundaries in addition to the flat event stream. */
+class BatchRecordingSink : public RecordingSink
+{
+  public:
+    void
+    onInstrBatch(std::span<const InstrEvent> events) override
+    {
+        batchSizes.push_back(events.size());
+        for (const InstrEvent &e : events)
+            onInstr(e);
+    }
+
+    std::vector<size_t> batchSizes;
+};
+
+TEST(CpuEmitBatching, DetachFlushesTheBufferedTail)
+{
+    Cpu cpu;
+    RecordingSink sink;
+    cpu.attachSink(&sink);
+    R32 a = cpu.imm32(1);
+    cpu.addImm(a, 2);
+    // Two events, well under a block: nothing delivered yet...
+    EXPECT_EQ(sink.events.size(), 0u);
+    cpu.attachSink(nullptr);
+    // ...until detach flushes them to the old sink.
+    ASSERT_EQ(sink.events.size(), 2u);
+    EXPECT_EQ(sink.events[0].op, Op::Mov);
+    EXPECT_EQ(sink.events[1].op, Op::Add);
+}
+
+TEST(CpuEmitBatching, FullBlocksAreDeliveredInKEmitBatchUnits)
+{
+    Cpu cpu;
+    BatchRecordingSink sink;
+    cpu.attachSink(&sink);
+    R32 a = cpu.imm32(0);
+    const size_t n = Cpu::kEmitBatch + Cpu::kEmitBatch / 2;
+    for (size_t i = 1; i < n; ++i)
+        a = cpu.addImm(a, 1);
+    cpu.attachSink(nullptr);
+    ASSERT_EQ(sink.batchSizes.size(), 2u);
+    EXPECT_EQ(sink.batchSizes[0], Cpu::kEmitBatch);
+    EXPECT_EQ(sink.batchSizes[1], Cpu::kEmitBatch / 2);
+    EXPECT_EQ(sink.events.size(), n);
+}
+
+TEST(CpuEmitBatching, BatchedStreamEqualsPerInstructionStream)
+{
+    // The same instruction sequence, once with the default block size
+    // and once with blocks disabled, must reach the sink as the same
+    // event sequence with the same interleaving around enter/leave.
+    auto run = [](Cpu &cpu) {
+        alignas(8) int16_t data[4] = {100, -200, 300, -400};
+        CallGuard g(cpu, "kernel", 2, 1);
+        M64 d = cpu.movqLoad(data);
+        M64 s = cpu.paddsw(d, d);
+        cpu.movqStore(data, cpu.psraw(s, 1));
+        cpu.cmpImm(cpu.imm32(0), 1);
+        cpu.jcc(false);
+    };
+
+    Cpu batched;
+    RecordingSink bs;
+    batched.attachSink(&bs);
+    run(batched);
+    batched.attachSink(nullptr);
+
+    Cpu unbatched;
+    RecordingSink us;
+    unbatched.setEmitBatch(1);
+    unbatched.attachSink(&us);
+    run(unbatched);
+    unbatched.attachSink(nullptr);
+
+    ASSERT_EQ(bs.events.size(), us.events.size());
+    for (size_t i = 0; i < bs.events.size(); ++i) {
+        EXPECT_EQ(bs.events[i].op, us.events[i].op) << i;
+        EXPECT_EQ(bs.events[i].mem, us.events[i].mem) << i;
+        EXPECT_EQ(bs.events[i].size, us.events[i].size) << i;
+        EXPECT_EQ(bs.events[i].src0, us.events[i].src0) << i;
+        EXPECT_EQ(bs.events[i].src1, us.events[i].src1) << i;
+        EXPECT_EQ(bs.events[i].dst, us.events[i].dst) << i;
+        EXPECT_EQ(bs.events[i].taken, us.events[i].taken) << i;
+    }
+    EXPECT_EQ(bs.entered, us.entered);
+    EXPECT_EQ(bs.leaves, us.leaves);
+}
+
+TEST(CpuEmitBatching, EnterAndLeaveMarkersForceAFlush)
+{
+    Cpu cpu;
+    BatchRecordingSink sink;
+    cpu.attachSink(&sink);
+    {
+        CallGuard g(cpu, "f", 1, 0);
+        cpu.imm32(7);
+    }
+    // Everything up to the Call flushes before the enter marker; the
+    // body + Pops/Ret flush before the leave marker. Only the trailing
+    // caller-cleanup Add is still buffered here.
+    EXPECT_EQ(sink.entered.size(), 1u);
+    EXPECT_EQ(sink.leaves, 1);
+    EXPECT_EQ(sink.batchSizes.size(), 2u);
+    cpu.flushEmit();
+    EXPECT_EQ(sink.batchSizes.size(), 3u);
+    EXPECT_EQ(sink.countOf(Op::Add), 1u);
+}
+
+TEST(CpuEmitBatching, ZeroBlockSizeBehavesLikeOne)
+{
+    Cpu cpu;
+    BatchRecordingSink sink;
+    cpu.setEmitBatch(0);
+    cpu.attachSink(&sink);
+    R32 a = cpu.imm32(1);
+    cpu.addImm(a, 1);
+    EXPECT_EQ(sink.events.size(), 2u);
+    EXPECT_EQ(sink.batchSizes, (std::vector<size_t>{1, 1}));
 }
 
 TEST(CallGuard, NestedCallsBalanceTheModelledStack)

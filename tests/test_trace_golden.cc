@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Regression gates for the trace format and the live-capture path.
+ *
+ * The batched emit path (runtime::Cpu buffering kEmitBatch events per
+ * TraceSink::onInstrBatch call) must be invisible on disk: the same
+ * execution captured batched and per-instruction has to produce the
+ * same bytes, the encoder itself has to stay byte-stable for a fixed
+ * event stream, and SuiteConfig::hash() — the trace-cache key — must
+ * not move, or every cached trace on every machine is silently
+ * invalidated.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/suite.hh"
+#include "isa/event.hh"
+#include "kernels/fir.hh"
+#include "runtime/cpu.hh"
+#include "sim/trace_sink.hh"
+#include "trace/format.hh"
+#include "trace/writer.hh"
+
+namespace mmxdsp {
+namespace {
+
+// ---------------- cache-key stability ----------------
+
+// Captured from the pre-batching encoder. A change here means every
+// existing on-disk trace cache misses (or worse, collides): bump only
+// with a deliberate format/version migration.
+TEST(TraceGolden, SuiteConfigHashIsStable)
+{
+    harness::SuiteConfig config;
+    EXPECT_EQ(config.hash(), 0xcd9bf86654562e7full);
+
+    harness::SuiteConfig eighth;
+    eighth.scaleDown(8);
+    EXPECT_EQ(eighth.hash(), 0x3f76aacf58f9a784ull);
+
+    harness::SuiteConfig thirtysecond;
+    thirtysecond.scaleDown(32);
+    EXPECT_EQ(thirtysecond.hash(), 0xe00c3745603a6704ull);
+}
+
+// ---------------- batched capture == per-event capture ----------------
+
+/** Forwards every event one at a time into a second TraceWriter.
+ *  Deliberately does NOT override onInstrBatch: the base class unrolls
+ *  batches into per-instruction onInstr calls, i.e. the historical
+ *  delivery cadence. */
+class PerEventRelay final : public sim::TraceSink
+{
+  public:
+    explicit PerEventRelay(trace::TraceWriter &w) : w_(w) {}
+    void onInstr(const isa::InstrEvent &e) override { w_.onInstr(e); }
+    void onEnterFunction(const char *n) override { w_.onEnterFunction(n); }
+    void onLeaveFunction() override { w_.onLeaveFunction(); }
+
+  private:
+    trace::TraceWriter &w_;
+};
+
+TEST(TraceGolden, BatchedCaptureIsByteIdenticalToPerEventCapture)
+{
+    // One real benchmark pair, captured once. The tee hands each block
+    // to `batched` through onInstrBatch and unrolls the same block
+    // per-instruction into `unbatched`; since both writers see the
+    // identical sequence in the identical process, their serialized
+    // images (delta-encoded addresses and all) must match byte for
+    // byte. This pins the whole batching layer — block boundaries,
+    // enter/leave flush points, tail flush on detach — to the exact
+    // on-disk artifact the per-instruction path produced.
+    kernels::FirBenchmark fir;
+    fir.setup(512, 42);
+    runtime::Cpu cpu;
+
+    for (const char *version : {"c", "mmx"}) {
+        trace::TraceWriter batched("fir", version, 0x1234);
+        trace::TraceWriter unbatched("fir", version, 0x1234);
+        PerEventRelay relay(unbatched);
+        sim::TeeSink tee(&batched, &relay);
+
+        cpu.attachSink(&tee);
+        if (version[0] == 'c')
+            fir.runC(cpu);
+        else
+            fir.runMmx(cpu);
+        cpu.attachSink(nullptr);
+
+        batched.finish(&cpu);
+        unbatched.finish(&cpu);
+        ASSERT_GT(batched.instrCount(), 1000u) << version;
+        EXPECT_EQ(batched.instrCount(), unbatched.instrCount()) << version;
+        EXPECT_EQ(batched.serialize(), unbatched.serialize()) << version;
+    }
+}
+
+// ---------------- encoder byte-stability ----------------
+
+/** A fixed, address-deterministic event stream (no heap pointers), so
+ *  the serialized image is reproducible across processes and builds. */
+void
+writeFixedStream(trace::TraceWriter &writer)
+{
+    uint64_t addr = 0x1000;
+    for (int i = 0; i < 800; ++i) {
+        isa::InstrEvent e;
+        e.op = static_cast<isa::Op>(i % isa::kNumOps);
+        e.site = static_cast<uint32_t>((i * 7) % 23);
+        e.mem = static_cast<isa::MemMode>(i % 3);
+        if (e.mem != isa::MemMode::None) {
+            addr += (i % 5) * 4 - 8; // mix positive and negative deltas
+            e.addr = addr;
+            e.size = static_cast<uint8_t>(1u << (i % 4));
+        }
+        if (i % 4 != 0)
+            e.src0 = isa::makeTag(isa::RegClass::Mmx, i % 8);
+        if (i % 5 != 0)
+            e.src1 = isa::makeTag(isa::RegClass::Int, i % 6);
+        if (i % 3 != 0)
+            e.dst = isa::makeTag(isa::RegClass::Fp, i % 8);
+        e.taken = i % 7 == 0;
+
+        if (i % 100 == 0)
+            writer.onEnterFunction(i % 200 == 0 ? "even" : "odd");
+        writer.onInstr(e);
+        if (i % 100 == 99)
+            writer.onLeaveFunction();
+    }
+    writer.finish();
+}
+
+TEST(TraceGolden, EncoderImageIsByteStable)
+{
+    // Golden FNV-1a of the serialized image for the fixed stream above,
+    // captured from the pre-batching encoder. Any drift in the varint
+    // packing, delta encoding, or header layout trips this.
+    trace::TraceWriter writer("golden", "mmx", 0xfeedfacecafef00dull);
+    writeFixedStream(writer);
+    const std::vector<uint8_t> image = writer.serialize();
+    EXPECT_EQ(image.size(), 5297u);
+    EXPECT_EQ(trace::fnv1a(image.data(), image.size()),
+              0x911db3b9c13b3ce4ull);
+}
+
+} // namespace
+} // namespace mmxdsp
