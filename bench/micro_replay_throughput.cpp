@@ -1,29 +1,37 @@
 /**
  * @file
- * Microbenchmark of the replay engine's two paths, and the regression
- * gate for the decode-once optimization:
+ * Microbenchmark of the replay engine's paths, and the regression gate
+ * for both the decode-once and the config-parallel optimizations:
  *
  *  - streaming: every configuration of a sweep decodes the serialized
  *    trace body again through trace::replayProfile (the baseline
  *    capture-once/replay-many semantics);
- *  - materialized: the body is decoded once into a
- *    trace::MaterializedTrace and every configuration replays from the
- *    shared structure-of-arrays buffers.
+ *  - materialized scalar: the body is decoded once into a
+ *    trace::MaterializedTrace and every configuration runs its own full
+ *    timing pass over the shared buffers (replaySweepScalar — the
+ *    golden reference path);
+ *  - config-parallel: the same shared buffers, but all configurations
+ *    advance together in one lane-packed pass fed by per-geometry
+ *    cache/BTB memos (replaySweepPacked — the default replaySweep
+ *    dispatch).
  *
  * Also times live capture (functional execution + block-buffered emit +
  * encoding, no timing model) of the same pair on a fresh suite, so the
  * capture-once cost can be read next to the replay-many cost.
  *
- * Reports single-replay throughput (events/sec) for both paths and the
- * wall time of an N-configuration sweep, verifies the two sweeps are
- * bit-identical, writes everything to BENCH_replay.json, and exits
- * nonzero if the results diverge or the materialized sweep is not
- * faster — so CI can run it as a perf smoke test.
+ * --configs=N picks the sweep width of the headline table (default 12);
+ * a scaling run at N = 2/4/8/12 lands in BENCH_replay.json regardless.
+ * The binary verifies all three sweeps are bit-identical and exits
+ * nonzero on divergence, if the scalar materialized sweep is not faster
+ * than streaming, or (in optimized builds) if the config-parallel sweep
+ * is not >= 3x faster than streaming at N=12 — the ROADMAP perf gate.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -41,6 +49,7 @@ using namespace mmxdsp;
 namespace {
 
 constexpr int kRepetitions = 3;
+constexpr double kPackedSpeedupGate = 3.0; ///< at 12 configs, Release
 
 double
 now()
@@ -50,18 +59,26 @@ now()
         .count();
 }
 
-/** The sweep grid: 12 memory-hierarchy configurations. */
+/** The sweep grid: up to 12 distinct memory-hierarchy configurations
+ *  (4 L1 sizes x 3 L2 sizes), repeated with scaled BTBs beyond that. */
 std::vector<sim::TimerConfig>
-makeConfigs()
+makeConfigs(size_t count)
 {
     std::vector<sim::TimerConfig> configs;
-    for (uint32_t l1_kb : {4, 8, 16, 32}) {
-        for (uint32_t l2_kb : {128, 512, 2048}) {
-            sim::TimerConfig config;
-            config.l1.size_bytes = l1_kb * 1024;
-            config.l2.size_bytes = l2_kb * 1024;
-            configs.push_back(config);
+    uint32_t btb = 256;
+    while (configs.size() < count) {
+        for (uint32_t l1_kb : {4, 8, 16, 32}) {
+            for (uint32_t l2_kb : {128, 512, 2048}) {
+                if (configs.size() == count)
+                    break;
+                sim::TimerConfig config;
+                config.l1.size_bytes = l1_kb * 1024;
+                config.l2.size_bytes = l2_kb * 1024;
+                config.btb_entries = btb;
+                configs.push_back(config);
+            }
         }
+        btb /= 2; // every dozen gets a fresh BTB geometry: all unique
     }
     return configs;
 }
@@ -80,6 +97,14 @@ sameResult(const profile::ProfileResult &a, const profile::ProfileResult &b)
         || a.callOverheadCycles != b.callOverheadCycles
         || a.opCounts != b.opCounts)
         return false;
+    if (a.timer.pairs != b.timer.pairs
+        || a.timer.uopsIssued != b.timer.uopsIssued
+        || a.timer.memPenaltyCycles != b.timer.memPenaltyCycles
+        || a.timer.mispredictCycles != b.timer.mispredictCycles
+        || a.timer.dependStallCycles != b.timer.dependStallCycles
+        || a.timer.retireStallCycles != b.timer.retireStallCycles
+        || a.timer.blockingExtraCycles != b.timer.blockingExtraCycles)
+        return false;
     if (a.l1.accesses != b.l1.accesses || a.l1.misses != b.l1.misses
         || a.l2.accesses != b.l2.accesses || a.l2.misses != b.l2.misses
         || a.btb.branches != b.btb.branches
@@ -97,11 +122,13 @@ sameResult(const profile::ProfileResult &a, const profile::ProfileResult &b)
     return true;
 }
 
-struct ArmTiming
+/** One sweep-width measurement across the three sweep paths. */
+struct ScalePoint
 {
-    double sweep_seconds = 0.0;        ///< best-of-N sweep wall time
-    double single_seconds = 0.0;       ///< best-of-N one-config replay
-    double build_seconds = 0.0;        ///< materialize cost (0 = streaming)
+    size_t configs = 0;
+    double streaming_seconds = 0.0;
+    double scalar_seconds = 0.0; ///< materialize + replaySweepScalar
+    double packed_seconds = 0.0; ///< materialize + replaySweepPacked
 };
 
 } // namespace
@@ -109,7 +136,24 @@ struct ArmTiming
 int
 main(int argc, char **argv)
 {
-    harness::BenchOptions opts = harness::parseBenchArgs(argc, argv);
+    // --configs=N is this binary's own flag; parseBenchArgs exits on
+    // anything it does not recognize, so strip it from argv first.
+    size_t gateConfigs = 12;
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--configs=", 10) == 0) {
+            const long v = std::atol(argv[i] + 10);
+            if (v < 1) {
+                std::fprintf(stderr, "--configs=N requires N >= 1\n");
+                return 2;
+            }
+            gateConfigs = static_cast<size_t>(v);
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    harness::BenchOptions opts = harness::parseBenchArgs(
+        static_cast<int>(args.size()), args.data());
     harness::BenchmarkSuite suite = opts.makeSuite();
 
     const char *bench = "jpeg";
@@ -118,56 +162,105 @@ main(int argc, char **argv)
                  version, opts.scale);
     auto reader = suite.traceFor(bench, version);
     const uint64_t events = reader->instrCount();
-    const std::vector<sim::TimerConfig> configs = makeConfigs();
 
-    // -- streaming arm: one full decode per configuration --
-    ArmTiming streaming;
-    std::vector<profile::ProfileResult> streamed(configs.size());
-    for (int rep = 0; rep < kRepetitions; ++rep) {
-        const double t0 = now();
-        parallelFor(configs.size(), opts.threads, [&](size_t i) {
-            streamed[i] = trace::replayProfile(*reader, configs[i]);
-        });
-        const double dt = now() - t0;
-        if (!rep || dt < streaming.sweep_seconds)
-            streaming.sweep_seconds = dt;
+    // The sweep widths measured: the scaling ladder plus --configs=N.
+    std::vector<size_t> widths = {2, 4, 8, 12};
+    if (std::find(widths.begin(), widths.end(), gateConfigs) == widths.end())
+        widths.push_back(gateConfigs);
+    std::sort(widths.begin(), widths.end());
+
+    // -- sweep arms at every width (best-of-N wall time each) --
+    // The materialized arms rebuild the trace inside the timed region:
+    // the comparison is end-to-end (decode + sweep) against streaming.
+    std::vector<ScalePoint> scaling;
+    std::vector<profile::ProfileResult> streamed, scalarSwept, packedSwept;
+    for (size_t width : widths) {
+        const std::vector<sim::TimerConfig> configs = makeConfigs(width);
+        std::vector<sim::MachineConfig> machines;
+        for (const sim::TimerConfig &config : configs)
+            machines.push_back({opts.model, config});
+        ScalePoint point;
+        point.configs = width;
+
+        std::vector<profile::ProfileResult> stream(configs.size());
+        for (int rep = 0; rep < kRepetitions; ++rep) {
+            const double t0 = now();
+            parallelFor(configs.size(), opts.threads, [&](size_t i) {
+                stream[i] = trace::replayProfile(*reader, machines[i]);
+            });
+            const double dt = now() - t0;
+            if (!rep || dt < point.streaming_seconds)
+                point.streaming_seconds = dt;
+        }
+
+        std::vector<profile::ProfileResult> scalar;
+        for (int rep = 0; rep < kRepetitions; ++rep) {
+            const double t0 = now();
+            trace::MaterializedTrace shared;
+            if (!shared.build(*reader)) {
+                std::fprintf(stderr, "FAIL: trace did not materialize\n");
+                return 1;
+            }
+            scalar = shared.replaySweepScalar(machines, opts.threads);
+            const double dt = now() - t0;
+            if (!rep || dt < point.scalar_seconds)
+                point.scalar_seconds = dt;
+        }
+
+        std::vector<profile::ProfileResult> packed;
+        for (int rep = 0; rep < kRepetitions; ++rep) {
+            const double t0 = now();
+            trace::MaterializedTrace shared;
+            if (!shared.build(*reader))
+                return 1;
+            packed = shared.replaySweepPacked(machines, opts.threads);
+            const double dt = now() - t0;
+            if (!rep || dt < point.packed_seconds)
+                point.packed_seconds = dt;
+        }
+
+        scaling.push_back(point);
+        if (width == gateConfigs) {
+            streamed = std::move(stream);
+            scalarSwept = std::move(scalar);
+            packedSwept = std::move(packed);
+        }
     }
+
+    const auto pointAt = [&](size_t width) -> const ScalePoint & {
+        for (const ScalePoint &p : scaling)
+            if (p.configs == width)
+                return p;
+        return scaling.back();
+    };
+    const ScalePoint &gate = pointAt(gateConfigs);
+
+    // -- single-replay throughput of both decode paths --
+    double streaming_single = 0.0;
     for (int rep = 0; rep < kRepetitions; ++rep) {
         const double t0 = now();
         trace::replayProfile(*reader);
         const double dt = now() - t0;
-        if (!rep || dt < streaming.single_seconds)
-            streaming.single_seconds = dt;
+        if (!rep || dt < streaming_single)
+            streaming_single = dt;
     }
-
-    // -- materialized arm: decode once, share across the sweep --
-    ArmTiming materialized;
     trace::MaterializedTrace mat;
+    double build_seconds = 0.0;
     {
         const double t0 = now();
         if (!mat.build(*reader)) {
             std::fprintf(stderr, "FAIL: trace did not materialize\n");
             return 1;
         }
-        materialized.build_seconds = now() - t0;
+        build_seconds = now() - t0;
     }
-    std::vector<profile::ProfileResult> fast;
-    for (int rep = 0; rep < kRepetitions; ++rep) {
-        const double t0 = now();
-        trace::MaterializedTrace shared;
-        if (!shared.build(*reader))
-            return 1;
-        fast = shared.replaySweep(configs, opts.threads);
-        const double dt = now() - t0;
-        if (!rep || dt < materialized.sweep_seconds)
-            materialized.sweep_seconds = dt;
-    }
+    double materialized_single = 0.0;
     for (int rep = 0; rep < kRepetitions; ++rep) {
         const double t0 = now();
         mat.replayProfile();
         const double dt = now() - t0;
-        if (!rep || dt < materialized.single_seconds)
-            materialized.single_seconds = dt;
+        if (!rep || dt < materialized_single)
+            materialized_single = dt;
     }
 
     // -- live-capture arm: execute + capture, no timing model --
@@ -189,45 +282,80 @@ main(int argc, char **argv)
             capture_seconds = dt;
     }
 
-    // -- bit-identity gate --
-    bool identical = fast.size() == streamed.size();
-    for (size_t i = 0; identical && i < fast.size(); ++i)
-        identical = sameResult(fast[i], streamed[i]);
+    // -- bit-identity gate: streaming == scalar == packed --
+    bool identical = scalarSwept.size() == streamed.size()
+                     && packedSwept.size() == streamed.size();
+    for (size_t i = 0; identical && i < streamed.size(); ++i)
+        identical = sameResult(scalarSwept[i], streamed[i])
+                    && sameResult(packedSwept[i], streamed[i]);
 
     const double streaming_eps =
-        static_cast<double>(events) / streaming.single_seconds;
+        static_cast<double>(events) / streaming_single;
     const double materialized_eps =
-        static_cast<double>(events) / materialized.single_seconds;
-    const double speedup =
-        streaming.sweep_seconds / materialized.sweep_seconds;
+        static_cast<double>(events) / materialized_single;
+    const double scalar_speedup =
+        gate.streaming_seconds / gate.scalar_seconds;
+    const double packed_speedup =
+        gate.streaming_seconds / gate.packed_seconds;
     const double capture_eps = static_cast<double>(events) / capture_seconds;
+    // Aggregate config-lanes-per-second of the packed pass: N configs
+    // advance per event, so the kernel's useful work scales with N.
+    const double packed_lane_eps =
+        static_cast<double>(events) * static_cast<double>(gateConfigs)
+        / gate.packed_seconds;
 
     std::printf("replay throughput — %s.%s, %llu events, %zu configs\n\n",
                 bench, version, static_cast<unsigned long long>(events),
-                configs.size());
+                gateConfigs);
     Table table({"path", "sweep ms", "single ms", "events/sec"});
     table.addRow({"streaming",
                   Table::fmtCount(static_cast<int64_t>(
-                      streaming.sweep_seconds * 1e3)),
-                  Table::fmtCount(static_cast<int64_t>(
-                      streaming.single_seconds * 1e3)),
+                      gate.streaming_seconds * 1e3)),
+                  Table::fmtCount(
+                      static_cast<int64_t>(streaming_single * 1e3)),
                   Table::fmtCount(static_cast<int64_t>(streaming_eps))});
-    table.addRow({"materialized",
+    table.addRow({"materialized scalar",
                   Table::fmtCount(static_cast<int64_t>(
-                      materialized.sweep_seconds * 1e3)),
-                  Table::fmtCount(static_cast<int64_t>(
-                      materialized.single_seconds * 1e3)),
+                      gate.scalar_seconds * 1e3)),
+                  Table::fmtCount(
+                      static_cast<int64_t>(materialized_single * 1e3)),
                   Table::fmtCount(static_cast<int64_t>(materialized_eps))});
+    table.addRow({"config-parallel",
+                  Table::fmtCount(static_cast<int64_t>(
+                      gate.packed_seconds * 1e3)),
+                  "n/a",
+                  Table::fmtCount(static_cast<int64_t>(packed_lane_eps))});
     table.addRow({"live capture", "n/a",
                   Table::fmtCount(
                       static_cast<int64_t>(capture_seconds * 1e3)),
                   Table::fmtCount(static_cast<int64_t>(capture_eps))});
     table.print();
+
+    std::printf("\nsweep scaling (ms, end-to-end incl. materialize)\n");
+    Table scale({"configs", "streaming", "scalar", "config-parallel",
+                 "speedup vs streaming"});
+    for (const ScalePoint &p : scaling) {
+        char speed[32];
+        std::snprintf(speed, sizeof(speed), "%.2fx",
+                      p.streaming_seconds / p.packed_seconds);
+        scale.addRow({Table::fmtCount(static_cast<int64_t>(p.configs)),
+                      Table::fmtCount(static_cast<int64_t>(
+                          p.streaming_seconds * 1e3)),
+                      Table::fmtCount(
+                          static_cast<int64_t>(p.scalar_seconds * 1e3)),
+                      Table::fmtCount(
+                          static_cast<int64_t>(p.packed_seconds * 1e3)),
+                      speed});
+    }
+    scale.print();
+
     std::printf("\nmaterialize cost      %.1f ms (%.1f MB resident)\n",
-                materialized.build_seconds * 1e3,
+                build_seconds * 1e3,
                 static_cast<double>(mat.byteSize()) / 1e6);
-    std::printf("sweep speedup         %.2fx (incl. materialize)\n",
-                speedup);
+    std::printf("scalar sweep speedup  %.2fx (incl. materialize)\n",
+                scalar_speedup);
+    std::printf("packed sweep speedup  %.2fx (incl. materialize)\n",
+                packed_speedup);
     std::printf("results bit-identical %s\n", identical ? "yes" : "NO");
 
     std::FILE *json = std::fopen("BENCH_replay.json", "w");
@@ -252,36 +380,68 @@ main(int argc, char **argv)
             "    \"events_per_sec\": %.0f,\n"
             "    \"resident_bytes\": %zu\n"
             "  },\n"
+            "  \"config_parallel\": {\n"
+            "    \"sweep_seconds\": %.6f,\n"
+            "    \"lane_events_per_sec\": %.0f,\n"
+            "    \"speedup_vs_streaming\": %.3f\n"
+            "  },\n"
             "  \"live_capture\": {\n"
             "    \"capture_seconds\": %.6f,\n"
             "    \"events_per_sec\": %.0f\n"
-            "  },\n"
-            "  \"sweep_speedup\": %.3f,\n"
-            "  \"identical\": %s\n"
-            "}\n",
+            "  },\n",
             bench, version, opts.scale,
-            static_cast<unsigned long long>(events), configs.size(),
-            kRepetitions, streaming.sweep_seconds,
-            streaming.single_seconds, streaming_eps,
-            materialized.build_seconds, materialized.sweep_seconds,
-            materialized.single_seconds, materialized_eps, mat.byteSize(),
-            capture_seconds, capture_eps, speedup,
-            identical ? "true" : "false");
+            static_cast<unsigned long long>(events), gateConfigs,
+            kRepetitions, gate.streaming_seconds, streaming_single,
+            streaming_eps, build_seconds, gate.scalar_seconds,
+            materialized_single, materialized_eps, mat.byteSize(),
+            gate.packed_seconds, packed_lane_eps, packed_speedup,
+            capture_seconds, capture_eps);
+        std::fprintf(json, "  \"scaling\": [\n");
+        for (size_t i = 0; i < scaling.size(); ++i) {
+            const ScalePoint &p = scaling[i];
+            std::fprintf(
+                json,
+                "    {\"configs\": %zu, \"streaming_seconds\": %.6f, "
+                "\"scalar_seconds\": %.6f, \"packed_seconds\": %.6f, "
+                "\"packed_speedup\": %.3f}%s\n",
+                p.configs, p.streaming_seconds, p.scalar_seconds,
+                p.packed_seconds, p.streaming_seconds / p.packed_seconds,
+                i + 1 < scaling.size() ? "," : "");
+        }
+        std::fprintf(json,
+                     "  ],\n"
+                     "  \"sweep_speedup\": %.3f,\n"
+                     "  \"identical\": %s\n"
+                     "}\n",
+                     scalar_speedup, identical ? "true" : "false");
         std::fclose(json);
         std::fprintf(stderr, "wrote BENCH_replay.json\n");
     }
 
     if (!identical) {
         std::fprintf(stderr,
-                     "FAIL: materialized sweep diverged from streaming\n");
+                     "FAIL: sweep paths diverged from streaming\n");
         return 1;
     }
-    if (speedup <= 1.0) {
+    if (scalar_speedup <= 1.0) {
         std::fprintf(stderr,
                      "FAIL: materialized sweep slower than streaming "
                      "(%.2fx)\n",
-                     speedup);
+                     scalar_speedup);
         return 1;
     }
+#ifdef NDEBUG
+    // The config-parallel perf gate (optimized builds only; debug and
+    // sanitizer builds keep the identity gates but skip this one).
+    const ScalePoint &wide = pointAt(12);
+    const double wide_speedup = wide.streaming_seconds / wide.packed_seconds;
+    if (wide_speedup < kPackedSpeedupGate) {
+        std::fprintf(stderr,
+                     "FAIL: config-parallel sweep at 12 configs only "
+                     "%.2fx vs streaming (gate %.1fx)\n",
+                     wide_speedup, kPackedSpeedupGate);
+        return 1;
+    }
+#endif
     return 0;
 }

@@ -143,6 +143,24 @@ class MemoryHierarchy
         uint32_t l1_miss = 3;  ///< added on any L1 miss
         uint32_t l2_hit = 5;   ///< added when L2 has the line (total 8)
         uint32_t l2_miss = 7;  ///< added again when L2 misses (total 15)
+
+        /**
+         * Penalty charged for one access class (see accessClass()):
+         * 0 = L1 hit, 1 = served from L2, 2 = missed both levels.
+         * Monotone non-decreasing in the class, which is what lets a
+         * line-straddling access take the max over its two lines'
+         * classes instead of their penalties.
+         */
+        uint32_t
+        ofClass(uint32_t cls) const
+        {
+            uint32_t penalty = 0;
+            if (cls >= 1)
+                penalty += l1_miss + l2_hit;
+            if (cls >= 2)
+                penalty += l2_miss;
+            return penalty;
+        }
     };
 
     MemoryHierarchy();
@@ -166,6 +184,27 @@ class MemoryHierarchy
         return penalty;
     }
 
+    /**
+     * Simulate one data access and return its penalty *class* instead
+     * of its penalty: 0 = L1 hit, 1 = L2 served the line, 2 = both
+     * levels missed. Touches the tag arrays and statistics exactly like
+     * access() — access(a, s, w) == penalties().ofClass(accessClass(a,
+     * s, w)) for the same hierarchy state — but the class is
+     * penalty-independent, so one recorded class stream characterizes
+     * every configuration sharing this cache geometry (the
+     * config-parallel sweep memo in trace/sweep_kernel.cc).
+     */
+    uint32_t accessClass(uint64_t addr, uint32_t size, bool write)
+    {
+        const uint32_t shift = l1_.lineShift();
+        const uint64_t first = addr >> shift;
+        const uint64_t last = (addr + (size ? size - 1 : 0)) >> shift;
+        uint32_t cls = classifyLine(addr, write);
+        if (last != first)
+            cls = std::max(cls, classifyLine(last << shift, write));
+        return cls;
+    }
+
     /** Invalidate both levels (between benchmark runs). */
     void flush();
 
@@ -179,13 +218,14 @@ class MemoryHierarchy
   private:
     uint32_t accessLine(uint64_t addr, bool write)
     {
+        return penalties_.ofClass(classifyLine(addr, write));
+    }
+
+    uint32_t classifyLine(uint64_t addr, bool write)
+    {
         if (l1_.access(addr, write))
             return 0;
-        uint32_t penalty = penalties_.l1_miss;
-        penalty += penalties_.l2_hit;
-        if (!l2_.access(addr, write))
-            penalty += penalties_.l2_miss;
-        return penalty;
+        return l2_.access(addr, write) ? 1 : 2;
     }
 
     Cache l1_;

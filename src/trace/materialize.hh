@@ -97,11 +97,13 @@ class MaterializedTrace
     /**
      * Replay under every configuration in @p configs, fanning out over
      * @p threads workers (0 = auto); all workers share these buffers.
-     * Branch prediction depends only on BTB geometry, so configurations
-     * that share one (the common case in cache sweeps) also share a
-     * single recorded prediction pass instead of re-simulating the BTB
-     * per config. Results are index-aligned with @p configs and
-     * bit-identical to per-config replayProfile() calls.
+     * Duplicate configurations are computed once and fanned back out;
+     * unique ones go through the config-parallel kernel (one pass over
+     * the trace advancing one lane per configuration — see
+     * replaySweepPacked()), or through the scalar reference path when
+     * the build pins MMXDSP_FORCE_SCALAR_SWEEP. Results are
+     * index-aligned with @p configs and bit-identical to per-config
+     * replayProfile() calls either way.
      */
     std::vector<profile::ProfileResult>
     replaySweep(const std::vector<sim::TimerConfig> &configs,
@@ -109,14 +111,40 @@ class MaterializedTrace
 
     /**
      * Multi-model sweep: each entry picks its own machine and timer
-     * parameters. Branch prediction goes through an identical mem::Btb
-     * on every machine, so a P5 and a P6 entry with the same BTB
-     * geometry land in one memo group and share a single recorded
-     * prediction pass.
+     * parameters. Same dedup + kernel dispatch as the TimerConfig
+     * overload; a P5 and a P6 entry both ride the one-pass kernel (the
+     * P5 lanes in one block, the P6 lanes in another).
      */
     std::vector<profile::ProfileResult>
     replaySweep(const std::vector<sim::MachineConfig> &machines,
                 int threads = 0) const;
+
+    /**
+     * The golden reference sweep: one full scalar timing pass per entry
+     * (the pre-config-parallel behavior, kept as the identity oracle).
+     * Entries sharing a BTB geometry share a recorded prediction pass;
+     * everything else is simulated per configuration. Exposed so tests
+     * and benches can check the packed kernel against it regardless of
+     * which path replaySweep() dispatches to.
+     */
+    std::vector<profile::ProfileResult>
+    replaySweepScalar(const std::vector<sim::MachineConfig> &machines,
+                      int threads = 0) const;
+
+    /**
+     * The config-parallel sweep kernel (trace/sweep_kernel.cc): builds
+     * one hit/miss-class memo per unique cache geometry and one
+     * mispredict memo per unique BTB geometry, then times all entries
+     * in a single pass over the trace — lane-major state, branchless
+     * per-lane selects, with every config-independent per-event fact
+     * (decode classification, pairing class, uop count, latency)
+     * hoisted out and computed once per event. Results are bit-identical
+     * to replaySweepScalar(); duplicate entries are tolerated but not
+     * deduplicated here (replaySweep() does that).
+     */
+    std::vector<profile::ProfileResult>
+    replaySweepPacked(const std::vector<sim::MachineConfig> &machines,
+                      int threads = 0) const;
 
     /** "file.cc:123" for a recorded site, or "site#N" when unknown. */
     std::string siteLabel(uint32_t site) const;

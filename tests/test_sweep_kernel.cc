@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Tests for the config-parallel sweep kernel (trace/sweep_kernel.cc)
+ * and the sweep-entry deduplication in replaySweep():
+ *
+ *  - duplicate TimerConfig/MachineConfig entries come back with
+ *    bit-identical ProfileResults (the dedup fan-out),
+ *  - edge geometries the memo/lane paths could mishandle (direct-mapped
+ *    caches, a 1-entry BTB, degenerate penalty sets) stay bit-identical
+ *    to the scalar golden reference,
+ *  - a randomized-config-set differential across all 19 (benchmark,
+ *    version) pairs: replaySweepPacked() == replaySweepScalar() for
+ *    every entry, P5 and P6 alike.
+ *
+ * These tests deliberately go through both replaySweepPacked() and
+ * replaySweepScalar() explicitly, so they pin the identity regardless
+ * of which path MMXDSP_FORCE_SCALAR_SWEEP makes replaySweep() take.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/suite.hh"
+#include "profile/vprof.hh"
+#include "sim/timing_model.hh"
+#include "support/rng.hh"
+#include "trace/materialize.hh"
+
+namespace mmxdsp {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Fresh scratch directory, removed on destruction. */
+struct ScratchDir
+{
+    fs::path path;
+
+    explicit ScratchDir(const char *name)
+        : path(fs::temp_directory_path() / name)
+    {
+        fs::remove_all(path);
+    }
+    ~ScratchDir() { fs::remove_all(path); }
+};
+
+harness::SuiteConfig
+tinyConfig()
+{
+    harness::SuiteConfig config;
+    config.scaleDown(16);
+    return config;
+}
+
+void
+expectSameProfile(const profile::ProfileResult &a,
+                  const profile::ProfileResult &b, const std::string &what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.dynamicInstructions, b.dynamicInstructions);
+    EXPECT_EQ(a.staticInstructions, b.staticInstructions);
+    EXPECT_EQ(a.uops, b.uops);
+    EXPECT_EQ(a.memoryReferences, b.memoryReferences);
+    EXPECT_EQ(a.mmxInstructions, b.mmxInstructions);
+    EXPECT_EQ(a.functionCalls, b.functionCalls);
+    EXPECT_EQ(a.callRetCycles, b.callRetCycles);
+    EXPECT_EQ(a.callOverheadCycles, b.callOverheadCycles);
+    EXPECT_EQ(a.timer.instructions, b.timer.instructions);
+    EXPECT_EQ(a.timer.pairs, b.timer.pairs);
+    EXPECT_EQ(a.timer.uopsIssued, b.timer.uopsIssued);
+    EXPECT_EQ(a.timer.retireStallCycles, b.timer.retireStallCycles);
+    EXPECT_EQ(a.timer.memPenaltyCycles, b.timer.memPenaltyCycles);
+    EXPECT_EQ(a.timer.mispredictCycles, b.timer.mispredictCycles);
+    EXPECT_EQ(a.timer.dependStallCycles, b.timer.dependStallCycles);
+    EXPECT_EQ(a.timer.blockingExtraCycles, b.timer.blockingExtraCycles);
+    EXPECT_EQ(a.l1.accesses, b.l1.accesses);
+    EXPECT_EQ(a.l1.misses, b.l1.misses);
+    EXPECT_EQ(a.l1.evictions, b.l1.evictions);
+    EXPECT_EQ(a.l1.writebacks, b.l1.writebacks);
+    EXPECT_EQ(a.l2.accesses, b.l2.accesses);
+    EXPECT_EQ(a.l2.misses, b.l2.misses);
+    EXPECT_EQ(a.btb.branches, b.btb.branches);
+    EXPECT_EQ(a.btb.mispredicts, b.btb.mispredicts);
+    EXPECT_EQ(a.btb.missesInBtb, b.btb.missesInBtb);
+    ASSERT_EQ(a.functions.size(), b.functions.size());
+    for (const auto &[name, st] : a.functions) {
+        auto it = b.functions.find(name);
+        ASSERT_NE(it, b.functions.end()) << name;
+        EXPECT_EQ(st.calls, it->second.calls) << name;
+        EXPECT_EQ(st.instructions, it->second.instructions) << name;
+        EXPECT_EQ(st.cycles, it->second.cycles) << name;
+    }
+}
+
+/** One materialized trace to sweep against, captured once per suite. */
+std::shared_ptr<const trace::MaterializedTrace>
+materializedTrace(harness::BenchmarkSuite &suite, const std::string &bench,
+                  const std::string &version)
+{
+    suite.run(bench, version);
+    auto mat = suite.materializedFor(bench, version);
+    EXPECT_NE(mat, nullptr);
+    return mat;
+}
+
+// ---------------- dedup ----------------
+
+TEST(SweepDedup, DuplicateConfigsReturnIdenticalResults)
+{
+    ScratchDir scratch("mmxdsp_sweep_dedup_test");
+    harness::BenchmarkSuite suite(
+        tinyConfig(), harness::TraceOptions{true, scratch.path.string()});
+    auto mat = materializedTrace(suite, "fir", "mmx");
+
+    sim::TimerConfig tiny;
+    tiny.l1.size_bytes = 512;
+    tiny.l1.ways = 1;
+    sim::TimerConfig paper; // the default machine
+
+    // The same two machines, each several times over, with cosmetic
+    // differences (cache names) that must not defeat the dedup.
+    sim::TimerConfig renamed = paper;
+    renamed.l1.name = "l1-under-an-alias";
+    const std::vector<sim::TimerConfig> configs = {paper, tiny, paper,
+                                                   renamed, tiny};
+    const auto results = mat->replaySweep(configs, 2);
+    ASSERT_EQ(results.size(), configs.size());
+
+    // Every duplicate index carries the unique entry's exact result...
+    expectSameProfile(results[2], results[0], "paper duplicate");
+    expectSameProfile(results[3], results[0], "renamed duplicate");
+    expectSameProfile(results[4], results[1], "tiny duplicate");
+    // ...which is itself bit-identical to a solo replay.
+    expectSameProfile(results[0], mat->replayProfile(paper), "paper solo");
+    expectSameProfile(results[1], mat->replayProfile(tiny), "tiny solo");
+    // And the two machines genuinely differ, so the dedup didn't just
+    // collapse everything onto one config.
+    EXPECT_NE(results[0].cycles, results[1].cycles);
+}
+
+TEST(SweepDedup, CrossModelDuplicatesStayPerModel)
+{
+    ScratchDir scratch("mmxdsp_sweep_dedup_model_test");
+    harness::BenchmarkSuite suite(
+        tinyConfig(), harness::TraceOptions{true, scratch.path.string()});
+    auto mat = materializedTrace(suite, "fft", "mmx");
+
+    // Identical timer parameters under both models: these must NOT
+    // dedup onto each other.
+    const sim::TimerConfig timer;
+    const std::vector<sim::MachineConfig> machines = {
+        {sim::ModelKind::P5, timer},
+        {sim::ModelKind::P6, timer},
+        {sim::ModelKind::P5, timer},
+        {sim::ModelKind::P6, timer},
+    };
+    const auto results = mat->replaySweep(machines, 2);
+    ASSERT_EQ(results.size(), machines.size());
+    expectSameProfile(results[2], results[0], "P5 duplicate");
+    expectSameProfile(results[3], results[1], "P6 duplicate");
+    expectSameProfile(results[0], mat->replayProfile(machines[0]),
+                      "P5 solo");
+    expectSameProfile(results[1], mat->replayProfile(machines[1]),
+                      "P6 solo");
+    EXPECT_NE(results[0].cycles, results[1].cycles);
+}
+
+// ---------------- edge geometries ----------------
+
+TEST(SweepKernel, EdgeGeometriesMatchScalar)
+{
+    ScratchDir scratch("mmxdsp_sweep_edge_test");
+    harness::BenchmarkSuite suite(
+        tinyConfig(), harness::TraceOptions{true, scratch.path.string()});
+    auto mat = materializedTrace(suite, "matvec", "mmx");
+
+    // Direct-mapped everything: assoc=1 at both levels plus a starved
+    // L1, so the memo records plenty of class-1/class-2 events and the
+    // conflict-miss pattern differs from every set-associative lane.
+    sim::TimerConfig directMapped;
+    directMapped.l1.size_bytes = 512;
+    directMapped.l1.ways = 1;
+    directMapped.l2.size_bytes = 4096;
+    directMapped.l2.ways = 1;
+
+    // A 1-entry BTB (the smallest legal predictor) thrashes on every
+    // second branch site — the mispredict memo must still line up.
+    sim::TimerConfig oneBtb;
+    oneBtb.btb_entries = 1;
+    oneBtb.btb_ways = 1;
+
+    // Degenerate penalties: a free L2 and an expensive L1 miss, so the
+    // class->penalty table is non-monotone across configs (never within
+    // one: ofClass() is monotone in the class by construction).
+    sim::TimerConfig weirdPen;
+    weirdPen.penalties.l1_miss = 9;
+    weirdPen.penalties.l2_hit = 0;
+    weirdPen.penalties.l2_miss = 1;
+
+    // Tiny line size exercises the line-straddling max-of-classes path.
+    sim::TimerConfig smallLines;
+    smallLines.l1.size_bytes = 256;
+    smallLines.l1.line_bytes = 8;
+    smallLines.l2.size_bytes = 1024;
+    smallLines.l2.line_bytes = 16;
+
+    std::vector<sim::MachineConfig> machines;
+    for (const sim::TimerConfig &tc :
+         {directMapped, oneBtb, weirdPen, smallLines}) {
+        machines.push_back({sim::ModelKind::P5, tc});
+        machines.push_back({sim::ModelKind::P6, tc});
+    }
+
+    const auto scalar = mat->replaySweepScalar(machines, 2);
+    const auto packed = mat->replaySweepPacked(machines, 2);
+    ASSERT_EQ(scalar.size(), machines.size());
+    ASSERT_EQ(packed.size(), machines.size());
+    for (size_t i = 0; i < machines.size(); ++i) {
+        expectSameProfile(packed[i], scalar[i],
+                          "edge machine " + std::to_string(i));
+        // The scalar path itself is pinned to the solo replay, so the
+        // chain packed == scalar == replayProfile closes.
+        expectSameProfile(scalar[i], mat->replayProfile(machines[i]),
+                          "edge machine solo " + std::to_string(i));
+    }
+}
+
+// ---------------- randomized differential, all pairs ----------------
+
+/** A random but legal machine: power-of-two geometry throughout. */
+sim::MachineConfig
+randomMachine(Rng &rng)
+{
+    sim::MachineConfig m;
+    m.model = rng.nextBelow(2) ? sim::ModelKind::P6 : sim::ModelKind::P5;
+    sim::TimerConfig &tc = m.timer;
+    tc.l1.line_bytes = 8u << rng.nextBelow(3);            // 8..32
+    tc.l1.ways = 1u << rng.nextBelow(3);                  // 1..4
+    tc.l1.size_bytes = (tc.l1.line_bytes * tc.l1.ways)
+                       << (1 + rng.nextBelow(5));         // >= 2 sets
+    tc.l2.line_bytes = tc.l1.line_bytes << rng.nextBelow(2);
+    tc.l2.ways = 1u << rng.nextBelow(3);
+    tc.l2.size_bytes = (tc.l2.line_bytes * tc.l2.ways)
+                       << (2 + rng.nextBelow(5));
+    tc.penalties.l1_miss = rng.nextBelow(8);
+    tc.penalties.l2_hit = rng.nextBelow(8);
+    tc.penalties.l2_miss = rng.nextBelow(16);
+    tc.btb_ways = 1u << rng.nextBelow(3);
+    tc.btb_entries = tc.btb_ways << rng.nextBelow(5);
+    tc.mispredict_penalty = rng.nextBelow(8);
+    tc.p6.decode_width = 1 + rng.nextBelow(4);
+    tc.p6.complex_uops = 1 + rng.nextBelow(6);
+    tc.p6.issue_width = 1 + rng.nextBelow(4);
+    tc.p6.retire_width = 1 + rng.nextBelow(4);
+    tc.p6.mispredict_penalty = rng.nextBelow(16);
+    return m;
+}
+
+TEST(SweepKernel, RandomizedConfigsMatchScalarOnEveryPair)
+{
+    ScratchDir scratch("mmxdsp_sweep_random_test");
+    harness::BenchmarkSuite suite(
+        tinyConfig(), harness::TraceOptions{true, scratch.path.string()});
+
+    Rng rng(0x5eedc0de);
+    for (const auto &[bench, version] : harness::BenchmarkSuite::allRuns()) {
+        const std::string what = bench + "." + version;
+        auto mat = materializedTrace(suite, bench, version);
+        ASSERT_NE(mat, nullptr) << what;
+
+        // A fresh random grid per pair, with one deliberate duplicate
+        // so every sweep also crosses the dedup fan-out.
+        std::vector<sim::MachineConfig> machines;
+        for (int c = 0; c < 5; ++c)
+            machines.push_back(randomMachine(rng));
+        machines.push_back(machines[1]);
+
+        const auto scalar = mat->replaySweepScalar(machines);
+        const auto packed = mat->replaySweepPacked(machines);
+        ASSERT_EQ(scalar.size(), machines.size()) << what;
+        ASSERT_EQ(packed.size(), machines.size()) << what;
+        for (size_t i = 0; i < machines.size(); ++i)
+            expectSameProfile(packed[i], scalar[i],
+                              what + " machine " + std::to_string(i));
+    }
+}
+
+} // namespace
+} // namespace mmxdsp
