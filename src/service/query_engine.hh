@@ -1,0 +1,182 @@
+/**
+ * @file
+ * vprofd's query engine: (benchmark, version, machine) in, profile out.
+ *
+ * The engine sits between the sharded TraceStore and callers (the
+ * vprofd binary, the service_load generator, tests) and implements the
+ * compute-once/serve-many pipeline:
+ *
+ *   result cache  — completed profiles keyed by (trace key, machine
+ *                   hash); a repeat query is a map lookup, no replay;
+ *   trace cache   — resident MaterializedTraces keyed by trace key;
+ *                   a v2 store hit mmaps the entry zero-copy, and the
+ *                   mapping stays resident (LRU by byte size) for
+ *                   subsequent queries against other machines;
+ *   batch sweeps  — queryBatch() groups result-cache misses by trace
+ *                   and answers each group with one replaySweep()
+ *                   call, so same-trace queries ride the config-parallel
+ *                   packed kernel (one pass over the trace, one lane
+ *                   per distinct machine) instead of N scalar replays;
+ *   capture       — a trace absent from the store is captured live
+ *                   (BenchmarkSuite, the same capture path the bench
+ *                   harness uses), published to the store as format
+ *                   v2, and then served like any other entry. Capture
+ *                   can be disabled for pure-replay daemons.
+ *
+ * Results are bit-identical to constructing a BenchmarkSuite and
+ * profiling the pair directly: the engine only moves where the replay
+ * runs, never what it computes.
+ */
+
+#ifndef MMXDSP_SERVICE_QUERY_ENGINE_HH
+#define MMXDSP_SERVICE_QUERY_ENGINE_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "harness/suite.hh"
+#include "service/trace_store.hh"
+#include "sim/timing_model.hh"
+
+namespace mmxdsp::service {
+
+/**
+ * Stable FNV-1a hash of one simulated machine: the model kind plus
+ * every timing parameter (cache geometries, penalties, BTB geometry,
+ * mispredict penalties, P6 front-end widths). Cosmetic fields (cache
+ * names) are excluded. Two machines hash equal iff they time traces
+ * identically, which is what makes this a safe result-cache key.
+ */
+uint64_t machineHash(const sim::MachineConfig &machine);
+
+/** One request: profile a benchmark pair on a machine. */
+struct Query
+{
+    std::string benchmark;
+    std::string version;
+    sim::MachineConfig machine;
+};
+
+struct QueryResult
+{
+    Query query;
+    bool ok = false;
+    std::string error;             ///< set when !ok
+    bool from_result_cache = false;///< served without any replay
+    bool trace_captured = false;   ///< this query forced a live capture
+    profile::ProfileResult profile;
+};
+
+struct EngineOptions
+{
+    StoreOptions store;
+    /** Workload parameters every query's trace is captured with. */
+    harness::SuiteConfig suite;
+    /** Sweep worker threads (0 = auto). */
+    int threads = 0;
+    /** Capture missing traces live; off = such queries fail. */
+    bool allow_capture = true;
+    /** Completed-profile cache capacity (entries; 0 disables). */
+    size_t result_cache_entries = 4096;
+    /** Resident-trace cache budget in bytes (0 disables). */
+    size_t trace_cache_bytes = 512ull << 20;
+};
+
+struct EngineStats
+{
+    uint64_t queries = 0;
+    uint64_t result_hits = 0;   ///< served from the result cache
+    uint64_t trace_mem_hits = 0;///< trace already resident
+    uint64_t store_loads = 0;   ///< trace loaded from the store
+    uint64_t captures = 0;      ///< traces captured live
+    uint64_t replays = 0;       ///< sweep lanes actually computed
+    uint64_t failures = 0;
+};
+
+class QueryEngine
+{
+  public:
+    explicit QueryEngine(EngineOptions opts = EngineOptions{});
+    ~QueryEngine();
+
+    /** Answer one query (a batch of one). */
+    QueryResult query(const Query &q);
+
+    /**
+     * Answer many queries, index-aligned with @p queries. Result-cache
+     * misses are grouped by trace and each group is answered by one
+     * replaySweep() over that trace (packed config-parallel lanes,
+     * duplicate machines deduplicated), so a batch against one trace
+     * costs one pass regardless of how many machines it asks about.
+     */
+    std::vector<QueryResult> queryBatch(const std::vector<Query> &queries);
+
+    /**
+     * Parse one query line: "benchmark version [model=p5|p6] [scale-
+     * free key=value parameters: l1=BYTES l1_ways=N l1_line=N l2=BYTES
+     * l2_ways=N l2_line=N btb=ENTRIES btb_ways=N mp=CYCLES]". Unknown
+     * pairs and malformed parameters fail with a message in @p error
+     * (daemon input is untrusted; a bad line must never hit the
+     * harness's fatal path).
+     */
+    static bool parseQueryLine(const std::string &line, Query *out,
+                               std::string *error);
+
+    TraceStore &store() { return store_; }
+    const EngineOptions &options() const { return opts_; }
+    EngineStats stats() const;
+
+  private:
+    struct ResultEntry
+    {
+        profile::ProfileResult profile;
+        std::list<std::string>::iterator lru;
+    };
+    struct TraceEntry
+    {
+        std::shared_ptr<const trace::MaterializedTrace> trace;
+        std::list<std::string>::iterator lru;
+    };
+
+    std::string traceKey(const std::string &benchmark,
+                         const std::string &version) const;
+
+    /**
+     * Resident trace for a pair: memory cache, then store (mmap), then
+     * live capture + publish. Returns nullptr with @p error set.
+     */
+    std::shared_ptr<const trace::MaterializedTrace>
+    traceFor(const std::string &benchmark, const std::string &version,
+             bool *captured, std::string *error);
+
+    void insertResult(const std::string &key,
+                      const profile::ProfileResult &profile);
+    const profile::ProfileResult *lookupResult(const std::string &key);
+    void insertTrace(const std::string &key,
+                     std::shared_ptr<const trace::MaterializedTrace> t);
+
+    EngineOptions opts_;
+    TraceStore store_;
+    mutable std::mutex mu_; ///< serializes cache + suite access
+    EngineStats stats_;
+
+    std::unordered_map<std::string, ResultEntry> results_;
+    std::list<std::string> resultLru_; ///< front = most recent
+
+    std::unordered_map<std::string, TraceEntry> traces_;
+    std::list<std::string> traceLru_;
+    size_t traceBytes_ = 0;
+
+    /** Lazily created capture harness (never constructed when every
+     *  query is served from the store or caches). */
+    std::unique_ptr<harness::BenchmarkSuite> suite_;
+};
+
+} // namespace mmxdsp::service
+
+#endif // MMXDSP_SERVICE_QUERY_ENGINE_HH

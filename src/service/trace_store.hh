@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Sharded, content-addressed trace store — the persistence layer of
+ * vprofd.
+ *
+ * The flat trace::Cache directory works for a handful of bench
+ * binaries; a trace *corpus* serving many concurrent queries wants a
+ * different shape:
+ *
+ *  - entries are spread over N shard subdirectories ("shard-00" ..)
+ *    by a stable hash of the key (benchmark, version, SuiteConfig
+ *    hash), so directory scans and evictions touch 1/N of the corpus
+ *    and two stores rarely contend on one directory;
+ *  - the on-disk format is trace format v2 (format_v2.hh), so a hit
+ *    is an mmap + checksum scan instead of a varint decode — the
+ *    returned MaterializedTrace aliases the mapping and is shared
+ *    (read-only) between any number of query threads;
+ *  - legacy v1 ".mxt" files in a shard are read transparently and,
+ *    by default, upgraded in place to v2 on first touch;
+ *  - publishes are write-to-unique-temp + rename (support/io.hh), so
+ *    readers never see partial files, and any file that fails
+ *    validation is moved to "<root>/quarantine/" and treated as a
+ *    miss;
+ *  - an optional size budget is enforced by evicting the
+ *    least-recently-used entries (hits refresh the file mtime), so a
+ *    long-running daemon cannot grow the corpus without bound.
+ *
+ * Everything is safe under concurrent readers, writers and evictors:
+ * POSIX keeps an unlinked file's mapping alive, so a trace served to a
+ * query survives its own eviction.
+ */
+
+#ifndef MMXDSP_SERVICE_TRACE_STORE_HH
+#define MMXDSP_SERVICE_TRACE_STORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "trace/materialize.hh"
+
+namespace mmxdsp::service {
+
+struct StoreOptions
+{
+    std::string root = "vprofd_store";
+    /** Number of shard subdirectories (clamped to [1, 256]). */
+    uint32_t shards = 16;
+    /** Total corpus size budget in bytes; 0 = unlimited. */
+    uint64_t budget_bytes = 0;
+    /** Rewrite legacy v1 entries as v2 on first load. */
+    bool upgrade_v1 = true;
+};
+
+struct StoreStats
+{
+    uint64_t v2_hits = 0;    ///< served straight from an mmap'd v2 file
+    uint64_t v1_hits = 0;    ///< served via a legacy v1 decode
+    uint64_t misses = 0;     ///< no entry (or only invalid ones)
+    uint64_t stores = 0;     ///< successful publishes
+    uint64_t upgraded = 0;   ///< v1 entries rewritten as v2
+    uint64_t quarantined = 0;///< invalid files moved aside
+    uint64_t evicted = 0;    ///< entries removed by the budget
+};
+
+class TraceStore
+{
+  public:
+    explicit TraceStore(StoreOptions opts = StoreOptions{});
+
+    const StoreOptions &options() const { return opts_; }
+
+    /**
+     * The shard an entry lives in: a stable FNV-1a hash of the key,
+     * so every process (and every future run) routes one key to the
+     * same shard directory.
+     */
+    uint32_t shardOf(const std::string &benchmark,
+                     const std::string &version,
+                     uint64_t config_hash) const;
+
+    std::string shardDir(uint32_t shard) const;
+
+    /** On-disk v2 path for a key. */
+    std::string path(const std::string &benchmark,
+                     const std::string &version,
+                     uint64_t config_hash) const;
+
+    /** On-disk path a legacy v1 entry would occupy (same shard). */
+    std::string legacyPath(const std::string &benchmark,
+                           const std::string &version,
+                           uint64_t config_hash) const;
+
+    /**
+     * Look up a trace. A v2 hit mmaps the file (zero-copy, validated);
+     * a v1 hit decodes it and, when options().upgrade_v1, republishes
+     * it as v2 and retires the v1 file. Invalid files are quarantined.
+     * A miss (or an unloadable entry) returns nullptr. Hits refresh
+     * the entry's mtime for LRU eviction.
+     */
+    std::shared_ptr<const trace::MaterializedTrace>
+    load(const std::string &benchmark, const std::string &version,
+         uint64_t config_hash);
+
+    /** Publish a materialized trace as a v2 entry (atomic rename),
+     *  then enforce the size budget. */
+    bool store(const std::string &benchmark, const std::string &version,
+               uint64_t config_hash, const trace::MaterializedTrace &mat);
+
+    /** Publish a serialized v1 image, converting it to v2 first. */
+    bool storeV1Image(const std::string &benchmark,
+                      const std::string &version, uint64_t config_hash,
+                      const std::vector<uint8_t> &v1_image);
+
+    /** Total bytes of live entries across all shards. */
+    uint64_t totalBytes() const;
+
+    /** Number of live entries across all shards. */
+    uint64_t entryCount() const;
+
+    /**
+     * Remove least-recently-used entries until the corpus fits the
+     * budget (no-op when budget_bytes == 0). Returns bytes removed.
+     * Safe against concurrent loads: a reader that already mmap'd an
+     * evicted file keeps a valid mapping.
+     */
+    uint64_t enforceBudget();
+
+    StoreStats stats() const;
+
+  private:
+    struct Entry
+    {
+        std::string path;
+        uint64_t bytes;
+        int64_t mtime_ns;
+    };
+
+    /** All live entries (shard dirs only; temp files skipped). */
+    std::vector<Entry> scan() const;
+
+    void bump(uint64_t StoreStats::*field, uint64_t n = 1);
+
+    StoreOptions opts_;
+    mutable std::mutex mu_; ///< guards stats_ only; file ops are lock-free
+    StoreStats stats_;
+};
+
+} // namespace mmxdsp::service
+
+#endif // MMXDSP_SERVICE_TRACE_STORE_HH

@@ -4,51 +4,24 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "support/io.hh"
 #include "support/logging.hh"
 
 namespace mmxdsp::trace {
 
 namespace {
 
-bool
-readFile(const std::string &path, std::vector<uint8_t> &out)
+/** Get a damaged entry out of the lookup path (and say where it went). */
+void
+quarantineEntry(const std::string &path, const char *why)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        return false;
-    std::fseek(f, 0, SEEK_END);
-    const long size = std::ftell(f);
-    if (size < 0) {
-        std::fclose(f);
-        return false;
-    }
-    std::fseek(f, 0, SEEK_SET);
-    out.resize(static_cast<size_t>(size));
-    const size_t got = size ? std::fread(out.data(), 1, out.size(), f) : 0;
-    std::fclose(f);
-    return got == out.size();
-}
-
-bool
-writeFileAtomic(const std::string &path, const std::vector<uint8_t> &data)
-{
-    const std::string tmp = path + ".tmp";
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (!f)
-        return false;
-    const size_t put = data.empty()
-                           ? 0
-                           : std::fwrite(data.data(), 1, data.size(), f);
-    const bool ok = std::fclose(f) == 0 && put == data.size();
-    if (!ok) {
-        std::remove(tmp.c_str());
-        return false;
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        return false;
-    }
-    return true;
+    if (quarantineFile(path))
+        mmxdsp_warn("trace cache: %s %s; quarantined and "
+                    "falling back to live execution",
+                    why, path.c_str());
+    else
+        mmxdsp_warn("trace cache: %s %s; falling back to live execution",
+                    why, path.c_str());
 }
 
 } // namespace
@@ -100,16 +73,12 @@ TraceCache::load(const std::string &benchmark, const std::string &version,
         return false;
     }
     if (!out.parse(std::move(data))) {
-        mmxdsp_warn("trace cache: corrupt or truncated trace %s; "
-                    "falling back to live execution",
-                    p.c_str());
+        quarantineEntry(p, "corrupt or truncated trace");
         return false;
     }
     if (out.benchmark() != benchmark || out.version() != version
         || out.configHash() != config_hash) {
-        mmxdsp_warn("trace cache: stale or foreign trace %s "
-                    "(key mismatch); falling back to live execution",
-                    p.c_str());
+        quarantineEntry(p, "stale or foreign trace (key mismatch) at");
         return false;
     }
     return true;

@@ -9,8 +9,12 @@
  * body checksum, so a corrupt or foreign file is a miss, never a wrong
  * result.
  *
- * Stores write to a temp file and rename() it into place, so concurrent
- * bench binaries never observe a half-written trace.
+ * Stores write to a uniquely named temp file and rename() it into
+ * place (support/io.hh), so concurrent bench binaries never observe a
+ * half-written trace — even two processes publishing the same key at
+ * once each complete their own temp file and the last rename wins.
+ * Files that fail validation are moved aside into "<dir>/quarantine/"
+ * so the next run re-captures instead of re-tripping on them.
  *
  * The cache directory defaults to "./traces"; override it with the
  * MMXDSP_TRACE_DIR environment variable, or disable caching entirely
@@ -53,9 +57,11 @@ class TraceCache
      * Look up a trace; on a hit, @p out holds the parsed trace and the
      * result is true. Any validation failure is a miss: a missing file
      * misses silently (the normal cold cache), while a truncated,
-     * corrupt, or key-mismatched file logs a warning so the caller's
+     * corrupt, or key-mismatched file is quarantined (moved into
+     * "<dir>/quarantine/") and logs a warning, so the caller's
      * live-execution fallback (which re-captures and rewrites the
-     * entry) is visible rather than a mystery slowdown.
+     * entry) is visible rather than a mystery slowdown and the bad
+     * bytes are kept for inspection.
      */
     bool load(const std::string &benchmark, const std::string &version,
               uint64_t config_hash, TraceReader &out) const;

@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Trace format v2 serialization and the zero-copy mmap load path (see
+ * format_v2.hh for the layout). serializeV2()/adoptV2() are members of
+ * MaterializedTrace because the format *is* that class's buffer
+ * layout; they live here to keep materialize.cc focused on the replay
+ * kernels.
+ */
+
+#include "format_v2.hh"
+
+#include <cstring>
+
+#include "isa/op.hh"
+#include "support/io.hh"
+#include "support/logging.hh"
+#include "trace/format.hh"
+#include "trace/materialize.hh"
+#include "trace/reader.hh"
+
+#ifdef _WIN32
+// No mmap on Windows builds; MmapFile falls back to a buffered read.
+#else
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace mmxdsp::trace {
+
+bool
+isV2Image(const uint8_t *data, size_t size)
+{
+    return size >= 4 && std::memcmp(data, kMagicV2, 4) == 0;
+}
+
+bool
+isV1Image(const uint8_t *data, size_t size)
+{
+    return size >= 4 && std::memcmp(data, kMagic, 4) == 0;
+}
+
+// ---------------------------------------------------------------- MmapFile
+
+MmapFile::~MmapFile()
+{
+#ifndef _WIN32
+    if (mapped_ && data_)
+        ::munmap(const_cast<uint8_t *>(data_), size_);
+#endif
+}
+
+bool
+MmapFile::open(const std::string &path)
+{
+#ifndef _WIN32
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+        struct stat st;
+        if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+            const size_t size = static_cast<size_t>(st.st_size);
+            if (size == 0) {
+                ::close(fd);
+                data_ = nullptr;
+                size_ = 0;
+                return true;
+            }
+            void *p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+            ::close(fd);
+            if (p != MAP_FAILED) {
+                data_ = static_cast<const uint8_t *>(p);
+                size_ = size;
+                mapped_ = true;
+                return true;
+            }
+        } else {
+            ::close(fd);
+            return false;
+        }
+    } else {
+        return false;
+    }
+#endif
+    // mmap unavailable or failed: fall back to an owned buffer so the
+    // caller still gets a usable image (just not zero-copy).
+    if (!mmxdsp::readFile(path, fallback_))
+        return false;
+    data_ = fallback_.data();
+    size_ = fallback_.size();
+    return true;
+}
+
+// ------------------------------------------------------------- serialize
+
+namespace {
+
+size_t
+alignUp(size_t v, size_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+struct SectionDesc
+{
+    V2SectionId id;
+    const uint8_t *bytes;
+    size_t length;
+};
+
+} // namespace
+
+std::vector<uint8_t>
+MaterializedTrace::serializeV2() const
+{
+    // The Meta section: every small table, varint-encoded. Decoded once
+    // at load time; everything O(instrCount) ships as raw arrays below.
+    std::vector<uint8_t> meta;
+    putString(meta, benchmark_);
+    putString(meta, version_);
+    putVarint(meta, siteTableSize_);
+    putVarint(meta, fnNames_.size());
+    for (size_t i = 0; i < fnNames_.size(); ++i) {
+        putString(meta, fnNames_[i]);
+        putVarint(meta, fnCounts_[i].calls);
+        putVarint(meta, fnCounts_[i].instructions);
+    }
+    putVarint(meta, counts_.dynamicInstructions);
+    putVarint(meta, counts_.staticInstructions);
+    putVarint(meta, counts_.uops);
+    putVarint(meta, counts_.memoryReferences);
+    putVarint(meta, counts_.functionCalls);
+    putVarint(meta, counts_.mmxInstructions);
+    for (uint64_t v : counts_.mmxByCategory)
+        putVarint(meta, v);
+    putVarint(meta, isa::kNumOps);
+    for (uint64_t v : counts_.opCounts)
+        putVarint(meta, v);
+    putVarint(meta, strings_.size());
+    for (const std::string &s : strings_)
+        putString(meta, s);
+    putVarint(meta, siteMeta_.size());
+    for (const SiteMeta &m : siteMeta_) {
+        putVarint(meta, m.line);
+        putVarint(meta, m.column);
+        putVarint(meta, static_cast<uint64_t>(m.file + 1));
+        putVarint(meta, static_cast<uint64_t>(m.function + 1));
+    }
+
+    const auto raw = [](const auto &buf) {
+        return reinterpret_cast<const uint8_t *>(buf.data());
+    };
+    const SectionDesc sections[] = {
+        {V2SectionId::Meta, meta.data(), meta.size()},
+        {V2SectionId::Op, raw(op_), op_.size() * sizeof(uint16_t)},
+        {V2SectionId::Flags, raw(flags_), flags_.size()},
+        {V2SectionId::MemSize, raw(size_), size_.size()},
+        {V2SectionId::Src0, raw(src0_), src0_.size()},
+        {V2SectionId::Src1, raw(src1_), src1_.size()},
+        {V2SectionId::Dst, raw(dst_), dst_.size()},
+        {V2SectionId::Site, raw(site_), site_.size() * sizeof(uint32_t)},
+        {V2SectionId::Addr, raw(addr_), addr_.size() * sizeof(uint64_t)},
+        {V2SectionId::FnId, raw(fnId_), fnId_.size() * sizeof(uint32_t)},
+        {V2SectionId::Segments, raw(segments_),
+         segments_.size() * sizeof(Segment)},
+    };
+    constexpr size_t kNumSections = sizeof(sections) / sizeof(sections[0]);
+
+    // Lay out the section table, then every section 64-byte aligned.
+    std::vector<V2Section> table(kNumSections);
+    size_t offset = sizeof(V2Header) + kNumSections * sizeof(V2Section);
+    for (size_t i = 0; i < kNumSections; ++i) {
+        offset = alignUp(offset, kV2Align);
+        table[i].id = static_cast<uint32_t>(sections[i].id);
+        table[i].reserved = 0;
+        table[i].offset = offset;
+        table[i].length = sections[i].length;
+        table[i].checksum =
+            fnv1a(sections[i].bytes, sections[i].length);
+        offset += sections[i].length;
+    }
+
+    V2Header header{};
+    std::memcpy(header.magic, kMagicV2, 4);
+    header.version = kFormatVersionV2;
+    header.configHash = configHash_;
+    header.instrCount = op_.size();
+    header.segmentCount = segments_.size();
+    header.controlCount = controlCount_;
+    header.sectionCount = kNumSections;
+    header.tableChecksum =
+        fnv1a(reinterpret_cast<const uint8_t *>(table.data()),
+              table.size() * sizeof(V2Section));
+
+    std::vector<uint8_t> image(offset, 0);
+    std::memcpy(image.data(), &header, sizeof(header));
+    std::memcpy(image.data() + sizeof(V2Header), table.data(),
+                table.size() * sizeof(V2Section));
+    for (size_t i = 0; i < kNumSections; ++i)
+        if (sections[i].length)
+            std::memcpy(image.data() + table[i].offset, sections[i].bytes,
+                        sections[i].length);
+    return image;
+}
+
+// ------------------------------------------------------------------ load
+
+bool
+MaterializedTrace::adoptV2(const uint8_t *data, size_t size,
+                           std::shared_ptr<const void> holder)
+{
+    *this = MaterializedTrace();
+    if (!data || size < sizeof(V2Header))
+        return false;
+
+    V2Header header;
+    std::memcpy(&header, data, sizeof(header));
+    if (std::memcmp(header.magic, kMagicV2, 4) != 0
+        || header.version != kFormatVersionV2)
+        return false;
+
+    const size_t tableBytes =
+        static_cast<size_t>(header.sectionCount) * sizeof(V2Section);
+    if (header.sectionCount > 64
+        || sizeof(V2Header) + tableBytes > size)
+        return false;
+    if (fnv1a(data + sizeof(V2Header), tableBytes) != header.tableChecksum)
+        return false;
+
+    // Locate every known section exactly once, bounds- and
+    // checksum-checked. The checksum pass is the only O(file) work a
+    // v2 load does — a linear scan, no decode.
+    const uint8_t *found[12] = {};
+    size_t lengths[12] = {};
+    std::vector<V2Section> table(header.sectionCount);
+    std::memcpy(table.data(), data + sizeof(V2Header), tableBytes);
+    for (const V2Section &sec : table) {
+        if (sec.id == 0 || sec.id > 11)
+            return false;
+        if (found[sec.id])
+            return false; // duplicate section
+        if (sec.offset % kV2Align != 0 || sec.offset > size
+            || sec.length > size - sec.offset)
+            return false;
+        if (fnv1a(data + sec.offset, static_cast<size_t>(sec.length))
+            != sec.checksum)
+            return false;
+        found[sec.id] = data + sec.offset;
+        lengths[sec.id] = static_cast<size_t>(sec.length);
+    }
+    for (uint32_t id = 1; id <= 11; ++id)
+        if (!found[id])
+            return false;
+
+    const auto sec = [&](V2SectionId id) {
+        return found[static_cast<uint32_t>(id)];
+    };
+    const auto len = [&](V2SectionId id) {
+        return lengths[static_cast<uint32_t>(id)];
+    };
+
+    // Cross-section size invariants against the header counts.
+    const size_t n = static_cast<size_t>(header.instrCount);
+    const size_t nseg = static_cast<size_t>(header.segmentCount);
+    if (len(V2SectionId::Op) != n * sizeof(uint16_t)
+        || len(V2SectionId::Flags) != n || len(V2SectionId::MemSize) != n
+        || len(V2SectionId::Src0) != n || len(V2SectionId::Src1) != n
+        || len(V2SectionId::Dst) != n
+        || len(V2SectionId::Site) != n * sizeof(uint32_t)
+        || len(V2SectionId::Addr) != n * sizeof(uint64_t)
+        || len(V2SectionId::FnId) != n * sizeof(uint32_t)
+        || len(V2SectionId::Segments) != nseg * sizeof(Segment))
+        return false;
+
+    // Decode the small tables.
+    {
+        ByteReader r(sec(V2SectionId::Meta), len(V2SectionId::Meta));
+        benchmark_ = r.getString();
+        version_ = r.getString();
+        siteTableSize_ = static_cast<uint32_t>(r.getVarint());
+        const uint64_t nfn = r.getVarint();
+        if (!r.ok() || nfn == 0 || nfn > len(V2SectionId::Meta))
+            return false;
+        fnNames_.reserve(static_cast<size_t>(nfn));
+        fnCounts_.reserve(static_cast<size_t>(nfn));
+        for (uint64_t i = 0; i < nfn; ++i) {
+            fnNames_.push_back(r.getString());
+            profile::FunctionStats st;
+            st.calls = r.getVarint();
+            st.instructions = r.getVarint();
+            fnCounts_.push_back(st);
+        }
+        counts_.dynamicInstructions = r.getVarint();
+        counts_.staticInstructions = r.getVarint();
+        counts_.uops = r.getVarint();
+        counts_.memoryReferences = r.getVarint();
+        counts_.functionCalls = r.getVarint();
+        counts_.mmxInstructions = r.getVarint();
+        for (uint64_t &v : counts_.mmxByCategory)
+            v = r.getVarint();
+        if (r.getVarint() != isa::kNumOps)
+            return false; // op table shape changed: stale image
+        for (uint64_t &v : counts_.opCounts)
+            v = r.getVarint();
+        const uint64_t nstrings = r.getVarint();
+        if (!r.ok() || nstrings > len(V2SectionId::Meta))
+            return false;
+        strings_.reserve(static_cast<size_t>(nstrings));
+        for (uint64_t i = 0; i < nstrings; ++i)
+            strings_.push_back(r.getString());
+        const uint64_t nsites = r.getVarint();
+        if (!r.ok() || nsites > len(V2SectionId::Meta))
+            return false;
+        siteMeta_.resize(static_cast<size_t>(nsites));
+        for (uint64_t i = 0; i < nsites; ++i) {
+            SiteMeta &m = siteMeta_[i];
+            m.line = static_cast<uint32_t>(r.getVarint());
+            m.column = static_cast<uint32_t>(r.getVarint());
+            m.file = static_cast<int32_t>(r.getVarint()) - 1;
+            m.function = static_cast<int32_t>(r.getVarint()) - 1;
+            if (m.file >= static_cast<int32_t>(strings_.size())
+                || m.function >= static_cast<int32_t>(strings_.size()))
+                return false;
+        }
+        if (!r.ok() || counts_.dynamicInstructions != n)
+            return false;
+    }
+
+    // Alias the event buffers straight into the image.
+    op_.view(reinterpret_cast<const uint16_t *>(sec(V2SectionId::Op)), n);
+    flags_.view(sec(V2SectionId::Flags), n);
+    size_.view(sec(V2SectionId::MemSize), n);
+    src0_.view(sec(V2SectionId::Src0), n);
+    src1_.view(sec(V2SectionId::Src1), n);
+    dst_.view(sec(V2SectionId::Dst), n);
+    site_.view(reinterpret_cast<const uint32_t *>(sec(V2SectionId::Site)),
+               n);
+    addr_.view(reinterpret_cast<const uint64_t *>(sec(V2SectionId::Addr)),
+               n);
+    fnId_.view(reinterpret_cast<const uint32_t *>(sec(V2SectionId::FnId)),
+               n);
+    segments_.view(
+        reinterpret_cast<const Segment *>(sec(V2SectionId::Segments)),
+        nseg);
+
+    // Referential integrity scans: everything a replay kernel indexes
+    // with must be in range, and the redundant header counts must
+    // agree, so a corrupt-but-checksum-valid image can never walk a
+    // kernel out of bounds. Linear passes, no decode.
+    uint64_t runSum = 0;
+    for (const Segment &seg : segments_) {
+        if (seg.kind == Segment::Run)
+            runSum += seg.value;
+        else if (seg.kind == Segment::Enter) {
+            if (seg.value >= fnNames_.size())
+                return false;
+        } else if (seg.kind != Segment::Leave) {
+            return false;
+        }
+    }
+    if (runSum != n)
+        return false;
+    uint64_t control = 0;
+    for (size_t i = 0; i < n; ++i) {
+        if (fnId_[i] >= fnNames_.size())
+            return false;
+        if (site_[i] >= siteTableSize_)
+            return false;
+        control += (flags_[i] & kFlagControl) != 0;
+    }
+    if (control != header.controlCount)
+        return false;
+
+    configHash_ = header.configHash;
+    controlCount_ = header.controlCount;
+    backing_ = std::move(holder);
+    valid_ = true;
+    return true;
+}
+
+bool
+MaterializedTrace::loadV2File(const std::string &path)
+{
+    auto map = std::make_shared<MmapFile>();
+    if (!map->open(path))
+        return false;
+    const uint8_t *data = map->data();
+    const size_t size = map->size();
+    return adoptV2(data, size, std::move(map));
+}
+
+bool
+MaterializedTrace::loadV2Image(std::vector<uint8_t> image)
+{
+    auto holder =
+        std::make_shared<std::vector<uint8_t>>(std::move(image));
+    const uint8_t *data = holder->data();
+    const size_t size = holder->size();
+    return adoptV2(data, size, std::move(holder));
+}
+
+// ------------------------------------------------------------- converter
+
+bool
+convertV1ImageToV2(const std::vector<uint8_t> &v1, std::vector<uint8_t> &v2)
+{
+    TraceReader reader;
+    if (!reader.parse(v1))
+        return false;
+    MaterializedTrace mat;
+    if (!mat.build(reader))
+        return false;
+    v2 = mat.serializeV2();
+    return true;
+}
+
+} // namespace mmxdsp::trace

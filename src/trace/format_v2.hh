@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Trace format v2 — the mmap'd materialized layout.
+ *
+ * Format v1 (format.hh) optimizes for capture: a varint/delta byte
+ * stream that is compact to write but must be fully decoded on every
+ * load. Format v2 optimizes for serving: its on-disk layout *is* the
+ * trace::MaterializedTrace structure-of-arrays, so a load is an mmap
+ * plus a checksum scan — the event buffers are used in place with zero
+ * copies and zero per-event decode work. This is what lets a trace
+ * store answer thousands of (trace, machine-config) queries without
+ * ever paying the varint decode again (compute once, serve many).
+ *
+ * Layout (all fixed-width fields little-endian):
+ *
+ *   header        V2Header (64 bytes): magic "MXT2", version, config
+ *                 hash, instruction/segment/control counts, section
+ *                 count, FNV-1a checksum of the section table
+ *   section table sectionCount x V2Section {id, offset, length,
+ *                 checksum}; offsets are from the start of the file and
+ *                 kV2Align-aligned, checksums are FNV-1a over the
+ *                 section bytes
+ *   sections      raw little-endian arrays, one per MaterializedTrace
+ *                 event buffer (op u16, flags/size/src0/src1/dst u8,
+ *                 site/fnId u32, addr u64, segments {u32 kind, u32
+ *                 value}), plus one varint-encoded Meta section for the
+ *                 small tables (names, per-function counts, the
+ *                 config-independent ProfileResult template, site
+ *                 metadata)
+ *
+ * mmap() returns page-aligned memory and every section offset is
+ * 64-byte aligned, so each array is naturally aligned for its element
+ * type. Integrity: a load validates magic, version, the table checksum
+ * and every section checksum (a fast linear scan — no decode), and all
+ * cross-section size invariants; any mismatch is a refused load, which
+ * the trace store turns into quarantine-and-miss.
+ */
+
+#ifndef MMXDSP_TRACE_FORMAT_V2_HH
+#define MMXDSP_TRACE_FORMAT_V2_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mmxdsp::trace {
+
+constexpr char kMagicV2[4] = {'M', 'X', 'T', '2'};
+
+/** Bump when the SoA layout or the Meta encoding changes. */
+constexpr uint32_t kFormatVersionV2 = 2;
+
+/** Every section offset is aligned to this (covers u64 naturally). */
+constexpr size_t kV2Align = 64;
+
+/** Section ids (u32 on disk; unknown ids are a refused load). */
+enum class V2SectionId : uint32_t {
+    Meta = 1,     ///< varint-encoded small tables (see materialize.cc)
+    Op = 2,       ///< u16 per event
+    Flags = 3,    ///< u8 per event
+    MemSize = 4,  ///< u8 per event
+    Src0 = 5,     ///< u8 per event
+    Src1 = 6,     ///< u8 per event
+    Dst = 7,      ///< u8 per event
+    Site = 8,     ///< u32 per event
+    Addr = 9,     ///< u64 per event
+    FnId = 10,    ///< u32 per event
+    Segments = 11 ///< {u32 kind, u32 value} per segment
+};
+
+/** Fixed file header. Trivially copyable: read/written as raw bytes. */
+struct V2Header
+{
+    char magic[4];
+    uint32_t version;
+    uint64_t configHash;
+    uint64_t instrCount;
+    uint64_t segmentCount;
+    uint64_t controlCount;
+    uint32_t sectionCount;
+    uint32_t reserved;
+    uint64_t tableChecksum; ///< FNV-1a over the section table bytes
+    uint64_t reserved2;
+};
+static_assert(sizeof(V2Header) == 64);
+
+/** One section-table entry. */
+struct V2Section
+{
+    uint32_t id;
+    uint32_t reserved;
+    uint64_t offset;   ///< from the start of the file, kV2Align-aligned
+    uint64_t length;   ///< bytes
+    uint64_t checksum; ///< FNV-1a over the section bytes
+};
+static_assert(sizeof(V2Section) == 32);
+
+/** True when @p data starts with the v2 magic. */
+bool isV2Image(const uint8_t *data, size_t size);
+
+/** True when @p data starts with the v1 magic ("MXTR"). */
+bool isV1Image(const uint8_t *data, size_t size);
+
+/**
+ * A read-only memory-mapped file. On platforms (or filesystems) where
+ * mmap fails, falls back to reading the file into an owned buffer, so
+ * data() is always valid after a successful open().
+ */
+class MmapFile
+{
+  public:
+    MmapFile() = default;
+    ~MmapFile();
+
+    MmapFile(const MmapFile &) = delete;
+    MmapFile &operator=(const MmapFile &) = delete;
+
+    /** Map @p path read-only. Any failure returns false. */
+    bool open(const std::string &path);
+
+    const uint8_t *data() const { return data_; }
+    size_t size() const { return size_; }
+    /** True when the bytes come from a real mmap, not the fallback. */
+    bool mapped() const { return mapped_; }
+
+  private:
+    const uint8_t *data_ = nullptr;
+    size_t size_ = 0;
+    bool mapped_ = false;
+    std::vector<uint8_t> fallback_;
+};
+
+/**
+ * Convert a serialized v1 trace image into a v2 image (parse, build
+ * the materialized form, serialize). Returns false when @p v1 does not
+ * parse as a valid v1 trace.
+ */
+bool convertV1ImageToV2(const std::vector<uint8_t> &v1,
+                        std::vector<uint8_t> &v2);
+
+} // namespace mmxdsp::trace
+
+#endif // MMXDSP_TRACE_FORMAT_V2_HH

@@ -35,11 +35,11 @@ constexpr size_t kBatchEvents = 512;
 struct MaterializedTrace::BuildSink final : sim::TraceSink
 {
     BuildSink(MaterializedTrace &trace, size_t count)
-        : t(trace), n(count), op(trace.op_.data()),
-          flags(trace.flags_.data()), size(trace.size_.data()),
-          src0(trace.src0_.data()), src1(trace.src1_.data()),
-          dst(trace.dst_.data()), site(trace.site_.data()),
-          addr(trace.addr_.data()), fnId(trace.fnId_.data())
+        : t(trace), n(count), op(trace.op_.mutableData()),
+          flags(trace.flags_.mutableData()), size(trace.size_.mutableData()),
+          src0(trace.src0_.mutableData()), src1(trace.src1_.mutableData()),
+          dst(trace.dst_.mutableData()), site(trace.site_.mutableData()),
+          addr(trace.addr_.mutableData()), fnId(trace.fnId_.mutableData())
     {
         // Per-op flag bits (control / call-ret / overhead), derived once
         // so onInstr() and the replay kernels never consult the op tables.
@@ -95,7 +95,7 @@ struct MaterializedTrace::BuildSink final : sim::TraceSink
         stack.push_back(id);
         current = id;
         ++t.fnCounts_[id].calls;
-        t.segments_.push_back({Segment::Enter, id});
+        segs.push_back({Segment::Enter, id});
     }
 
     void
@@ -105,21 +105,23 @@ struct MaterializedTrace::BuildSink final : sim::TraceSink
         if (!stack.empty())
             stack.pop_back();
         current = stack.empty() ? 0 : stack.back();
-        t.segments_.push_back({Segment::Leave, 0});
+        segs.push_back({Segment::Leave, 0});
     }
 
-    /** Close the open instruction run (instead of touching segments_
-     *  per event, onInstr just counts and a marker flushes). */
+    /** Close the open instruction run (instead of touching the segment
+     *  list per event, onInstr just counts and a marker flushes). */
     void
     flushRun()
     {
         if (run) {
-            t.segments_.push_back({Segment::Run, run});
+            segs.push_back({Segment::Run, run});
             run = 0;
         }
     }
 
     MaterializedTrace &t;
+    /** Staged segment list, adopted into t.segments_ after the run. */
+    std::vector<Segment> segs;
     size_t n;
     uint16_t *op;
     uint8_t *flags;
@@ -151,15 +153,15 @@ MaterializedTrace::build(const TraceReader &reader)
     configHash_ = reader.configHash();
 
     const size_t n = static_cast<size_t>(reader.instrCount());
-    op_.resize(n);
-    flags_.resize(n);
-    size_.resize(n);
-    src0_.resize(n);
-    src1_.resize(n);
-    dst_.resize(n);
-    site_.resize(n);
-    addr_.resize(n);
-    fnId_.resize(n);
+    op_.alloc(n);
+    flags_.alloc(n);
+    size_.alloc(n);
+    src0_.alloc(n);
+    src1_.alloc(n);
+    dst_.alloc(n);
+    site_.alloc(n);
+    addr_.alloc(n);
+    fnId_.alloc(n);
 
     fnNames_.emplace_back(profile::rootFunctionName());
     fnCounts_.emplace_back();
@@ -171,6 +173,7 @@ MaterializedTrace::build(const TraceReader &reader)
         return false;
     }
     sink.flushRun();
+    segments_.adopt(std::move(sink.segs));
 
     // Everything derivable from the filled buffers happens in this
     // finalize scan, keeping the per-event sink above to plain stores.

@@ -28,12 +28,19 @@
  * whose results are bit-identical to a full VProf replay. One
  * MaterializedTrace is immutable after build() and safely shared by
  * any number of replay threads.
+ *
+ * Besides build() (the v1 varint decode), a MaterializedTrace can be
+ * serialized as trace format v2 (format_v2.hh) — whose on-disk layout
+ * is exactly these buffers — and loaded back by mmap: the event arrays
+ * then alias the mapped file (zero copy, no per-load decode), which is
+ * the storage format of the vprofd trace store.
  */
 
 #ifndef MMXDSP_TRACE_MATERIALIZE_HH
 #define MMXDSP_TRACE_MATERIALIZE_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -44,6 +51,64 @@
 #include "trace/reader.hh"
 
 namespace mmxdsp::trace {
+
+/**
+ * One structure-of-arrays event buffer: either owns its storage (the
+ * build()/adopt() paths) or aliases external read-only memory (the
+ * mmap'd format-v2 load path, where the backing mapping outlives the
+ * trace via MaterializedTrace::backing_). Read access is identical
+ * either way, so the replay kernels never know which they got.
+ * Move-only: a view into another buffer's owned storage would dangle.
+ */
+template <typename T>
+class EventBuf
+{
+  public:
+    EventBuf() = default;
+    EventBuf(EventBuf &&) noexcept = default;
+    EventBuf &operator=(EventBuf &&) noexcept = default;
+    EventBuf(const EventBuf &) = delete;
+    EventBuf &operator=(const EventBuf &) = delete;
+
+    /** Allocate @p n owned, zero-initialized elements. */
+    void alloc(size_t n)
+    {
+        owned_.assign(n, T{});
+        ptr_ = owned_.data();
+        size_ = n;
+    }
+
+    /** Take ownership of an already-filled vector. */
+    void adopt(std::vector<T> &&v)
+    {
+        owned_ = std::move(v);
+        ptr_ = owned_.data();
+        size_ = owned_.size();
+    }
+
+    /** Alias external memory (caller keeps it alive and immutable). */
+    void view(const T *p, size_t n)
+    {
+        owned_.clear();
+        owned_.shrink_to_fit();
+        ptr_ = p;
+        size_ = n;
+    }
+
+    const T *data() const { return ptr_; }
+    /** Writable storage; only valid for owned (alloc'd) buffers. */
+    T *mutableData() { return owned_.data(); }
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    const T &operator[](size_t i) const { return ptr_[i]; }
+    const T *begin() const { return ptr_; }
+    const T *end() const { return ptr_ + size_; }
+
+  private:
+    std::vector<T> owned_;
+    const T *ptr_ = nullptr;
+    size_t size_ = 0;
+};
 
 class MaterializedTrace
 {
@@ -56,6 +121,29 @@ class MaterializedTrace
      * invalid or its body is corrupt.
      */
     bool build(const TraceReader &reader);
+
+    /**
+     * The complete format-v2 image of this trace (header + section
+     * table + the SoA buffers; see format_v2.hh). Deterministic: the
+     * same trace always serializes byte for byte identically.
+     */
+    std::vector<uint8_t> serializeV2() const;
+
+    /**
+     * Load a format-v2 file by mmap. On success the event buffers
+     * alias the mapping (zero-copy; only the small Meta tables are
+     * decoded) and the mapping is kept alive for this trace's
+     * lifetime. Any validation failure — bad magic/version, checksum
+     * mismatch, truncation, inconsistent section sizes — returns false
+     * and leaves the trace invalid.
+     */
+    bool loadV2File(const std::string &path);
+
+    /**
+     * Same validation and zero-copy aliasing over an in-memory v2
+     * image (the buffers view the moved-in vector).
+     */
+    bool loadV2Image(std::vector<uint8_t> image);
 
     bool valid() const { return valid_; }
     uint64_t instrCount() const { return op_.size(); }
@@ -187,29 +275,44 @@ class MaterializedTrace
         kFlagOverhead = 1 << 5, ///< cost attributed to call overhead
     };
 
-    // -- structure-of-arrays event buffers, all instrCount() long --
-    std::vector<uint16_t> op_;    ///< isa::Op (also the OpInfo index)
-    std::vector<uint8_t> flags_;  ///< see the flag enum above
-    std::vector<uint8_t> size_;   ///< memory operand size
-    std::vector<uint8_t> src0_;
-    std::vector<uint8_t> src1_;
-    std::vector<uint8_t> dst_;
-    std::vector<uint32_t> site_;
-    std::vector<uint64_t> addr_;
+    // -- structure-of-arrays event buffers, all instrCount() long;
+    //    owned after build(), mmap-aliased after loadV2File() --
+    EventBuf<uint16_t> op_;   ///< isa::Op (also the OpInfo index)
+    EventBuf<uint8_t> flags_; ///< see the flag enum above
+    EventBuf<uint8_t> size_;  ///< memory operand size
+    EventBuf<uint8_t> src0_;
+    EventBuf<uint8_t> src1_;
+    EventBuf<uint8_t> dst_;
+    EventBuf<uint32_t> site_;
+    EventBuf<uint64_t> addr_;
     /** Owning function per event (enter/leave pre-resolved; 0 = root). */
-    std::vector<uint32_t> fnId_;
+    EventBuf<uint32_t> fnId_;
 
     /**
      * The marker stream for sink-level replay: instruction runs
-     * interleaved with enter/leave in original program order.
+     * interleaved with enter/leave in original program order. The
+     * fixed 8-byte layout doubles as the on-disk format-v2 record.
      */
     struct Segment
     {
-        enum Kind : uint8_t { Run, Enter, Leave };
-        Kind kind;
+        enum Kind : uint32_t { Run, Enter, Leave };
+        uint32_t kind;
         uint32_t value; ///< Run: event count; Enter: function id
     };
-    std::vector<Segment> segments_;
+    static_assert(sizeof(Segment) == 8);
+    EventBuf<Segment> segments_;
+
+    /**
+     * Keeps the memory the EventBufs alias alive when this trace was
+     * loaded from a v2 image (an MmapFile or the image vector itself);
+     * null for build()-constructed traces, whose buffers own storage.
+     */
+    std::shared_ptr<const void> backing_;
+
+    /** Shared v2 image validation + aliasing behind the loadV2 entry
+     *  points; @p holder keeps @p data alive. */
+    bool adoptV2(const uint8_t *data, size_t size,
+                 std::shared_ptr<const void> holder);
 
     std::vector<std::string> fnNames_;
     /** Per-function calls/instructions (config-independent). */

@@ -1,0 +1,540 @@
+/**
+ * @file
+ * Tests for the vprofd service layer: the sharded TraceStore (round
+ * trips, stable sharding, v1 upgrade, quarantine, LRU eviction,
+ * concurrency) and the QueryEngine (result cache, batch-vs-scalar
+ * identity, capture-free cold restart, untrusted query parsing).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/suite.hh"
+#include "service/query_engine.hh"
+#include "service/trace_store.hh"
+#include "support/io.hh"
+#include "support/rng.hh"
+#include "trace/format_v2.hh"
+#include "trace/materialize.hh"
+#include "trace/reader.hh"
+#include "trace/writer.hh"
+
+namespace mmxdsp {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct ScratchDir
+{
+    fs::path path;
+
+    explicit ScratchDir(const char *name)
+        : path(fs::temp_directory_path() / name)
+    {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~ScratchDir() { fs::remove_all(path); }
+};
+
+harness::SuiteConfig
+tinyConfig()
+{
+    harness::SuiteConfig config;
+    config.scaleDown(16);
+    return config;
+}
+
+/** A small synthetic trace (no live run needed for store tests). */
+trace::MaterializedTrace
+syntheticTrace(uint64_t seed, uint64_t config_hash, int events = 400)
+{
+    Rng rng(seed);
+    trace::TraceWriter writer("synth", "c", config_hash);
+    writer.onEnterFunction("work");
+    for (int i = 0; i < events; ++i) {
+        isa::InstrEvent e;
+        e.op = static_cast<isa::Op>(rng.nextBelow(isa::kNumOps));
+        e.site = rng.nextBelow(64);
+        writer.onInstr(e);
+    }
+    writer.onLeaveFunction();
+    writer.finish();
+
+    trace::TraceReader reader;
+    EXPECT_TRUE(reader.parse(writer.serialize()));
+    trace::MaterializedTrace mat;
+    EXPECT_TRUE(mat.build(reader));
+    return mat;
+}
+
+service::StoreOptions
+storeOpts(const ScratchDir &scratch, uint32_t shards = 8)
+{
+    service::StoreOptions opts;
+    opts.root = (scratch.path / "store").string();
+    opts.shards = shards;
+    return opts;
+}
+
+/** All regular files under @p dir whose path contains @p needle. */
+std::vector<std::string>
+filesContaining(const fs::path &dir, const std::string &needle)
+{
+    std::vector<std::string> out;
+    std::error_code ec;
+    for (const auto &de :
+         fs::recursive_directory_iterator(dir, ec)) {
+        if (de.is_regular_file(ec)
+            && de.path().string().find(needle) != std::string::npos)
+            out.push_back(de.path().string());
+    }
+    return out;
+}
+
+// ---------------- TraceStore ----------------
+
+TEST(TraceStoreTest, StoreThenLoadRoundTrips)
+{
+    ScratchDir scratch("mmxdsp_store_roundtrip_test");
+    service::TraceStore store(storeOpts(scratch));
+
+    EXPECT_EQ(store.load("synth", "c", 0x1234), nullptr);
+    EXPECT_EQ(store.stats().misses, 1u);
+
+    trace::MaterializedTrace mat = syntheticTrace(1, 0x1234);
+    ASSERT_TRUE(store.store("synth", "c", 0x1234, mat));
+    EXPECT_EQ(store.entryCount(), 1u);
+    EXPECT_GT(store.totalBytes(), 0u);
+
+    auto loaded = store.load("synth", "c", 0x1234);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(loaded->instrCount(), mat.instrCount());
+    EXPECT_EQ(loaded->configHash(), 0x1234u);
+    EXPECT_EQ(loaded->replayProfile().cycles, mat.replayProfile().cycles);
+
+    const service::StoreStats stats = store.stats();
+    EXPECT_EQ(stats.stores, 1u);
+    EXPECT_EQ(stats.v2_hits, 1u);
+    EXPECT_EQ(stats.v1_hits, 0u);
+    EXPECT_EQ(stats.quarantined, 0u);
+}
+
+TEST(TraceStoreTest, ShardingIsStableAcrossInstances)
+{
+    // The shard is a pure function of the key: a second store instance
+    // (a different process in real life) with a different root and a
+    // fresh state must route every key to the same shard, or corpus
+    // lookups would miss entries written by another process.
+    ScratchDir scratch("mmxdsp_store_shard_test");
+    service::TraceStore a(storeOpts(scratch, 16));
+    service::StoreOptions bOpts = storeOpts(scratch, 16);
+    bOpts.root = (scratch.path / "other_root").string();
+    service::TraceStore b(bOpts);
+
+    std::set<uint32_t> seen;
+    for (int i = 0; i < 64; ++i) {
+        const std::string bench = "bench" + std::to_string(i);
+        const uint64_t h = 0x9000u + static_cast<uint64_t>(i);
+        const uint32_t shard = a.shardOf(bench, "mmx", h);
+        EXPECT_LT(shard, 16u);
+        EXPECT_EQ(shard, b.shardOf(bench, "mmx", h));
+        seen.insert(shard);
+    }
+    // 64 distinct keys into 16 shards must not all collapse into one
+    // directory, or sharding buys nothing.
+    EXPECT_GT(seen.size(), 4u);
+
+    // Different key components move the shard (not a constant).
+    std::set<uint32_t> varied{a.shardOf("fir", "c", 1),
+                              a.shardOf("fir", "mmx", 1),
+                              a.shardOf("fft", "c", 1),
+                              a.shardOf("fir", "c", 2)};
+    EXPECT_GT(varied.size(), 1u);
+}
+
+TEST(TraceStoreTest, LegacyV1EntryIsServedAndUpgraded)
+{
+    ScratchDir scratch("mmxdsp_store_v1_test");
+    service::TraceStore store(storeOpts(scratch));
+
+    // Plant a raw v1 file where the legacy path says it belongs.
+    Rng rng(11);
+    trace::TraceWriter writer("synth", "c", 0x77);
+    for (int i = 0; i < 300; ++i) {
+        isa::InstrEvent e;
+        e.op = static_cast<isa::Op>(rng.nextBelow(isa::kNumOps));
+        writer.onInstr(e);
+    }
+    writer.finish();
+    const std::vector<uint8_t> v1 = writer.serialize();
+    const std::string p1 = store.legacyPath("synth", "c", 0x77);
+    fs::create_directories(fs::path(p1).parent_path());
+    ASSERT_TRUE(writeFileAtomic(p1, v1));
+
+    trace::TraceReader reader;
+    ASSERT_TRUE(reader.parse(std::vector<uint8_t>(v1)));
+    trace::MaterializedTrace expect;
+    ASSERT_TRUE(expect.build(reader));
+
+    auto first = store.load("synth", "c", 0x77);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first->replayProfile().cycles, expect.replayProfile().cycles);
+    EXPECT_EQ(store.stats().v1_hits, 1u);
+    EXPECT_EQ(store.stats().upgraded, 1u);
+    // Upgrade retired the v1 file and published a v2 replacement.
+    EXPECT_FALSE(fs::exists(p1));
+    EXPECT_TRUE(fs::exists(store.path("synth", "c", 0x77)));
+
+    auto second = store.load("synth", "c", 0x77);
+    ASSERT_NE(second, nullptr);
+    EXPECT_EQ(second->replayProfile().cycles,
+              expect.replayProfile().cycles);
+    EXPECT_EQ(store.stats().v2_hits, 1u);
+}
+
+TEST(TraceStoreTest, CorruptEntryIsQuarantinedAndSurvivesRewrite)
+{
+    ScratchDir scratch("mmxdsp_store_quarantine_test");
+    service::TraceStore store(storeOpts(scratch));
+    trace::MaterializedTrace mat = syntheticTrace(2, 0xbeef);
+    ASSERT_TRUE(store.store("synth", "c", 0xbeef, mat));
+
+    // Truncate the entry in place (always invalid: the final section
+    // runs to end of file).
+    const std::string path = store.path("synth", "c", 0xbeef);
+    std::vector<uint8_t> bytes;
+    ASSERT_TRUE(readFile(path, bytes));
+    bytes.resize(bytes.size() / 2);
+    ASSERT_TRUE(writeFileAtomic(path, bytes));
+
+    EXPECT_EQ(store.load("synth", "c", 0xbeef), nullptr);
+    EXPECT_EQ(store.stats().quarantined, 1u);
+    EXPECT_FALSE(fs::exists(path));
+    auto quarantined = filesContaining(scratch.path, "/quarantine/");
+    ASSERT_EQ(quarantined.size(), 1u);
+
+    // Re-publishing the key must not disturb the quarantined evidence,
+    // and the store must serve the fresh entry again.
+    ASSERT_TRUE(store.store("synth", "c", 0xbeef, mat));
+    auto reloaded = store.load("synth", "c", 0xbeef);
+    ASSERT_NE(reloaded, nullptr);
+    EXPECT_EQ(reloaded->replayProfile().cycles,
+              mat.replayProfile().cycles);
+    EXPECT_EQ(filesContaining(scratch.path, "/quarantine/"), quarantined);
+
+    // Quarantined files are out of the corpus accounting.
+    EXPECT_EQ(store.entryCount(), 1u);
+}
+
+TEST(TraceStoreTest, KeyMismatchedEntryIsQuarantined)
+{
+    // A file whose embedded key disagrees with its name (a mis-filed
+    // or stale entry) must not be served under the wrong key.
+    ScratchDir scratch("mmxdsp_store_mismatch_test");
+    service::TraceStore store(storeOpts(scratch));
+    trace::MaterializedTrace mat = syntheticTrace(3, 0x1);
+    const std::string wrong = store.path("synth", "c", 0x2);
+    fs::create_directories(fs::path(wrong).parent_path());
+    ASSERT_TRUE(writeFileAtomic(wrong, mat.serializeV2()));
+
+    EXPECT_EQ(store.load("synth", "c", 0x2), nullptr);
+    EXPECT_EQ(store.stats().quarantined, 1u);
+    EXPECT_FALSE(fs::exists(wrong));
+}
+
+TEST(TraceStoreTest, EvictionRespectsBudgetAndKeepsNewest)
+{
+    ScratchDir scratch("mmxdsp_store_evict_test");
+    service::StoreOptions opts = storeOpts(scratch);
+    service::TraceStore unbudgeted(opts);
+
+    // Publish several same-sized entries with strictly ordered mtimes.
+    const int n = 6;
+    uint64_t per_entry = 0;
+    for (int i = 0; i < n; ++i) {
+        trace::MaterializedTrace mat =
+            syntheticTrace(100 + i, static_cast<uint64_t>(i));
+        ASSERT_TRUE(unbudgeted.store("synth", "c",
+                                     static_cast<uint64_t>(i), mat));
+        const std::string p =
+            unbudgeted.path("synth", "c", static_cast<uint64_t>(i));
+        fs::last_write_time(
+            p, fs::file_time_type(std::chrono::seconds(1000 + i)));
+        if (i == 0)
+            per_entry = fs::file_size(p);
+    }
+    ASSERT_GT(per_entry, 0u);
+
+    // A budget of ~2.5 entries must evict the 4 oldest, keep the rest.
+    service::StoreOptions budgeted = opts;
+    budgeted.budget_bytes = per_entry * 5 / 2;
+    service::TraceStore store(budgeted);
+    const uint64_t removed = store.enforceBudget();
+    EXPECT_GT(removed, 0u);
+    EXPECT_LE(store.totalBytes(), budgeted.budget_bytes);
+    EXPECT_EQ(store.entryCount(), 2u);
+    EXPECT_EQ(store.stats().evicted, 4u);
+    // LRU: the two most recently touched entries survive.
+    EXPECT_NE(store.load("synth", "c", n - 1), nullptr);
+    EXPECT_NE(store.load("synth", "c", n - 2), nullptr);
+    EXPECT_EQ(store.load("synth", "c", 0), nullptr);
+}
+
+TEST(TraceStoreTest, ReaderSurvivesConcurrentEviction)
+{
+    // POSIX semantics: a trace mmap'd before its file is evicted must
+    // stay fully readable. Readers hammer loads while an evictor
+    // repeatedly shrinks the corpus to zero.
+    ScratchDir scratch("mmxdsp_store_concurrent_test");
+    service::StoreOptions opts = storeOpts(scratch);
+    opts.budget_bytes = 1; // evict everything on every enforce
+    service::TraceStore store(opts);
+
+    const int kKeys = 4;
+    std::vector<uint64_t> expect_cycles;
+    trace::MaterializedTrace mats[kKeys];
+    for (int i = 0; i < kKeys; ++i) {
+        mats[i] = syntheticTrace(200 + i, static_cast<uint64_t>(i), 1500);
+        expect_cycles.push_back(mats[i].replayProfile().cycles);
+    }
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> served{0};
+    std::thread writer([&] {
+        while (!stop.load()) {
+            for (int i = 0; i < kKeys; ++i)
+                store.store("synth", "c", static_cast<uint64_t>(i),
+                            mats[i]);
+        }
+    });
+    std::thread evictor([&] {
+        while (!stop.load())
+            store.enforceBudget();
+    });
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 3; ++t) {
+        readers.emplace_back([&, t] {
+            Rng rng(static_cast<uint64_t>(t) + 1);
+            // Spin until this reader has caught a few entries in the
+            // publish->evict window (bounded by a wall-clock deadline
+            // so a pathological scheduler can't hang the test).
+            const auto deadline = std::chrono::steady_clock::now()
+                                  + std::chrono::seconds(10);
+            int mine = 0;
+            while (mine < 5
+                   && std::chrono::steady_clock::now() < deadline) {
+                const int key =
+                    static_cast<int>(rng.nextBelow(kKeys));
+                auto mat = store.load("synth", "c",
+                                      static_cast<uint64_t>(key));
+                if (!mat)
+                    continue; // evicted between publish and load: fine
+                // The mapping must stay valid even if the file is
+                // unlinked while we replay.
+                EXPECT_EQ(mat->replayProfile().cycles,
+                          expect_cycles[static_cast<size_t>(key)]);
+                ++mine;
+                ++served;
+            }
+        });
+    }
+    for (auto &r : readers)
+        r.join();
+    stop.store(true);
+    writer.join();
+    evictor.join();
+    EXPECT_GT(served.load(), 0);
+}
+
+TEST(TraceStoreTest, ConcurrentSameKeyWritersLeaveOneValidEntry)
+{
+    ScratchDir scratch("mmxdsp_store_writers_test");
+    service::TraceStore store(storeOpts(scratch));
+    trace::MaterializedTrace mat = syntheticTrace(7, 0xabc, 800);
+
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 8; ++t)
+        writers.emplace_back([&] {
+            for (int i = 0; i < 25; ++i)
+                EXPECT_TRUE(store.store("synth", "c", 0xabc, mat));
+        });
+    for (auto &w : writers)
+        w.join();
+
+    // Rename-on-publish: exactly one live entry, no temp litter.
+    EXPECT_EQ(store.entryCount(), 1u);
+    EXPECT_TRUE(filesContaining(scratch.path, ".tmp.").empty());
+    auto loaded = store.load("synth", "c", 0xabc);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(loaded->replayProfile().cycles, mat.replayProfile().cycles);
+}
+
+// ---------------- QueryEngine ----------------
+
+service::EngineOptions
+engineOpts(const ScratchDir &scratch)
+{
+    service::EngineOptions opts;
+    opts.store.root = (scratch.path / "store").string();
+    opts.suite = tinyConfig();
+    return opts;
+}
+
+TEST(QueryEngineTest, RepeatQueryIsServedFromResultCache)
+{
+    ScratchDir scratch("mmxdsp_engine_cache_test");
+    service::QueryEngine engine(engineOpts(scratch));
+
+    service::Query q{"fir", "c", sim::MachineConfig{}};
+    const service::QueryResult first = engine.query(q);
+    ASSERT_TRUE(first.ok) << first.error;
+    EXPECT_TRUE(first.trace_captured);
+    EXPECT_FALSE(first.from_result_cache);
+
+    const service::QueryResult again = engine.query(q);
+    ASSERT_TRUE(again.ok);
+    EXPECT_TRUE(again.from_result_cache);
+    EXPECT_FALSE(again.trace_captured);
+    EXPECT_EQ(again.profile.cycles, first.profile.cycles);
+    EXPECT_EQ(engine.stats().result_hits, 1u);
+
+    // A different machine on the same trace replays, not re-captures.
+    service::Query p6 = q;
+    p6.machine.model = sim::ModelKind::P6;
+    const service::QueryResult other = engine.query(p6);
+    ASSERT_TRUE(other.ok);
+    EXPECT_FALSE(other.from_result_cache);
+    EXPECT_FALSE(other.trace_captured);
+    EXPECT_EQ(engine.stats().captures, 1u);
+}
+
+TEST(QueryEngineTest, BatchMatchesStoreReplayExactly)
+{
+    // The batch path answers misses through one packed replaySweep per
+    // trace; every lane must be bit-identical to a scalar
+    // replayProfile over the same stored bytes.
+    ScratchDir scratch("mmxdsp_engine_batch_test");
+    service::EngineOptions opts = engineOpts(scratch);
+    service::QueryEngine engine(opts);
+
+    std::vector<sim::MachineConfig> machines(4);
+    machines[1].model = sim::ModelKind::P6;
+    machines[2].timer.l1.size_bytes = 8 * 1024;
+    machines[3].timer.penalties.l2_miss = 11;
+
+    std::vector<service::Query> queries;
+    for (const auto &m : machines)
+        queries.push_back({"fir", "mmx", m});
+    queries.push_back(queries[0]); // duplicate rides the cache
+
+    const auto results = engine.queryBatch(queries);
+    ASSERT_EQ(results.size(), queries.size());
+    for (const auto &r : results)
+        ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(results[4].profile.cycles, results[0].profile.cycles);
+
+    // Independent scalar oracle over the same stored trace.
+    service::TraceStore oracle(opts.store);
+    auto mat = oracle.load("fir", "mmx", opts.suite.hash());
+    ASSERT_NE(mat, nullptr);
+    for (size_t i = 0; i < machines.size(); ++i) {
+        const profile::ProfileResult expect =
+            mat->replayProfile(machines[i]);
+        EXPECT_EQ(results[i].profile.cycles, expect.cycles) << i;
+        EXPECT_EQ(results[i].profile.timer.memPenaltyCycles,
+                  expect.timer.memPenaltyCycles)
+            << i;
+        EXPECT_EQ(results[i].profile.btb.mispredicts,
+                  expect.btb.mispredicts)
+            << i;
+    }
+}
+
+TEST(QueryEngineTest, ColdRestartServesWithoutCapture)
+{
+    ScratchDir scratch("mmxdsp_engine_restart_test");
+    service::EngineOptions opts = engineOpts(scratch);
+    uint64_t expect_cycles = 0;
+    {
+        service::QueryEngine warm(opts);
+        const auto r =
+            warm.query({"fir", "c", sim::MachineConfig{}});
+        ASSERT_TRUE(r.ok) << r.error;
+        expect_cycles = r.profile.cycles;
+    }
+
+    // A fresh engine with capture disabled can only serve from disk.
+    service::EngineOptions cold = opts;
+    cold.allow_capture = false;
+    service::QueryEngine engine(cold);
+    const auto r = engine.query({"fir", "c", sim::MachineConfig{}});
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_FALSE(r.trace_captured);
+    EXPECT_EQ(r.profile.cycles, expect_cycles);
+    EXPECT_EQ(engine.stats().captures, 0u);
+    EXPECT_EQ(engine.stats().store_loads, 1u);
+    EXPECT_EQ(engine.store().stats().v2_hits, 1u);
+
+    // A pair absent from the store must fail, not fatal.
+    const auto miss =
+        engine.query({"fft", "c", sim::MachineConfig{}});
+    EXPECT_FALSE(miss.ok);
+    EXPECT_FALSE(miss.error.empty());
+}
+
+TEST(QueryEngineTest, ParseQueryLineAcceptsAndRejects)
+{
+    service::Query q;
+    std::string error;
+
+    ASSERT_TRUE(service::QueryEngine::parseQueryLine("fir c", &q, &error));
+    EXPECT_EQ(q.benchmark, "fir");
+    EXPECT_EQ(q.version, "c");
+    EXPECT_EQ(q.machine.model, sim::ModelKind::P5);
+
+    ASSERT_TRUE(service::QueryEngine::parseQueryLine(
+        "fft mmx model=p6 l1=8192 l1_ways=4 btb=128 mp=5", &q, &error));
+    EXPECT_EQ(q.machine.model, sim::ModelKind::P6);
+    EXPECT_EQ(q.machine.timer.l1.size_bytes, 8192u);
+    EXPECT_EQ(q.machine.timer.l1.ways, 4u);
+    EXPECT_EQ(q.machine.timer.btb_entries, 128u);
+    EXPECT_EQ(q.machine.timer.mispredict_penalty, 5u);
+
+    const char *bad[] = {
+        "",                      // empty
+        "fir",                   // missing version
+        "fir c model=p7",        // unknown model
+        "fir c l1=zero",         // unparsable value
+        "fir c l1=0",            // zero geometry
+        "fir c bogus=1",         // unknown key
+        "nosuch c",              // unknown pair (would fatal in harness)
+        "fir nosuchversion",     // unknown pair
+    };
+    for (const char *line : bad) {
+        EXPECT_FALSE(
+            service::QueryEngine::parseQueryLine(line, &q, &error))
+            << line;
+        EXPECT_FALSE(error.empty()) << line;
+    }
+
+    // Distinct machines hash apart; identical machines hash together.
+    sim::MachineConfig a, b;
+    EXPECT_EQ(service::machineHash(a), service::machineHash(b));
+    b.timer.penalties.l2_miss += 1;
+    EXPECT_NE(service::machineHash(a), service::machineHash(b));
+    b = a;
+    b.model = sim::ModelKind::P6;
+    EXPECT_NE(service::machineHash(a), service::machineHash(b));
+}
+
+} // namespace
+} // namespace mmxdsp

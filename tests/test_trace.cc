@@ -634,6 +634,49 @@ TEST(TraceCacheTest, DamagedEntryFallsBackToLiveAndIsRewritten)
     }
 }
 
+TEST(TraceCacheTest, DamagedEntryIsQuarantinedAndSurvivesRewrite)
+{
+    // A damaged entry is not just skipped: it is moved into the cache's
+    // quarantine/ directory (evidence for debugging), and recapturing
+    // the pair must publish a fresh entry without disturbing the
+    // quarantined file.
+    ScratchDir scratch("mmxdsp_trace_quarantine_test");
+    harness::TraceOptions topts{true, scratch.path.string()};
+
+    harness::BenchmarkSuite first(tinyConfig(), topts);
+    first.run("fir", "mmx");
+
+    trace::TraceCache cache(scratch.path.string());
+    const uint64_t key = tinyConfig().hash();
+    const fs::path entry = cache.path("fir", "mmx", key);
+    corruptFile(entry, /*truncate=*/true);
+    const uintmax_t damaged_size = fs::file_size(entry);
+
+    trace::TraceReader damaged;
+    EXPECT_FALSE(cache.load("fir", "mmx", key, damaged));
+
+    // The bad file was moved aside, not deleted and not left in place.
+    EXPECT_FALSE(fs::exists(entry));
+    const fs::path qdir = scratch.path / "quarantine";
+    ASSERT_TRUE(fs::exists(qdir));
+    std::vector<fs::path> quarantined;
+    for (const auto &de : fs::directory_iterator(qdir))
+        quarantined.push_back(de.path());
+    ASSERT_EQ(quarantined.size(), 1u);
+    EXPECT_EQ(fs::file_size(quarantined[0]), damaged_size);
+
+    // Recapture republishes the entry; the quarantined file survives.
+    harness::BenchmarkSuite second(tinyConfig(), topts);
+    second.run("fir", "mmx");
+    EXPECT_EQ(second.traceActivity().captured, 1);
+    EXPECT_TRUE(fs::exists(entry));
+    EXPECT_TRUE(fs::exists(quarantined[0]));
+    EXPECT_EQ(fs::file_size(quarantined[0]), damaged_size);
+
+    trace::TraceReader fresh;
+    EXPECT_TRUE(cache.load("fir", "mmx", key, fresh));
+}
+
 // ---------------- cross-model replay ----------------
 
 TEST(TraceReplay, P6EveryPairIsBitIdenticalToLive)
