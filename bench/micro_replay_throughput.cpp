@@ -19,12 +19,25 @@
  * encoding, no timing model) of the same pair on a fresh suite, so the
  * capture-once cost can be read next to the replay-many cost.
  *
+ * The cold-capture arms time the full cold-miss path — execution to a
+ * replayable MaterializedTrace — both ways:
+ *
+ *  - varint: traceFor (capture through TraceWriter, LEB128 encode,
+ *    serialize, parse) followed by MaterializedTrace::build — the
+ *    v1 golden reference, and the only path under
+ *    -DMMXDSP_FORCE_V1_CAPTURE=ON;
+ *  - direct: materializedFor on a cache-less suite, which captures
+ *    straight into the SoA buffers through a trace::MaterializeSink
+ *    (no varint encode or decode anywhere).
+ *
  * --configs=N picks the sweep width of the headline table (default 12);
  * a scaling run at N = 2/4/8/12 lands in BENCH_replay.json regardless.
  * The binary verifies all three sweeps are bit-identical and exits
  * nonzero on divergence, if the scalar materialized sweep is not faster
  * than streaming, or (in optimized builds) if the config-parallel sweep
- * is not >= 3x faster than streaming at N=12 — the ROADMAP perf gate.
+ * is not >= 3x faster than streaming at N=12 or the direct cold capture
+ * is not >= 1.5x faster than the varint cold capture — the ROADMAP and
+ * PR-8 perf gates.
  */
 
 #include <algorithm>
@@ -38,11 +51,15 @@
 #include "harness/cli.hh"
 #include "harness/suite.hh"
 #include "profile/vprof.hh"
+#include "runtime/cpu.hh"
 #include "sim/pentium_timer.hh"
 #include "support/parallel.hh"
 #include "support/table.hh"
 #include "trace/materialize.hh"
+#include "trace/materialize_sink.hh"
+#include "trace/reader.hh"
 #include "trace/replay.hh"
+#include "trace/writer.hh"
 
 using namespace mmxdsp;
 
@@ -50,6 +67,7 @@ namespace {
 
 constexpr int kRepetitions = 3;
 constexpr double kPackedSpeedupGate = 3.0; ///< at 12 configs, Release
+constexpr double kColdCaptureGate = 1.5;   ///< direct vs varint, Release
 
 double
 now()
@@ -282,6 +300,76 @@ main(int argc, char **argv)
             capture_seconds = dt;
     }
 
+    // -- cold-capture arms: execution to a replayable trace, both ways --
+    // Each repetition pays the full cold miss on a fresh cache-less
+    // suite. The varint arm is capture -> LEB128 encode -> serialize ->
+    // parse -> build; the direct arm is materializedFor, which (outside
+    // MMXDSP_FORCE_V1_CAPTURE builds) captures straight into the SoA
+    // buffers through a MaterializeSink.
+    double cold_varint_seconds = 0.0;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+        harness::BenchmarkSuite cold(opts.suiteConfig(),
+                                     harness::TraceOptions{},
+                                     opts.machineConfig());
+        const double t0 = now();
+        auto captured = cold.traceFor(bench, version);
+        trace::MaterializedTrace built;
+        if (!built.build(*captured)) {
+            std::fprintf(stderr, "FAIL: cold varint capture did not "
+                                 "materialize\n");
+            return 1;
+        }
+        const double dt = now() - t0;
+        if (built.instrCount() != events) {
+            std::fprintf(stderr,
+                         "FAIL: cold varint capture event count drifted\n");
+            return 1;
+        }
+        if (!rep || dt < cold_varint_seconds)
+            cold_varint_seconds = dt;
+    }
+    double cold_direct_seconds = 0.0;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+        harness::BenchmarkSuite cold(opts.suiteConfig(),
+                                     harness::TraceOptions{},
+                                     opts.machineConfig());
+        const double t0 = now();
+        auto direct = cold.materializedFor(bench, version);
+        const double dt = now() - t0;
+        if (direct->instrCount() != events) {
+            std::fprintf(stderr,
+                         "FAIL: cold direct capture event count drifted\n");
+            return 1;
+        }
+        if (!rep || dt < cold_direct_seconds)
+            cold_direct_seconds = dt;
+    }
+
+    // Same-stream identity: run one captured event stream through both
+    // cold paths — varint round trip (TraceWriter → parse → build) and
+    // MaterializeSink — and demand byte-identical v2 images (buffers
+    // and section checksums). Two live executions are not comparable
+    // (heap placement shifts cache behavior), and the reader may have
+    // come from the disk cache, so neither path consults the live
+    // runtime for site metadata here; the per-pair metadata identity is
+    // covered by test_materialize_sink.
+    bool cold_identical = false;
+    {
+        trace::TraceWriter writer(reader->benchmark(), reader->version(),
+                                  reader->configHash());
+        reader->replayTo(writer);
+        writer.finish(static_cast<const runtime::Cpu *>(nullptr));
+        trace::TraceReader roundtrip;
+        trace::MaterializedTrace built;
+        trace::MaterializeSink sink(reader->benchmark(), reader->version(),
+                                    reader->configHash());
+        reader->replayTo(sink);
+        trace::MaterializedTrace direct = sink.finish(nullptr);
+        cold_identical = roundtrip.parse(writer.serialize())
+                         && built.build(roundtrip)
+                         && direct.serializeV2() == built.serializeV2();
+    }
+
     // -- bit-identity gate: streaming == scalar == packed --
     bool identical = scalarSwept.size() == streamed.size()
                      && packedSwept.size() == streamed.size();
@@ -298,6 +386,12 @@ main(int argc, char **argv)
     const double packed_speedup =
         gate.streaming_seconds / gate.packed_seconds;
     const double capture_eps = static_cast<double>(events) / capture_seconds;
+    const double cold_capture_speedup =
+        cold_varint_seconds / cold_direct_seconds;
+    const double cold_varint_eps =
+        static_cast<double>(events) / cold_varint_seconds;
+    const double cold_direct_eps =
+        static_cast<double>(events) / cold_direct_seconds;
     // Aggregate config-lanes-per-second of the packed pass: N configs
     // advance per event, so the kernel's useful work scales with N.
     const double packed_lane_eps =
@@ -329,6 +423,14 @@ main(int argc, char **argv)
                   Table::fmtCount(
                       static_cast<int64_t>(capture_seconds * 1e3)),
                   Table::fmtCount(static_cast<int64_t>(capture_eps))});
+    table.addRow({"cold capture varint", "n/a",
+                  Table::fmtCount(
+                      static_cast<int64_t>(cold_varint_seconds * 1e3)),
+                  Table::fmtCount(static_cast<int64_t>(cold_varint_eps))});
+    table.addRow({"cold capture direct", "n/a",
+                  Table::fmtCount(
+                      static_cast<int64_t>(cold_direct_seconds * 1e3)),
+                  Table::fmtCount(static_cast<int64_t>(cold_direct_eps))});
     table.print();
 
     std::printf("\nsweep scaling (ms, end-to-end incl. materialize)\n");
@@ -356,7 +458,10 @@ main(int argc, char **argv)
                 scalar_speedup);
     std::printf("packed sweep speedup  %.2fx (incl. materialize)\n",
                 packed_speedup);
+    std::printf("cold capture speedup  %.2fx (direct vs varint)\n",
+                cold_capture_speedup);
     std::printf("results bit-identical %s\n", identical ? "yes" : "NO");
+    std::printf("cold v2 bit-identical %s\n", cold_identical ? "yes" : "NO");
 
     std::FILE *json = std::fopen("BENCH_replay.json", "w");
     if (json) {
@@ -388,6 +493,12 @@ main(int argc, char **argv)
             "  \"live_capture\": {\n"
             "    \"capture_seconds\": %.6f,\n"
             "    \"events_per_sec\": %.0f\n"
+            "  },\n"
+            "  \"cold_capture\": {\n"
+            "    \"varint_seconds\": %.6f,\n"
+            "    \"direct_seconds\": %.6f,\n"
+            "    \"speedup\": %.3f,\n"
+            "    \"identical\": %s\n"
             "  },\n",
             bench, version, opts.scale,
             static_cast<unsigned long long>(events), gateConfigs,
@@ -395,7 +506,9 @@ main(int argc, char **argv)
             streaming_eps, build_seconds, gate.scalar_seconds,
             materialized_single, materialized_eps, mat.byteSize(),
             gate.packed_seconds, packed_lane_eps, packed_speedup,
-            capture_seconds, capture_eps);
+            capture_seconds, capture_eps, cold_varint_seconds,
+            cold_direct_seconds, cold_capture_speedup,
+            cold_identical ? "true" : "false");
         std::fprintf(json, "  \"scaling\": [\n");
         for (size_t i = 0; i < scaling.size(); ++i) {
             const ScalePoint &p = scaling[i];
@@ -423,6 +536,11 @@ main(int argc, char **argv)
                      "FAIL: sweep paths diverged from streaming\n");
         return 1;
     }
+    if (!cold_identical) {
+        std::fprintf(stderr, "FAIL: direct capture v2 image diverged "
+                             "from the varint reference\n");
+        return 1;
+    }
     if (scalar_speedup <= 1.0) {
         std::fprintf(stderr,
                      "FAIL: materialized sweep slower than streaming "
@@ -442,6 +560,18 @@ main(int argc, char **argv)
                      wide_speedup, kPackedSpeedupGate);
         return 1;
     }
+#ifndef MMXDSP_FORCE_V1_CAPTURE
+    // The cold-capture perf gate (optimized builds only; under
+    // MMXDSP_FORCE_V1_CAPTURE both arms run the varint path, so only
+    // the identity checks apply).
+    if (cold_capture_speedup < kColdCaptureGate) {
+        std::fprintf(stderr,
+                     "FAIL: direct cold capture only %.2fx vs varint "
+                     "(gate %.1fx)\n",
+                     cold_capture_speedup, kColdCaptureGate);
+        return 1;
+    }
+#endif
 #endif
     return 0;
 }

@@ -6,7 +6,8 @@
  *
  *  1. populate — a fresh engine captures every (benchmark, version)
  *     pair of the suite live and publishes the traces as format v2
- *     (the corpus build; happens once per store lifetime);
+ *     (the corpus build; happens once per store lifetime), timing
+ *     each capture individually for the cold-capture latency column;
  *  2. cold restart — a *new* engine on the same store must serve a
  *     batch across all pairs purely from mmap'd v2 entries: zero
  *     captures, and at most one store load per distinct trace (the
@@ -14,7 +15,11 @@
  *  3. steady state — a deterministic query mix (default 95% from a
  *     hot set of pair x machine combinations, 5% unique cold
  *     machines) measured per query: p50/p99 latency, queries/s, and
- *     the result-cache hit rate.
+ *     the result-cache hit rate. Each latency sample is classified by
+ *     how the query was served — hot-hit (result cache, no replay) or
+ *     cold-replay (trace replayed for a new machine) — and reported
+ *     as separate p50/p99 columns beside the cold-capture column from
+ *     the populate phase.
  *
  * Also measures batch amortization (the same miss set answered by one
  * queryBatch() against per-query loops) and always verifies a served
@@ -143,23 +148,35 @@ main(int argc, char **argv)
             hot.push_back({bench, version, machine});
 
     // -- phase 1: populate the corpus (live capture + v2 publish) --
+    // One query per pair, timed individually: every one is a distinct
+    // trace absent from the fresh store, so each sample is exactly one
+    // cold capture (execute + materialize + publish).
     std::fprintf(stderr, "populating %zu traces (scale %d)...\n",
                  pairs.size(), opts.scale);
     double populate_seconds = 0.0;
+    std::vector<double> capture_lat;
+    capture_lat.reserve(pairs.size());
     {
         service::QueryEngine engine(eopts);
-        std::vector<service::Query> all;
-        for (const auto &[bench, version] : pairs)
-            all.push_back({bench, version, machines[0]});
-        const double t0 = now();
-        auto results = engine.queryBatch(all);
-        populate_seconds = now() - t0;
-        for (const auto &r : results)
+        for (const auto &[bench, version] : pairs) {
+            const double t0 = now();
+            auto r = engine.query({bench, version, machines[0]});
+            const double dt = now() - t0;
             if (!r.ok) {
                 std::fprintf(stderr, "FAIL: populate: %s\n",
                              r.error.c_str());
                 return 1;
             }
+            if (!r.trace_captured) {
+                std::fprintf(stderr,
+                             "FAIL: populate served %s/%s without a "
+                             "capture on a fresh store\n",
+                             bench.c_str(), version.c_str());
+                return 1;
+            }
+            capture_lat.push_back(dt);
+            populate_seconds += dt;
+        }
         if (engine.stats().captures != pairs.size()) {
             std::fprintf(stderr,
                          "FAIL: expected %zu captures, got %llu\n",
@@ -232,6 +249,10 @@ main(int argc, char **argv)
     Rng rng(0x5eed5eedull);
     std::vector<double> latencies;
     latencies.reserve(n_queries);
+    std::vector<double> hot_lat;    ///< served from the result cache
+    std::vector<double> replay_lat; ///< replayed a resident/mmap'd trace
+    hot_lat.reserve(n_queries);
+    replay_lat.reserve(n_queries);
     size_t cold_id = 0;
     const double t_steady = now();
     for (size_t i = 0; i < n_queries; ++i) {
@@ -246,7 +267,9 @@ main(int argc, char **argv)
         }
         const double t0 = now();
         auto r = engine.query(q);
-        latencies.push_back(now() - t0);
+        const double dt = now() - t0;
+        latencies.push_back(dt);
+        (r.from_result_cache ? hot_lat : replay_lat).push_back(dt);
         if (!r.ok) {
             std::fprintf(stderr, "FAIL: steady-state query failed: %s\n",
                          r.error.c_str());
@@ -256,16 +279,25 @@ main(int argc, char **argv)
     const double steady_seconds = now() - t_steady;
     const service::EngineStats stats = engine.stats();
 
-    std::sort(latencies.begin(), latencies.end());
-    const auto pct = [&](double p) {
-        if (latencies.empty())
+    const auto pctOf = [](std::vector<double> &v, double p) {
+        if (v.empty())
             return 0.0;
         const size_t idx = std::min(
-            latencies.size() - 1,
-            static_cast<size_t>(p * static_cast<double>(latencies.size())));
-        return latencies[idx];
+            v.size() - 1,
+            static_cast<size_t>(p * static_cast<double>(v.size())));
+        return v[idx];
     };
-    const double p50 = pct(0.50), p99 = pct(0.99);
+    std::sort(latencies.begin(), latencies.end());
+    std::sort(hot_lat.begin(), hot_lat.end());
+    std::sort(replay_lat.begin(), replay_lat.end());
+    std::sort(capture_lat.begin(), capture_lat.end());
+    const double p50 = pctOf(latencies, 0.50), p99 = pctOf(latencies, 0.99);
+    const double hot_p50 = pctOf(hot_lat, 0.50);
+    const double hot_p99 = pctOf(hot_lat, 0.99);
+    const double replay_p50 = pctOf(replay_lat, 0.50);
+    const double replay_p99 = pctOf(replay_lat, 0.99);
+    const double capture_p50 = pctOf(capture_lat, 0.50);
+    const double capture_p99 = pctOf(capture_lat, 0.99);
     const double qps = static_cast<double>(n_queries) / steady_seconds;
     const uint64_t steady_queries = stats.queries - pre_steady.queries;
     const uint64_t steady_hits =
@@ -303,6 +335,18 @@ main(int argc, char **argv)
     table.addRow(
         {"p99 latency us",
          Table::fmtCount(static_cast<int64_t>(p99 * 1e6))});
+    table.addRow(
+        {"hot-hit p50/p99 us",
+         Table::fmtCount(static_cast<int64_t>(hot_p50 * 1e6)) + " / "
+             + Table::fmtCount(static_cast<int64_t>(hot_p99 * 1e6))});
+    table.addRow(
+        {"cold-replay p50/p99 us",
+         Table::fmtCount(static_cast<int64_t>(replay_p50 * 1e6)) + " / "
+             + Table::fmtCount(static_cast<int64_t>(replay_p99 * 1e6))});
+    table.addRow(
+        {"cold-capture p50/p99 ms",
+         Table::fmtCount(static_cast<int64_t>(capture_p50 * 1e3)) + " / "
+             + Table::fmtCount(static_cast<int64_t>(capture_p99 * 1e3))});
     table.addRow({"queries/s",
                   Table::fmtCount(static_cast<int64_t>(qps))});
     char rate[32];
@@ -335,6 +379,15 @@ main(int argc, char **argv)
             "  \"warm_batch_seconds\": %.6f,\n"
             "  \"p50_seconds\": %.9f,\n"
             "  \"p99_seconds\": %.9f,\n"
+            "  \"cold_capture_p50_seconds\": %.6f,\n"
+            "  \"cold_capture_p99_seconds\": %.6f,\n"
+            "  \"cold_capture_count\": %zu,\n"
+            "  \"cold_replay_p50_seconds\": %.9f,\n"
+            "  \"cold_replay_p99_seconds\": %.9f,\n"
+            "  \"cold_replay_count\": %zu,\n"
+            "  \"hot_hit_p50_seconds\": %.9f,\n"
+            "  \"hot_hit_p99_seconds\": %.9f,\n"
+            "  \"hot_hit_count\": %zu,\n"
             "  \"queries_per_sec\": %.1f,\n"
             "  \"hit_rate\": %.4f,\n"
             "  \"batch_speedup\": %.3f,\n"
@@ -344,8 +397,11 @@ main(int argc, char **argv)
             "  \"captures_after_restart\": %llu\n"
             "}\n",
             pairs.size(), opts.scale, hot.size(), n_queries, hot_fraction,
-            populate_seconds, warm_batch_seconds, p50, p99, qps, hit_rate,
-            batch_speedup,
+            populate_seconds, warm_batch_seconds, p50, p99,
+            capture_p50, capture_p99, capture_lat.size(),
+            replay_p50, replay_p99, replay_lat.size(),
+            hot_p50, hot_p99, hot_lat.size(),
+            qps, hit_rate, batch_speedup,
             static_cast<unsigned long long>(engine.store().entryCount()),
             static_cast<unsigned long long>(engine.store().totalBytes()),
             static_cast<unsigned long long>(

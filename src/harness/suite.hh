@@ -129,6 +129,13 @@ class BenchmarkSuite
      * cached for the suite's lifetime) on demand. This is the buffer
      * sweep() replays from; repeated sweeps over the same pair never
      * re-decode the serialized trace.
+     *
+     * When neither an in-memory nor an on-disk trace exists, the cold
+     * capture goes straight into the SoA buffers through a
+     * trace::MaterializeSink (no varint encode/decode; the v2 image is
+     * published to the trace cache with capture-time checksums).
+     * Building MMXDSP_FORCE_V1_CAPTURE pins the varint golden path
+     * (capture → v1 encode → decode → build) instead.
      */
     std::shared_ptr<const trace::MaterializedTrace>
     materializedFor(const std::string &benchmark,

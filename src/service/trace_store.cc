@@ -229,6 +229,39 @@ TraceStore::entryCount() const
     return static_cast<uint64_t>(scan().size());
 }
 
+std::vector<ShardUsage>
+TraceStore::shardUsage() const
+{
+    std::vector<ShardUsage> usage(opts_.shards);
+    std::error_code ec;
+    for (uint32_t shard = 0; shard < opts_.shards; ++shard) {
+        ShardUsage &u = usage[shard];
+        u.shard = shard;
+        const std::string dir = shardDir(shard);
+        for (fs::directory_iterator it(dir, ec);
+             !ec && it != fs::directory_iterator(); ++it) {
+            const fs::directory_entry &de = *it;
+            if (!de.is_regular_file(ec))
+                continue;
+            const std::string name = de.path().filename().string();
+            if (name.find(".tmp.") != std::string::npos)
+                continue;
+            ++u.entries;
+            u.bytes += static_cast<uint64_t>(de.file_size(ec));
+        }
+        ec.clear();
+        // quarantineFile() parks bad entries in the shard's own
+        // quarantine/ subdirectory; count them where they fell.
+        for (fs::directory_iterator it(dir + "/quarantine", ec);
+             !ec && it != fs::directory_iterator(); ++it) {
+            if (it->is_regular_file(ec))
+                ++u.quarantined;
+        }
+        ec.clear();
+    }
+    return usage;
+}
+
 uint64_t
 TraceStore::enforceBudget()
 {

@@ -54,6 +54,21 @@ struct StoreOptions
     bool upgrade_v1 = true;
 };
 
+/**
+ * One shard directory's disk usage, from a directory scan (the same
+ * walk enforceBudget uses). `quarantined` counts files parked in the
+ * shard's own "quarantine/" subdirectory — quarantineFile() moves a
+ * bad entry aside within its parent shard, so the evidence stays
+ * attributable to the shard that served it.
+ */
+struct ShardUsage
+{
+    uint32_t shard = 0;
+    uint64_t entries = 0;     ///< live entries (temp files excluded)
+    uint64_t bytes = 0;       ///< bytes across those entries
+    uint64_t quarantined = 0; ///< files in this shard's quarantine/
+};
+
 struct StoreStats
 {
     uint64_t v2_hits = 0;    ///< served straight from an mmap'd v2 file
@@ -119,6 +134,13 @@ class TraceStore
 
     /** Number of live entries across all shards. */
     uint64_t entryCount() const;
+
+    /**
+     * Per-shard usage breakdown, one row per configured shard (empty
+     * shards included, so the caller can spot routing skew). Totals
+     * across rows equal entryCount()/totalBytes().
+     */
+    std::vector<ShardUsage> shardUsage() const;
 
     /**
      * Remove least-recently-used entries until the corpus fits the

@@ -109,6 +109,13 @@ statsToJson(const service::QueryEngine &engine, service::TraceStore &store)
 {
     const service::EngineStats es = engine.stats();
     const service::StoreStats ss = store.stats();
+    const std::vector<service::ShardUsage> shards = store.shardUsage();
+    uint64_t entries = 0, bytes = 0, parked = 0;
+    for (const service::ShardUsage &u : shards) {
+        entries += u.entries;
+        bytes += u.bytes;
+        parked += u.quarantined;
+    }
     std::ostringstream out;
     out << "{\"queries\":" << es.queries
         << ",\"result_hits\":" << es.result_hits
@@ -117,13 +124,20 @@ statsToJson(const service::QueryEngine &engine, service::TraceStore &store)
         << ",\"captures\":" << es.captures
         << ",\"replays\":" << es.replays
         << ",\"failures\":" << es.failures
-        << ",\"store\":{\"entries\":" << store.entryCount()
-        << ",\"bytes\":" << store.totalBytes()
+        << ",\"store\":{\"entries\":" << entries << ",\"bytes\":" << bytes
+        << ",\"quarantine_entries\":" << parked
         << ",\"v2_hits\":" << ss.v2_hits << ",\"v1_hits\":" << ss.v1_hits
         << ",\"misses\":" << ss.misses << ",\"stores\":" << ss.stores
         << ",\"upgraded\":" << ss.upgraded
         << ",\"quarantined\":" << ss.quarantined
-        << ",\"evicted\":" << ss.evicted << "}}";
+        << ",\"evicted\":" << ss.evicted << ",\"shards\":[";
+    for (size_t i = 0; i < shards.size(); ++i) {
+        const service::ShardUsage &u = shards[i];
+        out << (i ? "," : "") << "{\"shard\":" << u.shard
+            << ",\"entries\":" << u.entries << ",\"bytes\":" << u.bytes
+            << ",\"quarantine_entries\":" << u.quarantined << "}";
+    }
+    out << "]}}";
     return out.str();
 }
 

@@ -6,6 +6,7 @@
 
 #include "support/io.hh"
 #include "support/logging.hh"
+#include "trace/materialize.hh"
 
 namespace mmxdsp::trace {
 
@@ -52,6 +53,13 @@ TraceCache::path(const std::string &benchmark, const std::string &version,
                   static_cast<unsigned long long>(config_hash));
     const std::string base = dir_.empty() ? std::string("traces") : dir_;
     return base + "/" + benchmark + "." + version + "." + hash + ".mxt";
+}
+
+std::string
+TraceCache::pathV2(const std::string &benchmark, const std::string &version,
+                   uint64_t config_hash) const
+{
+    return path(benchmark, version, config_hash) + "2";
 }
 
 bool
@@ -107,6 +115,56 @@ TraceCache::store(const std::string &benchmark, const std::string &version,
     }
     const std::string p = path(benchmark, version, config_hash);
     if (!writeFileAtomic(p, image)) {
+        mmxdsp_warn("trace cache: cannot write %s", p.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+TraceCache::loadMaterialized(const std::string &benchmark,
+                             const std::string &version,
+                             uint64_t config_hash,
+                             MaterializedTrace &out) const
+{
+    if (!enabled())
+        return false;
+    const std::string p = pathV2(benchmark, version, config_hash);
+    std::error_code ec;
+    if (!std::filesystem::exists(p, ec))
+        return false; // the normal cold-cache miss stays quiet
+    if (!out.loadV2File(p)) {
+        quarantineEntry(p, "corrupt or truncated materialized trace");
+        return false;
+    }
+    if (out.benchmark() != benchmark || out.version() != version
+        || out.configHash() != config_hash) {
+        quarantineEntry(p,
+                        "stale or foreign materialized trace "
+                        "(key mismatch) at");
+        out = MaterializedTrace();
+        return false;
+    }
+    return true;
+}
+
+bool
+TraceCache::storeMaterialized(const std::string &benchmark,
+                              const std::string &version,
+                              uint64_t config_hash,
+                              const MaterializedTrace &trace) const
+{
+    if (!enabled())
+        return false;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        mmxdsp_warn("trace cache: cannot create %s: %s", dir_.c_str(),
+                    ec.message().c_str());
+        return false;
+    }
+    const std::string p = pathV2(benchmark, version, config_hash);
+    if (!writeFileAtomic(p, trace.serializeV2())) {
         mmxdsp_warn("trace cache: cannot write %s", p.c_str());
         return false;
     }

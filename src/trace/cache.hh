@@ -33,6 +33,8 @@
 
 namespace mmxdsp::trace {
 
+class MaterializedTrace;
+
 class TraceCache
 {
   public:
@@ -73,6 +75,28 @@ class TraceCache
     bool store(const std::string &benchmark, const std::string &version,
                uint64_t config_hash,
                const std::vector<uint8_t> &image) const;
+
+    /** The on-disk path of the v2 (materialized) entry for one key. */
+    std::string pathV2(const std::string &benchmark,
+                       const std::string &version,
+                       uint64_t config_hash) const;
+
+    /**
+     * Look up the materialized (format v2) entry for one key: an mmap
+     * plus a checksum scan, no varint decode. Same miss semantics as
+     * load() — a missing file misses silently, a file that fails
+     * validation or carries the wrong key is quarantined. v1 and v2
+     * entries live side by side (".mxt" / ".mxt2") so either cache
+     * generation can serve a key.
+     */
+    bool loadMaterialized(const std::string &benchmark,
+                          const std::string &version, uint64_t config_hash,
+                          MaterializedTrace &out) const;
+
+    /** Persist a materialized trace as a v2 image under its key. */
+    bool storeMaterialized(const std::string &benchmark,
+                           const std::string &version, uint64_t config_hash,
+                           const MaterializedTrace &trace) const;
 
   private:
     std::string dir_; ///< empty = disabled

@@ -41,6 +41,57 @@ isV1Image(const uint8_t *data, size_t size)
     return size >= 4 && std::memcmp(data, kMagic, 4) == 0;
 }
 
+// ------------------------------------------------------------- fnv1aWords
+
+uint64_t
+fnv1aWords(const uint8_t *data, size_t size, uint64_t seed)
+{
+    constexpr uint64_t kPrime = 0x100000001b3ull;
+    uint64_t hash = seed;
+    size_t i = 0;
+    for (; i + 8 <= size; i += 8) {
+        uint64_t word;
+        std::memcpy(&word, data + i, 8);
+        hash = (hash ^ word) * kPrime;
+    }
+    if (i < size) {
+        uint64_t word = 0;
+        std::memcpy(&word, data + i, size - i);
+        hash = (hash ^ word) * kPrime;
+    }
+    return hash;
+}
+
+void
+Fnv1aStream::update(const void *data, size_t size)
+{
+    constexpr uint64_t kPrime = 0x100000001b3ull;
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    if (npending) {
+        // Top up the partial word from the previous update first.
+        while (npending < 8 && size) {
+            pending |= static_cast<uint64_t>(*p++) << (8 * npending);
+            ++npending;
+            --size;
+        }
+        if (npending < 8)
+            return;
+        hash = (hash ^ pending) * kPrime;
+        pending = 0;
+        npending = 0;
+    }
+    size_t i = 0;
+    for (; i + 8 <= size; i += 8) {
+        uint64_t word;
+        std::memcpy(&word, p + i, 8);
+        hash = (hash ^ word) * kPrime;
+    }
+    for (; i < size; ++i) {
+        pending |= static_cast<uint64_t>(p[i]) << (8 * npending);
+        ++npending;
+    }
+}
+
 // ---------------------------------------------------------------- MmapFile
 
 MmapFile::~MmapFile()
@@ -167,6 +218,12 @@ MaterializedTrace::serializeV2() const
     constexpr size_t kNumSections = sizeof(sections) / sizeof(sections[0]);
 
     // Lay out the section table, then every section 64-byte aligned.
+    // A trace that carries capture-time running checksums (the
+    // MaterializeSink path, or a validated v2 load) reuses them for the
+    // O(instrCount) sections instead of re-hashing; only the small Meta
+    // blob — assembled just above — is always hashed here. Either way
+    // the emitted table is identical (the cached values are the same
+    // word-folded FNV-1a over the same bytes, folded block by block).
     std::vector<V2Section> table(kNumSections);
     size_t offset = sizeof(V2Header) + kNumSections * sizeof(V2Section);
     for (size_t i = 0; i < kNumSections; ++i) {
@@ -176,7 +233,9 @@ MaterializedTrace::serializeV2() const
         table[i].offset = offset;
         table[i].length = sections[i].length;
         table[i].checksum =
-            fnv1a(sections[i].bytes, sections[i].length);
+            (sectionChecksumsValid_ && sections[i].id != V2SectionId::Meta)
+                ? sectionChecksums_[static_cast<size_t>(sections[i].id)]
+                : fnv1aWords(sections[i].bytes, sections[i].length);
         offset += sections[i].length;
     }
 
@@ -189,8 +248,8 @@ MaterializedTrace::serializeV2() const
     header.controlCount = controlCount_;
     header.sectionCount = kNumSections;
     header.tableChecksum =
-        fnv1a(reinterpret_cast<const uint8_t *>(table.data()),
-              table.size() * sizeof(V2Section));
+        fnv1aWords(reinterpret_cast<const uint8_t *>(table.data()),
+                   table.size() * sizeof(V2Section));
 
     std::vector<uint8_t> image(offset, 0);
     std::memcpy(image.data(), &header, sizeof(header));
@@ -224,7 +283,8 @@ MaterializedTrace::adoptV2(const uint8_t *data, size_t size,
     if (header.sectionCount > 64
         || sizeof(V2Header) + tableBytes > size)
         return false;
-    if (fnv1a(data + sizeof(V2Header), tableBytes) != header.tableChecksum)
+    if (fnv1aWords(data + sizeof(V2Header), tableBytes)
+        != header.tableChecksum)
         return false;
 
     // Locate every known section exactly once, bounds- and
@@ -242,11 +302,15 @@ MaterializedTrace::adoptV2(const uint8_t *data, size_t size,
         if (sec.offset % kV2Align != 0 || sec.offset > size
             || sec.length > size - sec.offset)
             return false;
-        if (fnv1a(data + sec.offset, static_cast<size_t>(sec.length))
+        if (fnv1aWords(data + sec.offset, static_cast<size_t>(sec.length))
             != sec.checksum)
             return false;
         found[sec.id] = data + sec.offset;
         lengths[sec.id] = static_cast<size_t>(sec.length);
+        // Each checksum was just verified against the bytes, so carry
+        // it forward: a re-serialize of this trace (the store's v1→v2
+        // upgrade publish) can then skip re-hashing the event sections.
+        sectionChecksums_[sec.id] = sec.checksum;
     }
     for (uint32_t id = 1; id <= 11; ++id)
         if (!found[id])
@@ -374,6 +438,7 @@ MaterializedTrace::adoptV2(const uint8_t *data, size_t size,
     configHash_ = header.configHash;
     controlCount_ = header.controlCount;
     backing_ = std::move(holder);
+    sectionChecksumsValid_ = true;
     valid_ = true;
     return true;
 }

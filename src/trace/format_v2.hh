@@ -15,11 +15,12 @@
  *
  *   header        V2Header (64 bytes): magic "MXT2", version, config
  *                 hash, instruction/segment/control counts, section
- *                 count, FNV-1a checksum of the section table
+ *                 count, word-folded FNV-1a checksum of the section
+ *                 table
  *   section table sectionCount x V2Section {id, offset, length,
  *                 checksum}; offsets are from the start of the file and
- *                 kV2Align-aligned, checksums are FNV-1a over the
- *                 section bytes
+ *                 kV2Align-aligned, checksums are word-folded FNV-1a
+ *                 (fnv1aWords) over the section bytes
  *   sections      raw little-endian arrays, one per MaterializedTrace
  *                 event buffer (op u16, flags/size/src0/src1/dst u8,
  *                 site/fnId u32, addr u64, segments {u32 kind, u32
@@ -48,8 +49,11 @@ namespace mmxdsp::trace {
 
 constexpr char kMagicV2[4] = {'M', 'X', 'T', '2'};
 
-/** Bump when the SoA layout or the Meta encoding changes. */
-constexpr uint32_t kFormatVersionV2 = 2;
+/** Bump when the SoA layout, the Meta encoding, or the checksum
+ *  definition changes. v3 switched section checksums from byte-wise to
+ *  word-folded FNV-1a (fnv1aWords) so capture-time streaming hashes
+ *  cost one multiply per 8 bytes instead of 8. */
+constexpr uint32_t kFormatVersionV2 = 3;
 
 /** Every section offset is aligned to this (covers u64 naturally). */
 constexpr size_t kV2Align = 64;
@@ -80,7 +84,7 @@ struct V2Header
     uint64_t controlCount;
     uint32_t sectionCount;
     uint32_t reserved;
-    uint64_t tableChecksum; ///< FNV-1a over the section table bytes
+    uint64_t tableChecksum; ///< fnv1aWords over the section table bytes
     uint64_t reserved2;
 };
 static_assert(sizeof(V2Header) == 64);
@@ -92,9 +96,47 @@ struct V2Section
     uint32_t reserved;
     uint64_t offset;   ///< from the start of the file, kV2Align-aligned
     uint64_t length;   ///< bytes
-    uint64_t checksum; ///< FNV-1a over the section bytes
+    uint64_t checksum; ///< fnv1aWords over the section bytes
 };
 static_assert(sizeof(V2Section) == 32);
+
+/**
+ * Word-folded FNV-1a: the v2 section/table checksum. The buffer is
+ * consumed as little-endian 64-bit words, each folded with the classic
+ * FNV-1a step (xor, multiply by the 64-bit FNV prime); a trailing
+ * partial word is zero-padded to 8 bytes. One multiply per 8 bytes
+ * keeps the hash cheap enough to compute while capture blocks are
+ * still cache-hot, and every fold step is a bijection of the running
+ * state, so any single-word difference is guaranteed to change the
+ * result.
+ */
+uint64_t fnv1aWords(const uint8_t *data, size_t size,
+                    uint64_t seed = 0xcbf29ce484222325ull);
+
+/**
+ * Incremental fnv1aWords: feed a section's bytes in arbitrary-sized
+ * chunks as they are produced and read the running checksum at the
+ * end. digest() over the concatenation of all update()s equals
+ * fnv1aWords over the whole buffer. This is what lets a capture sink
+ * checksum sections block by block instead of re-reading gigabytes at
+ * serialize time.
+ */
+struct Fnv1aStream
+{
+    uint64_t hash = 0xcbf29ce484222325ull;
+    uint64_t pending = 0;  ///< partial trailing word, little-endian
+    uint32_t npending = 0; ///< bytes of @c pending filled so far
+
+    void update(const void *data, size_t size);
+
+    /** The checksum of everything fed so far (zero-pads the tail). */
+    uint64_t
+    digest() const
+    {
+        constexpr uint64_t kPrime = 0x100000001b3ull;
+        return npending ? (hash ^ pending) * kPrime : hash;
+    }
+};
 
 /** True when @p data starts with the v2 magic. */
 bool isV2Image(const uint8_t *data, size_t size);

@@ -41,20 +41,9 @@ struct MaterializedTrace::BuildSink final : sim::TraceSink
           dst(trace.dst_.mutableData()), site(trace.site_.mutableData()),
           addr(trace.addr_.mutableData()), fnId(trace.fnId_.mutableData())
     {
-        // Per-op flag bits (control / call-ret / overhead), derived once
-        // so onInstr() and the replay kernels never consult the op tables.
-        const auto &table = profile::opReplayTable();
-        for (size_t o = 0; o < opBits.size(); ++o) {
-            uint8_t b = 0;
-            if (isa::isControl(static_cast<isa::Op>(o)))
-                b |= kFlagControl;
-            if (table[o].costClass == profile::kCostCall
-                || table[o].costClass == profile::kCostRet)
-                b |= kFlagCallRet | kFlagOverhead;
-            else if (table[o].costClass == profile::kCostPushPop)
-                b |= kFlagOverhead;
-            opBits[o] = b;
-        }
+        // Per-op flag bits, derived once so onInstr() and the replay
+        // kernels never consult the op tables.
+        opBits = opFlagBits();
     }
 
     void
@@ -141,6 +130,60 @@ struct MaterializedTrace::BuildSink final : sim::TraceSink
     uint32_t run = 0; ///< length of the currently open instruction run
 };
 
+std::array<uint8_t, isa::kNumOps>
+MaterializedTrace::opFlagBits()
+{
+    std::array<uint8_t, isa::kNumOps> bits{};
+    const auto &table = profile::opReplayTable();
+    for (size_t o = 0; o < bits.size(); ++o) {
+        uint8_t b = 0;
+        if (isa::isControl(static_cast<isa::Op>(o)))
+            b |= kFlagControl;
+        if (table[o].costClass == profile::kCostCall
+            || table[o].costClass == profile::kCostRet)
+            b |= kFlagCallRet | kFlagOverhead;
+        else if (table[o].costClass == profile::kCostPushPop)
+            b |= kFlagOverhead;
+        bits[o] = b;
+    }
+    return bits;
+}
+
+void
+MaterializedTrace::finalizeFromBuffers()
+{
+    const size_t n = op_.size();
+    uint32_t maxSite = 0;
+    for (size_t i = 0; i < n; ++i)
+        maxSite = std::max(maxSite, site_[i]);
+    siteTableSize_ = n ? maxSite + 1 : 0;
+    for (size_t i = 0; i < n; ++i)
+        ++fnCounts_[fnId_[i]].instructions;
+
+    // Fold every config-independent metric into the result template so
+    // the per-config kernel only has to produce cycle attribution.
+    const auto &table = profile::opReplayTable();
+    std::vector<uint8_t> seen(siteTableSize_, 0);
+    counts_.dynamicInstructions = n;
+    for (size_t i = 0; i < n; ++i) {
+        const size_t op_idx = op_[i];
+        const size_t mem_idx = flags_[i] & kFlagMemMask;
+        const profile::OpReplayEntry &entry = table[op_idx];
+        counts_.uops += entry.uopsByMem[mem_idx];
+        counts_.memoryReferences += mem_idx != 0;
+        ++counts_.opCounts[op_idx];
+        if (entry.mmxCategory)
+            ++counts_.mmxByCategory[entry.mmxCategory];
+        counts_.functionCalls += entry.costClass == profile::kCostCall;
+        controlCount_ += (flags_[i] & kFlagControl) != 0;
+        const uint32_t site = site_[i];
+        counts_.staticInstructions += seen[site] == 0;
+        seen[site] = 1;
+    }
+    for (size_t c = 1; c < counts_.mmxByCategory.size(); ++c)
+        counts_.mmxInstructions += counts_.mmxByCategory[c];
+}
+
 bool
 MaterializedTrace::build(const TraceReader &reader)
 {
@@ -177,39 +220,20 @@ MaterializedTrace::build(const TraceReader &reader)
 
     // Everything derivable from the filled buffers happens in this
     // finalize scan, keeping the per-event sink above to plain stores.
-    uint32_t maxSite = 0;
-    for (size_t i = 0; i < n; ++i)
-        maxSite = std::max(maxSite, site_[i]);
-    siteTableSize_ = n ? maxSite + 1 : 0;
-    for (size_t i = 0; i < n; ++i)
-        ++fnCounts_[fnId_[i]].instructions;
+    finalizeFromBuffers();
 
-    // Fold every config-independent metric into the result template so
-    // the per-config kernel only has to produce cycle attribution.
-    const auto &table = profile::opReplayTable();
-    std::vector<uint8_t> seen(siteTableSize_, 0);
-    counts_.dynamicInstructions = op_.size();
-    for (size_t i = 0; i < op_.size(); ++i) {
-        const size_t op_idx = op_[i];
-        const size_t mem_idx = flags_[i] & kFlagMemMask;
-        const profile::OpReplayEntry &entry = table[op_idx];
-        counts_.uops += entry.uopsByMem[mem_idx];
-        counts_.memoryReferences += mem_idx != 0;
-        ++counts_.opCounts[op_idx];
-        if (entry.mmxCategory)
-            ++counts_.mmxByCategory[entry.mmxCategory];
-        counts_.functionCalls += entry.costClass == profile::kCostCall;
-        controlCount_ += (flags_[i] & kFlagControl) != 0;
-        const uint32_t site = site_[i];
-        counts_.staticInstructions += seen[site] == 0;
-        seen[site] = 1;
-    }
-    for (size_t c = 1; c < counts_.mmxByCategory.size(); ++c)
-        counts_.mmxInstructions += counts_.mmxByCategory[c];
-
-    // Re-intern the trace's site metadata into a dense table.
+    // Re-intern the trace's site metadata into a dense table. Walk the
+    // ids in ascending order (not unordered_map order) so the string
+    // table — and therefore the serialized v2 image — comes out
+    // byte-identical to a direct MaterializeSink capture of the same
+    // event stream, which interns metadata the same way.
     if (!reader.sites().empty()) {
         siteMeta_.resize(siteTableSize_);
+        std::vector<uint32_t> ids;
+        ids.reserve(reader.sites().size());
+        for (const auto &[id, site] : reader.sites())
+            ids.push_back(id);
+        std::sort(ids.begin(), ids.end());
         std::unordered_map<std::string, int32_t> stringIds;
         auto intern = [&](const std::string &s) {
             auto [it, inserted] =
@@ -220,7 +244,8 @@ MaterializedTrace::build(const TraceReader &reader)
             }
             return it->second;
         };
-        for (const auto &[id, site] : reader.sites()) {
+        for (uint32_t id : ids) {
+            const TraceReader::Site &site = reader.sites().at(id);
             if (id >= siteMeta_.size())
                 siteMeta_.resize(static_cast<size_t>(id) + 1);
             SiteMeta &meta = siteMeta_[id];

@@ -39,6 +39,7 @@
 #ifndef MMXDSP_TRACE_MATERIALIZE_HH
 #define MMXDSP_TRACE_MATERIALIZE_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -239,6 +240,8 @@ class MaterializedTrace
 
   private:
     struct BuildSink;
+    /** The direct live-capture sink fills the buffers in place. */
+    friend class MaterializeSink;
 
     /** Reassemble the i-th event from the structure-of-arrays buffers. */
     isa::InstrEvent eventAt(size_t i) const
@@ -313,6 +316,37 @@ class MaterializedTrace
      *  points; @p holder keeps @p data alive. */
     bool adoptV2(const uint8_t *data, size_t size,
                  std::shared_ptr<const void> holder);
+
+    /**
+     * Per-op flag bits (control / call-ret / overhead) for flags_,
+     * derived once from the op replay table and shared by build()'s
+     * sink and the live-capture MaterializeSink, so both producers
+     * stamp bit-identical flag bytes.
+     */
+    static std::array<uint8_t, isa::kNumOps> opFlagBits();
+
+    /**
+     * Derive everything the filled event buffers imply: siteTableSize_,
+     * per-function instruction counts, the config-independent
+     * ProfileResult template and controlCount_. Shared by build() and
+     * MaterializeSink::finish(); expects op_..fnId_, segments_,
+     * fnNames_/fnCounts_ (calls already tallied) to be populated.
+     */
+    void finalizeFromBuffers();
+
+    /**
+     * Per-section FNV-1a checksums carried alongside the buffers,
+     * indexed by V2SectionId (format_v2.hh): filled incrementally by
+     * MaterializeSink as capture blocks land, and harvested from the
+     * validated table on the v2 load path, so serializeV2() never
+     * re-hashes the O(instrCount) event sections. The small Meta
+     * section is always hashed at serialize time (it is assembled
+     * there); build()-constructed traces leave the cache invalid and
+     * serializeV2() hashes everything, which is the golden reference
+     * behavior.
+     */
+    std::array<uint64_t, 12> sectionChecksums_{};
+    bool sectionChecksumsValid_ = false;
 
     std::vector<std::string> fnNames_;
     /** Per-function calls/instructions (config-independent). */

@@ -235,6 +235,52 @@ TEST(TraceStoreTest, CorruptEntryIsQuarantinedAndSurvivesRewrite)
     EXPECT_EQ(store.entryCount(), 1u);
 }
 
+TEST(TraceStoreTest, ShardUsageBreaksDownCorpusByShard)
+{
+    ScratchDir scratch("mmxdsp_store_usage_test");
+    service::TraceStore store(storeOpts(scratch, 8));
+
+    trace::MaterializedTrace mat = syntheticTrace(4, 0xfeed);
+    std::vector<std::string> benches{"fir", "fft", "dct", "g711"};
+    for (const std::string &bench : benches)
+        ASSERT_TRUE(store.store(bench, "c", 0xfeed, mat));
+
+    // One row per configured shard; totals must agree with the flat
+    // accounting, and each entry must sit in the shard shardOf() names.
+    std::vector<service::ShardUsage> usage = store.shardUsage();
+    ASSERT_EQ(usage.size(), 8u);
+    uint64_t entries = 0, bytes = 0, parked = 0;
+    for (const service::ShardUsage &u : usage) {
+        EXPECT_EQ(u.shard, static_cast<uint32_t>(&u - usage.data()));
+        entries += u.entries;
+        bytes += u.bytes;
+        parked += u.quarantined;
+    }
+    EXPECT_EQ(entries, store.entryCount());
+    EXPECT_EQ(bytes, store.totalBytes());
+    EXPECT_EQ(parked, 0u);
+    for (const std::string &bench : benches)
+        EXPECT_GE(usage[store.shardOf(bench, "c", 0xfeed)].entries, 1u);
+
+    // Corrupt one entry: it must leave its shard's live count and show
+    // up in the same shard's quarantine count (quarantineFile parks
+    // evidence beside the shard that served it).
+    const uint32_t shard = store.shardOf("fir", "c", 0xfeed);
+    const std::string path = store.path("fir", "c", 0xfeed);
+    std::vector<uint8_t> raw;
+    ASSERT_TRUE(readFile(path, raw));
+    raw.resize(raw.size() / 2);
+    ASSERT_TRUE(writeFileAtomic(path, raw));
+    EXPECT_EQ(store.load("fir", "c", 0xfeed), nullptr);
+
+    usage = store.shardUsage();
+    EXPECT_EQ(usage[shard].quarantined, 1u);
+    uint64_t live = 0;
+    for (const service::ShardUsage &u : usage)
+        live += u.entries;
+    EXPECT_EQ(live, benches.size() - 1);
+}
+
 TEST(TraceStoreTest, KeyMismatchedEntryIsQuarantined)
 {
     // A file whose embedded key disagrees with its name (a mis-filed
