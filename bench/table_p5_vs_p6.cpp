@@ -1,21 +1,23 @@
 /**
  * @file
- * The paper's two machines side by side, from one captured trace.
+ * The paper's machines side by side, from one captured trace.
  *
  * The paper characterizes every benchmark on the Pentium (cycle counts,
  * its Table 2/3 speedups) and on the Pentium II (dynamic micro-op
  * counts) but never runs the timing comparison between them. This bench
  * closes that gap: each (benchmark, version) trace is captured once and
- * replayed under both sim::TimingModel backends — P5 (in-order dual
- * pipe) and P6 (uop decode/issue front end) — giving per-benchmark
- * cycles, CPI, cycles-per-uop, and the MMX-vs-C speedup as each machine
- * sees it.
+ * replayed under all three sim::TimingModel backends — P5 (in-order
+ * dual pipe), P6 (uop decode/issue front end), and P6P (P6 plus
+ * single-issue execution ports and a dispatch window) — giving
+ * per-benchmark cycles, CPI, cycles-per-uop, and the MMX-vs-C speedup
+ * as each machine sees it.
  *
  * Also the regression gate for the model layer: for every pair, the P5
  * entry of the cross-model sweep must be bit-identical to the plain P5
- * replay, and the P6 materialized result must be bit-identical to a P6
- * streaming replay of the same trace. Exits nonzero on any divergence,
- * and writes BENCH_p5_vs_p6.json for CI artifact upload.
+ * replay, and the P6 and P6P materialized results must each be
+ * bit-identical to a streaming replay of the same trace on that model.
+ * Exits nonzero on any divergence, and writes BENCH_p5_vs_p6.json for
+ * CI artifact upload.
  */
 
 #include <cstdio>
@@ -52,6 +54,7 @@ sameResult(const profile::ProfileResult &a, const profile::ProfileResult &b)
            && a.timer.pairs == b.timer.pairs
            && a.timer.uopsIssued == b.timer.uopsIssued
            && a.timer.retireStallCycles == b.timer.retireStallCycles
+           && a.timer.portStallCycles == b.timer.portStallCycles
            && a.l1.misses == b.l1.misses && a.l2.misses == b.l2.misses
            && a.btb.mispredicts == b.btb.mispredicts;
 }
@@ -72,6 +75,7 @@ main(int argc, char **argv)
 
     const sim::MachineConfig p5{sim::ModelKind::P5, sim::TimerConfig{}};
     const sim::MachineConfig p6{sim::ModelKind::P6, sim::TimerConfig{}};
+    const sim::MachineConfig p6p{sim::ModelKind::P6P, sim::TimerConfig{}};
 
     struct Row
     {
@@ -79,6 +83,7 @@ main(int argc, char **argv)
         std::string version;
         profile::ProfileResult p5;
         profile::ProfileResult p6;
+        profile::ProfileResult p6p;
     };
     std::vector<Row> rows;
     bool identical = true;
@@ -86,11 +91,10 @@ main(int argc, char **argv)
     for (const auto &[benchmark, version] : BenchmarkSuite::allRuns()) {
         auto mat = suite.materializedFor(benchmark, version);
 
-        // One cross-model sweep per pair: both entries share the trace
-        // buffers and (same BTB geometry) one recorded prediction pass.
-        std::vector<profile::ProfileResult> swept =
-            mat->replaySweep(std::vector<sim::MachineConfig>{p5, p6},
-                             opts.threads);
+        // One cross-model sweep per pair: all three entries share the
+        // trace buffers and (same BTB geometry) one prediction pass.
+        std::vector<profile::ProfileResult> swept = mat->replaySweep(
+            std::vector<sim::MachineConfig>{p5, p6, p6p}, opts.threads);
 
         // Gate 1: the sweep's P5 entry matches the plain P5 replay.
         if (!sameResult(swept[0], mat->replayProfile(sim::TimerConfig{}))) {
@@ -100,7 +104,8 @@ main(int argc, char **argv)
                          benchmark.c_str(), version.c_str());
             identical = false;
         }
-        // Gate 2: materialized P6 matches the streaming P6 replay.
+        // Gates 2 and 3: materialized P6/P6P match the streaming
+        // replays of the same trace on those models.
         auto reader = suite.traceFor(benchmark, version);
         if (!sameResult(swept[1], trace::replayProfile(*reader, p6))) {
             std::fprintf(stderr,
@@ -109,15 +114,23 @@ main(int argc, char **argv)
                          benchmark.c_str(), version.c_str());
             identical = false;
         }
+        if (!sameResult(swept[2], trace::replayProfile(*reader, p6p))) {
+            std::fprintf(stderr,
+                         "FAIL: %s.%s materialized P6P replay diverged "
+                         "from streaming P6P replay\n",
+                         benchmark.c_str(), version.c_str());
+            identical = false;
+        }
 
-        rows.push_back(
-            {benchmark, version, std::move(swept[0]), std::move(swept[1])});
+        rows.push_back({benchmark, version, std::move(swept[0]),
+                        std::move(swept[1]), std::move(swept[2])});
     }
 
-    std::printf("P5 vs P6: one captured trace per pair, replayed on both "
-                "machines\n\n");
+    std::printf("P5 vs P6 vs P6P: one captured trace per pair, replayed "
+                "on all three machines\n\n");
     Table table({"Program", "instrs", "uops", "P5 cyc", "P6 cyc",
-                 "P5 CPI", "P6 CPI", "P6 cyc/uop", "P5/P6"});
+                 "P6P cyc", "P5 CPI", "P6 CPI", "P6P CPI", "port stall",
+                 "P5/P6P"});
     for (const Row &row : rows) {
         table.addRow(
             {row.benchmark + "." + row.version,
@@ -126,17 +139,22 @@ main(int argc, char **argv)
              Table::fmtCount(static_cast<int64_t>(row.p5.uops)),
              Table::fmtCount(static_cast<int64_t>(row.p5.cycles)),
              Table::fmtCount(static_cast<int64_t>(row.p6.cycles)),
+             Table::fmtCount(static_cast<int64_t>(row.p6p.cycles)),
              Table::fmtFixed(cpi(row.p5.cycles, row.p5.dynamicInstructions),
                              2),
              Table::fmtFixed(cpi(row.p6.cycles, row.p6.dynamicInstructions),
                              2),
-             Table::fmtFixed(cpi(row.p6.cycles, row.p6.uops), 2),
-             Table::fmtRatio(cpi(row.p5.cycles, row.p6.cycles))});
+             Table::fmtFixed(
+                 cpi(row.p6p.cycles, row.p6p.dynamicInstructions), 2),
+             Table::fmtCount(
+                 static_cast<int64_t>(row.p6p.timer.portStallCycles)),
+             Table::fmtRatio(cpi(row.p5.cycles, row.p6p.cycles))});
     }
     table.print();
 
     // The MMX payoff as each machine sees it (the paper's speedups are
-    // all P5; the P6's pipelined multiplier and wider issue shift them).
+    // all P5; the P6's pipelined multiplier and wider issue shift them,
+    // and the P6P's port contention pulls part of that back).
     auto find = [&rows](const std::string &benchmark,
                         const std::string &version) -> const Row * {
         for (const Row &row : rows)
@@ -145,7 +163,7 @@ main(int argc, char **argv)
         return nullptr;
     };
     std::printf("\nMMX-vs-C speedup on each machine:\n\n");
-    Table speedups({"Benchmark", "P5 speedup", "P6 speedup"});
+    Table speedups({"Benchmark", "P5 speedup", "P6 speedup", "P6P speedup"});
     for (const char *benchmark :
          {"fft", "fir", "iir", "matvec", "radar", "g722", "jpeg", "image"}) {
         const Row *c = find(benchmark, "c");
@@ -153,7 +171,8 @@ main(int argc, char **argv)
         speedups.addRow(
             {benchmark,
              Table::fmtRatio(cpi(c->p5.cycles, mmx->p5.cycles)),
-             Table::fmtRatio(cpi(c->p6.cycles, mmx->p6.cycles))});
+             Table::fmtRatio(cpi(c->p6.cycles, mmx->p6.cycles)),
+             Table::fmtRatio(cpi(c->p6p.cycles, mmx->p6p.cycles))});
     }
     speedups.print();
     std::printf("\nresults bit-identical %s\n", identical ? "yes" : "NO");
@@ -168,14 +187,19 @@ main(int argc, char **argv)
                 json,
                 "    {\"name\": \"%s.%s\", \"instructions\": %llu, "
                 "\"uops\": %llu, \"p5_cycles\": %llu, "
-                "\"p6_cycles\": %llu, \"p6_retire_stalls\": %llu}%s\n",
+                "\"p6_cycles\": %llu, \"p6p_cycles\": %llu, "
+                "\"p6_retire_stalls\": %llu, "
+                "\"p6p_port_stalls\": %llu}%s\n",
                 row.benchmark.c_str(), row.version.c_str(),
                 static_cast<unsigned long long>(row.p5.dynamicInstructions),
                 static_cast<unsigned long long>(row.p5.uops),
                 static_cast<unsigned long long>(row.p5.cycles),
                 static_cast<unsigned long long>(row.p6.cycles),
+                static_cast<unsigned long long>(row.p6p.cycles),
                 static_cast<unsigned long long>(
                     row.p6.timer.retireStallCycles),
+                static_cast<unsigned long long>(
+                    row.p6p.timer.portStallCycles),
                 i + 1 < rows.size() ? "," : "");
         }
         std::fprintf(json, "  ],\n  \"identical\": %s\n}\n",

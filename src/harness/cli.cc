@@ -15,12 +15,12 @@ namespace {
 usage(const char *prog, int exit_code)
 {
     std::printf(
-        "usage: %s [--scale=N] [--threads=N] [--model=p5|p6]\n"
+        "usage: %s [--scale=N] [--threads=N] [--model=p5|p6|p6p]\n"
         "          [--trace-dir=PATH] [--no-trace-cache]\n"
         "\n"
         "  --scale=N         shrink every workload by ~N for quick runs\n"
         "  --threads=N       replay worker threads (0 = auto)\n"
-        "  --model=p5|p6     timing model profiles run on (default p5)\n"
+        "  --model=p5|p6|p6p     timing model profiles run on (default p5)\n"
         "  --trace-dir=PATH  instruction-trace cache directory\n"
         "                    (default traces; MMXDSP_TRACE_DIR overrides)\n"
         "  --no-trace-cache  always execute; skip trace capture/replay\n",

@@ -194,17 +194,37 @@ BenchmarkSuite::ensureTrace(const std::string &benchmark,
     if (traceCache_.load(benchmark, version, h, *reader)) {
         ++activity_.disk_hits;
     } else {
-        // Capture-only pass: no profiler attached, so the capture costs
-        // functional execution plus encoding, not a timing-model run.
-        trace::TraceWriter writer(benchmark, version, h);
-        executeLive(benchmark, version, &writer);
-        writer.finish(&impl_->cpu);
-        std::vector<uint8_t> image = writer.serialize();
+        // A materialized capture of this pair (direct-captured by
+        // sweep()/materializedFor(), or published as a v2 image by an
+        // earlier process) already holds the exact event stream:
+        // re-encode it as v1 instead of executing the workload again —
+        // a second run need not reproduce the address stream, and a
+        // trace that disagrees with the materialized one would make
+        // streaming and materialized replays diverge.
+        std::vector<uint8_t> image;
+        if (auto mit = materialized_.find(key); mit != materialized_.end())
+            image = mit->second->serializeV1();
+        else if (traceCache_.enabled()) {
+            trace::MaterializedTrace mat;
+            if (traceCache_.loadMaterialized(benchmark, version, h, mat)) {
+                ++activity_.disk_hits;
+                image = mat.serializeV1();
+            }
+        }
+        if (image.empty()) {
+            // Capture-only pass: no profiler attached, so the capture
+            // costs functional execution plus encoding, not a
+            // timing-model run.
+            trace::TraceWriter writer(benchmark, version, h);
+            executeLive(benchmark, version, &writer);
+            writer.finish(&impl_->cpu);
+            image = writer.serialize();
+            ++activity_.captured;
+        }
         traceCache_.store(benchmark, version, h, image);
         if (!reader->parse(std::move(image)))
             mmxdsp_panic("freshly captured trace failed to parse (%s)",
                          key.c_str());
-        ++activity_.captured;
     }
     auto [pos, inserted] =
         traces_.emplace(key, std::shared_ptr<const trace::TraceReader>(

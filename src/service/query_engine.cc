@@ -35,6 +35,12 @@ machineHash(const sim::MachineConfig &machine)
     h = fnv1aMix(h, t.p6.issue_width);
     h = fnv1aMix(h, t.p6.retire_width);
     h = fnv1aMix(h, t.p6.mispredict_penalty);
+    h = fnv1aMix(h, t.p6p.decode_width);
+    h = fnv1aMix(h, t.p6p.complex_uops);
+    h = fnv1aMix(h, t.p6p.issue_width);
+    h = fnv1aMix(h, t.p6p.retire_width);
+    h = fnv1aMix(h, t.p6p.window);
+    h = fnv1aMix(h, t.p6p.mispredict_penalty);
     return h;
 }
 
@@ -283,7 +289,7 @@ QueryEngine::parseQueryLine(const std::string &line, Query *out,
         if (key == "model") {
             sim::ModelKind kind;
             if (!sim::parseModelName(value.c_str(), &kind)) {
-                *error = "unknown model '" + value + "' (want p5|p6)";
+                *error = "unknown model '" + value + "' (want p5|p6|p6p)";
                 return false;
             }
             q.machine.model = kind;
@@ -317,6 +323,7 @@ QueryEngine::parseQueryLine(const std::string &line, Query *out,
         else if (key == "mp") {
             t.mispredict_penalty = v;
             t.p6.mispredict_penalty = v;
+            t.p6p.mispredict_penalty = v;
         } else {
             *error = "unknown parameter '" + key + "'";
             return false;

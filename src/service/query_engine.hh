@@ -117,7 +117,7 @@ class QueryEngine
     std::vector<QueryResult> queryBatch(const std::vector<Query> &queries);
 
     /**
-     * Parse one query line: "benchmark version [model=p5|p6] [scale-
+     * Parse one query line: "benchmark version [model=p5|p6|p6p] [scale-
      * free key=value parameters: l1=BYTES l1_ways=N l1_line=N l2=BYTES
      * l2_ways=N l2_line=N btb=ENTRIES btb_ways=N mp=CYCLES]". Unknown
      * pairs and malformed parameters fail with a message in @p error

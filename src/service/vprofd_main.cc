@@ -16,7 +16,7 @@
  *
  * Query line grammar (also used by tests and service_load):
  *
- *   <benchmark> <version> [model=p5|p6] [l1=BYTES] [l1_ways=N]
+ *   <benchmark> <version> [model=p5|p6|p6p] [l1=BYTES] [l1_ways=N]
  *   [l1_line=N] [l2=BYTES] [l2_ways=N] [l2_line=N] [btb=ENTRIES]
  *   [btb_ways=N] [mp=CYCLES]
  *
@@ -51,7 +51,7 @@ usage(const char *argv0)
         "          --batch=FILE [--out=FILE] | --serve |\n"
         "          --convert=FILE --out=FILE | --stats\n"
         "\n"
-        "query line: <benchmark> <version> [model=p5|p6] [l1=BYTES]\n"
+        "query line: <benchmark> <version> [model=p5|p6|p6p] [l1=BYTES]\n"
         "            [l1_ways=N] [l1_line=N] [l2=BYTES] [l2_ways=N]\n"
         "            [l2_line=N] [btb=ENTRIES] [btb_ways=N] [mp=CYCLES]\n",
         argv0);

@@ -1,0 +1,149 @@
+#include "characterize.hh"
+
+#include <algorithm>
+
+#include "sim/uop.hh"
+
+namespace mmxdsp::sim {
+
+namespace {
+
+using isa::InstrEvent;
+using isa::MemMode;
+using isa::Op;
+
+/** Register file the synthetic streams allocate tags from. */
+isa::RegClass
+regClassFor(Op op)
+{
+    if (isa::isMmx(op))
+        return isa::RegClass::Mmx;
+    if (isa::isX87(op))
+        return isa::RegClass::Fp;
+    return isa::RegClass::Int;
+}
+
+InstrEvent
+makeEvent(Op op, MemMode mem, isa::RegTag src0, isa::RegTag dst)
+{
+    InstrEvent e;
+    e.op = op;
+    e.mem = mem;
+    if (mem != MemMode::None) {
+        // A fixed, aligned address: the first touch misses during
+        // warmup, every measured access is an L1 hit, so the rows
+        // report pipe behaviour rather than cache penalties.
+        e.addr = 0x1000;
+        e.size = isa::isMmx(op) ? 8 : 4;
+    }
+    e.site = 1;
+    e.src0 = src0;
+    e.src1 = isa::kNoReg;
+    e.dst = dst;
+    return e;
+}
+
+/** Consume warmup + measured events from @p gen; cycles/instruction
+ *  over exactly kCharacterizeMeasure events. */
+template <typename Gen>
+double
+measure(TimingModel &model, Gen gen)
+{
+    for (size_t i = 0; i < kCharacterizeWarmup; ++i)
+        model.consume(gen(i));
+    const uint64_t start = model.cycles();
+    for (size_t i = 0; i < kCharacterizeMeasure; ++i)
+        model.consume(gen(kCharacterizeWarmup + i));
+    return static_cast<double>(model.cycles() - start)
+           / static_cast<double>(kCharacterizeMeasure);
+}
+
+} // namespace
+
+const std::vector<std::pair<Op, MemMode>> &
+characterizeForms()
+{
+    static const std::vector<std::pair<Op, MemMode>> forms = [] {
+        std::vector<std::pair<Op, MemMode>> f;
+        for (size_t o = 0; o < isa::kNumOps; ++o) {
+            const Op op = static_cast<Op>(o);
+            if (isa::isControl(op))
+                continue;
+            f.emplace_back(op, MemMode::None);
+        }
+        for (Op op : {Op::Mov, Op::Movd, Op::Movq}) {
+            f.emplace_back(op, MemMode::Load);
+            f.emplace_back(op, MemMode::Store);
+        }
+        return f;
+    }();
+    return forms;
+}
+
+std::vector<CharacterizeRow>
+characterize(const MachineConfig &machine)
+{
+    std::vector<CharacterizeRow> rows;
+    rows.reserve(characterizeForms().size());
+    for (const auto &[op, mem] : characterizeForms()) {
+        const isa::RegClass cls = regClassFor(op);
+        CharacterizeRow row;
+        row.op = op;
+        row.mem = mem;
+
+        // Dependency chain: each instruction reads the register it
+        // writes. Stores produce no register result, so their chain
+        // reads a register nothing writes — same as the stream.
+        const std::unique_ptr<TimingModel> chainTimer =
+            makeTimingModel(machine);
+        const isa::RegTag r0 = isa::makeTag(cls, 0);
+        row.latency = measure(*chainTimer, [&](size_t) {
+            return mem == MemMode::Store
+                       ? makeEvent(op, mem, r0, isa::kNoReg)
+                       : makeEvent(op, mem, r0, r0);
+        });
+
+        // Independent stream: rotate over eight destination registers
+        // so no instruction waits on another's result.
+        const std::unique_ptr<TimingModel> streamTimer =
+            makeTimingModel(machine);
+        const isa::RegTag rsrc = isa::makeTag(cls, 8);
+        row.throughput = measure(*streamTimer, [&](size_t i) {
+            return mem == MemMode::Store
+                       ? makeEvent(op, mem, rsrc, isa::kNoReg)
+                       : makeEvent(op, mem, isa::kNoReg,
+                                   isa::makeTag(cls, i & 7));
+        });
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+double
+expectedP5Throughput(Op op, MemMode mem)
+{
+    const isa::OpInfo &info = isa::opInfo(op);
+    // Anything that blocks the pipe or never pairs issues alone at its
+    // blocking rate.
+    if (info.blocking > 1 || info.pair == isa::PairClass::NP)
+        return info.blocking;
+    // One-per-pair structural hazards and one-sided pairing classes
+    // keep the V pipe empty: one instruction per cycle.
+    const bool hazard = mem != MemMode::None
+                        || info.unit == isa::Unit::MmxMul
+                        || info.unit == isa::Unit::MmxShift;
+    if (info.pair == isa::PairClass::UV && !hazard)
+        return 0.5;
+    return 1.0;
+}
+
+double
+expectedP5Latency(Op op, MemMode mem)
+{
+    if (mem == MemMode::Store)
+        return expectedP5Throughput(op, mem);
+    const isa::OpInfo &info = isa::opInfo(op);
+    return std::max(info.blocking, info.latency);
+}
+
+} // namespace mmxdsp::sim

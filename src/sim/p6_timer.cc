@@ -8,17 +8,13 @@ P6Timer::P6Timer(const TimerConfig &config)
     : config_(config),
       memory_(config.l1, config.l2, config.penalties),
       btb_(config.btb_entries, config.btb_ways),
-      uops_(uopTable().data())
+      descs_(descTable().data())
 {
-    // Result latencies: the P5 table, minus the non-pipelined integer
-    // multiplier. The P6 multiplier is pipelined with a 4-cycle latency
-    // (vs 10 on the Pentium), which is half of why the paper's FIR/LMS
-    // kernels behave so differently across the two machines.
-    const auto &ops = isa::opTable();
-    for (size_t i = 0; i < isa::kNumOps; ++i)
-        latency_[i] = ops[i].latency;
-    latency_[static_cast<size_t>(isa::Op::Imul)] = 4;
-    latency_[static_cast<size_t>(isa::Op::Mul)] = 4;
+    // Result latencies come from UopDesc::latP6: the P5 table, minus
+    // the non-pipelined integer multiplier. The P6 multiplier is
+    // pipelined with a 4-cycle latency (vs 10 on the Pentium), which is
+    // half of why the paper's FIR/LMS kernels behave so differently
+    // across the two machines.
 }
 
 void

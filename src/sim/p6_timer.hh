@@ -75,7 +75,8 @@ class P6Timer final : public TimingModel
     consumeWithPrediction(const isa::InstrEvent &event,
                           bool mispredict) override
     {
-        const uint32_t uops = uops_[uopTableIndex(event)];
+        const UopDesc &desc = descs_[uopTableIndex(event)];
+        const uint32_t uops = desc.uops;
         const uint64_t before = time_;
         ++stats_.instructions;
         stats_.uopsIssued += uops;
@@ -138,8 +139,7 @@ class P6Timer final : public TimingModel
         }
 
         retiredUops_ += uops;
-        ready_[event.dst] = issue + latency_[static_cast<size_t>(event.op)]
-                            + mem_penalty;
+        ready_[event.dst] = issue + desc.latP6 + mem_penalty;
         ready_[isa::kNoReg] = 0; // restore the sentinel
 
         if (mispredict) {
@@ -179,8 +179,8 @@ class P6Timer final : public TimingModel
     TimerConfig config_;
     mem::MemoryHierarchy memory_;
     mem::Btb btb_;
-    /** sim::uopTable().data(), hoisted past the static-init guard. */
-    const uint8_t *uops_;
+    /** sim::descTable().data(), hoisted past the static-init guard. */
+    const UopDesc *descs_;
 
     uint64_t time_ = 0;       ///< next cycle a new decode group may start
     uint64_t groupCycle_ = 0; ///< issue cycle of the open decode group
@@ -192,9 +192,6 @@ class P6Timer final : public TimingModel
     /** Result-ready cycle per scoreboard slot; same 256-entry sentinel
      *  layout as PentiumTimer (slot isa::kNoReg pinned at zero). */
     std::array<uint64_t, 256> ready_{};
-
-    /** Per-op result latency with the P6 overrides applied. */
-    std::array<uint16_t, isa::kNumOps> latency_{};
 
     TimerStats stats_;
 };

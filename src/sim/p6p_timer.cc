@@ -1,8 +1,8 @@
-#include "pentium_timer.hh"
+#include "p6p_timer.hh"
 
 namespace mmxdsp::sim {
 
-PentiumTimer::PentiumTimer(const TimerConfig &config)
+P6PTimer::P6PTimer(const TimerConfig &config)
     : config_(config),
       memory_(config.l1, config.l2, config.penalties),
       btb_(config.btb_entries, config.btb_ways),
@@ -11,7 +11,7 @@ PentiumTimer::PentiumTimer(const TimerConfig &config)
 }
 
 void
-PentiumTimer::reset()
+P6PTimer::reset()
 {
     resetTimeOnly();
     memory_.flush();
@@ -21,10 +21,16 @@ PentiumTimer::reset()
 }
 
 void
-PentiumTimer::resetTimeOnly()
+P6PTimer::resetTimeOnly()
 {
-    nextIssue_ = 0;
-    uSlot_ = OpenSlot{};
+    time_ = 0;
+    groupCycle_ = 0;
+    slotsLeft_ = 0;
+    uopsLeft_ = 0;
+    complexFree_ = true;
+    retiredUops_ = 0;
+    portFree_.fill(0);
+    lastDispatch_ = 0;
     ready_.fill(0);
     stats_ = TimerStats{};
 }

@@ -29,6 +29,7 @@
 #include "mem/btb.hh"
 #include "mem/cache.hh"
 #include "sim/timing_model.hh"
+#include "sim/uop.hh"
 
 namespace mmxdsp::sim {
 
@@ -76,7 +77,7 @@ class PentiumTimer final : public TimingModel
     consumeWithPrediction(const isa::InstrEvent &event,
                           bool mispredict) override
     {
-        const isa::OpInfo &info = ops_[static_cast<size_t>(event.op)];
+        const UopDesc &desc = descs_[uopTableIndex(event)];
         const uint64_t before = nextIssue_;
         ++stats_.instructions;
 
@@ -94,7 +95,7 @@ class PentiumTimer final : public TimingModel
         }
 
         uint64_t issue;
-        if (canPairInV(event, info, ready, mem_penalty, mispredict)) {
+        if (canPairInV(event, desc, ready, mem_penalty, mispredict)) {
             // Issue in the V pipe alongside the pending U instruction.
             issue = uSlot_.cycle;
             uSlot_.valid = false;
@@ -104,22 +105,19 @@ class PentiumTimer final : public TimingModel
             if (issue > nextIssue_)
                 stats_.dependStallCycles += issue - nextIssue_;
 
-            const bool can_open_pair =
-                (info.pair == isa::PairClass::UV
-                 || info.pair == isa::PairClass::PU)
-                && info.blocking == 1 && mem_penalty == 0 && !mispredict;
+            const bool can_open_pair = (desc.flags & kDescPairUP) != 0
+                                       && mem_penalty == 0 && !mispredict;
             uSlot_.valid = can_open_pair;
             uSlot_.cycle = issue;
-            uSlot_.unit = info.unit;
-            uSlot_.isMem = event.mem != isa::MemMode::None;
+            uSlot_.haz = desc.flags & 7;
             uSlot_.dst = event.dst;
 
-            nextIssue_ = issue + info.blocking + mem_penalty;
-            if (info.blocking > 1)
-                stats_.blockingExtraCycles += info.blocking - 1;
+            nextIssue_ = issue + desc.blocking + mem_penalty;
+            if (desc.blocking > 1)
+                stats_.blockingExtraCycles += desc.blocking - 1;
         }
 
-        ready_[event.dst] = issue + info.latency + mem_penalty;
+        ready_[event.dst] = issue + desc.latP5 + mem_penalty;
         ready_[isa::kNoReg] = 0; // restore the sentinel (dst may be absent)
 
         if (mispredict) {
@@ -161,22 +159,22 @@ class PentiumTimer final : public TimingModel
     {
         bool valid = false;
         uint64_t cycle = 0;
-        isa::Unit unit = isa::Unit::Other;
-        bool isMem = false;
+        /** Structural-hazard signature (UopDesc::flags & 7). */
+        uint8_t haz = 0;
         isa::RegTag dst = isa::kNoReg;
     };
 
     bool
-    canPairInV(const isa::InstrEvent &event, const isa::OpInfo &info,
+    canPairInV(const isa::InstrEvent &event, const UopDesc &desc,
                uint64_t ready, uint32_t mem_penalty, bool mispredict) const
     {
         if (!uSlot_.valid)
             return false;
-        // Only simple single-cycle, non-stalling instructions pair in V;
-        // anything that blocks would stall the pair anyway.
-        if (info.pair != isa::PairClass::UV && info.pair != isa::PairClass::PV)
+        // Only simple single-cycle, non-stalling instructions pair in V
+        // (kDescPairPV folds the pairing class and blocking==1 legs).
+        if ((desc.flags & kDescPairPV) == 0)
             return false;
-        if (info.blocking != 1 || mem_penalty != 0 || mispredict)
+        if (mem_penalty != 0 || mispredict)
             return false;
         // Operands must be ready at the U-pipe issue cycle.
         if (ready > uSlot_.cycle)
@@ -188,14 +186,9 @@ class PentiumTimer final : public TimingModel
             if (event.dst == uSlot_.dst)
                 return false;
         }
-        // One memory reference per pair (ignoring dual-banked hits).
-        if (event.mem != isa::MemMode::None && uSlot_.isMem)
-            return false;
-        // Single-instance MMX multiplier and shifter units.
-        if (info.unit == isa::Unit::MmxMul && uSlot_.unit == isa::Unit::MmxMul)
-            return false;
-        if (info.unit == isa::Unit::MmxShift
-            && uSlot_.unit == isa::Unit::MmxShift)
+        // One memory reference per pair, one op per single-instance MMX
+        // unit per pair: the low-3-bit hazard signatures must not meet.
+        if ((desc.flags & uSlot_.haz & 7) != 0)
             return false;
         return true;
     }
@@ -203,9 +196,9 @@ class PentiumTimer final : public TimingModel
     TimerConfig config_;
     mem::MemoryHierarchy memory_;
     mem::Btb btb_;
-    /** isa::opTable().data(), hoisted so consume() skips the per-call
-     *  range check and static-init guard of isa::opInfo(). */
-    const isa::OpInfo *ops_;
+    /** descTable().data(), hoisted so consume() skips the per-call
+     *  static-init guard. */
+    const UopDesc *descs_;
 
     uint64_t nextIssue_ = 0; ///< earliest cycle the next instr may issue
     OpenSlot uSlot_;

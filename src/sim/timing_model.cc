@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "sim/p6_timer.hh"
+#include "sim/p6p_timer.hh"
 #include "sim/pentium_timer.hh"
 #include "support/logging.hh"
 
@@ -16,6 +17,8 @@ modelName(ModelKind kind)
         return "p5";
       case ModelKind::P6:
         return "p6";
+      case ModelKind::P6P:
+        return "p6p";
     }
     return "?";
 }
@@ -31,6 +34,10 @@ parseModelName(const char *name, ModelKind *out)
         *out = ModelKind::P6;
         return true;
     }
+    if (std::strcmp(name, "p6p") == 0) {
+        *out = ModelKind::P6P;
+        return true;
+    }
     return false;
 }
 
@@ -42,6 +49,8 @@ makeTimingModel(const MachineConfig &machine)
         return std::make_unique<PentiumTimer>(machine.timer);
       case ModelKind::P6:
         return std::make_unique<P6Timer>(machine.timer);
+      case ModelKind::P6P:
+        return std::make_unique<P6PTimer>(machine.timer);
     }
     mmxdsp_panic("unknown ModelKind %d",
                  static_cast<int>(machine.model));

@@ -48,6 +48,25 @@ struct P6Params
     uint32_t mispredict_penalty = 11; ///< deeper pipeline than the P5's 4
 };
 
+/**
+ * Pentium III-class port-model parameters (consumed by P6PTimer only).
+ * The front end is the P6's (4-1-1 decode, issue/retire widths); on top
+ * of it every uop must dispatch to one of five single-issue execution
+ * ports (p0/p1 ALU, p2 load, p3 store-address, p4 store-data), and
+ * decode may run at most `window` cycles ahead of the latest dispatch —
+ * a small scheduler window, so sustained decode collapses to the
+ * port-bound dispatch rate instead of the issue width.
+ */
+struct P6PParams
+{
+    uint32_t decode_width = 3;  ///< instructions decoded per cycle (4-1-1)
+    uint32_t complex_uops = 4;  ///< decoder 0 handles up to this many uops
+    uint32_t issue_width = 3;   ///< uops issued to the core per cycle
+    uint32_t retire_width = 3;  ///< uops retired per cycle
+    uint32_t window = 8;        ///< cycles decode may lead port dispatch
+    uint32_t mispredict_penalty = 12; ///< one stage deeper than the P6
+};
+
 /** Tunable parameters shared by every timing model. */
 struct TimerConfig
 {
@@ -58,20 +77,27 @@ struct TimerConfig
     uint32_t btb_ways = 4;
     uint32_t mispredict_penalty = 4;
     P6Params p6{};
+    P6PParams p6p{};
 };
 
 /** Which microarchitecture a MachineConfig selects. */
 enum class ModelKind : uint8_t {
-    P5, ///< Pentium-with-MMX in-order dual-pipe (PentiumTimer)
-    P6, ///< Pentium II uop-issue front end (P6Timer)
+    P5,  ///< Pentium-with-MMX in-order dual-pipe (PentiumTimer)
+    P6,  ///< Pentium II uop-issue front end (P6Timer)
+    P6P, ///< Pentium III-class issue-port model (P6PTimer)
 };
 
-/** Short lower-case name ("p5" / "p6") for reports and CLI flags. */
+/** Number of ModelKind values (for table-driven iteration). */
+constexpr size_t kNumModelKinds = 3;
+
+/** Short lower-case name ("p5" / "p6" / "p6p") for reports and CLI
+ *  flags. */
 const char *modelName(ModelKind kind);
 
 /**
- * Parse "p5" / "p6" (case-sensitive, as documented in --help) into
- * @p out. Returns false on any other string, leaving @p out untouched.
+ * Parse "p5" / "p6" / "p6p" (case-sensitive, as documented in --help)
+ * into @p out. Returns false on any other string, leaving @p out
+ * untouched.
  */
 bool parseModelName(const char *name, ModelKind *out);
 
@@ -93,10 +119,13 @@ struct TimerStats
     uint64_t mispredictCycles = 0;
     uint64_t dependStallCycles = 0;
     uint64_t blockingExtraCycles = 0; ///< cycles >1 held by NP/long ops
-    /** Micro-ops issued (P6 model only; stays 0 on the P5). */
+    /** Micro-ops issued (P6/P6P models only; stays 0 on the P5). */
     uint64_t uopsIssued = 0;
-    /** Cycles lost to the retire-width limit (P6 model only). */
+    /** Cycles lost to the retire-width limit (P6/P6P models only). */
     uint64_t retireStallCycles = 0;
+    /** Cycles decode stalled behind the port-dispatch window (P6P model
+     *  only; stays 0 on the P5 and P6). */
+    uint64_t portStallCycles = 0;
 
     /** Fraction of instructions that shared an issue slot (paired into
      *  the V pipe on P5, joined a decode group on P6). */

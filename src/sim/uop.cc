@@ -84,4 +84,80 @@ uopTable()
     return table;
 }
 
+namespace {
+
+/** Port binding of an execution unit's compute uops. */
+PortClass
+portOf(isa::Unit unit)
+{
+    switch (unit) {
+      case isa::Unit::IntMul:
+      case isa::Unit::IntDiv:
+      case isa::Unit::Fp:
+      case isa::Unit::FpDiv:
+      case isa::Unit::MmxMul:
+        return PortClass::P0;
+      case isa::Unit::MmxShift:
+      case isa::Unit::Branch:
+        return PortClass::P1;
+      case isa::Unit::IntAlu:
+      case isa::Unit::MmxAlu:
+      case isa::Unit::Other:
+        return PortClass::Either;
+    }
+    return PortClass::Either;
+}
+
+} // namespace
+
+const std::array<UopDesc, isa::kNumOps * 3> &
+descTable()
+{
+    static const std::array<UopDesc, isa::kNumOps * 3> table = [] {
+        std::array<UopDesc, isa::kNumOps * 3> t{};
+        const auto &uops = uopTable();
+        for (size_t op = 0; op < isa::kNumOps; ++op) {
+            const isa::OpInfo &info = isa::opInfo(static_cast<Op>(op));
+            for (size_t mem = 0; mem < 3; ++mem) {
+                UopDesc &d = t[op * 3 + mem];
+                d.uops = uops[op * 3 + mem];
+                d.loadUops = mem == static_cast<size_t>(MemMode::Load);
+                d.storeOps = mem == static_cast<size_t>(MemMode::Store);
+                d.aluUops = static_cast<uint8_t>(
+                    d.uops - d.loadUops - 2 * d.storeOps);
+                d.port = portOf(info.unit);
+                uint8_t f = 0;
+                if (mem != static_cast<size_t>(MemMode::None))
+                    f |= kDescMem;
+                if (info.unit == isa::Unit::MmxMul)
+                    f |= kDescMmxMul;
+                if (info.unit == isa::Unit::MmxShift)
+                    f |= kDescMmxShift;
+                if (info.blocking == 1) {
+                    if (info.pair == isa::PairClass::UV
+                        || info.pair == isa::PairClass::PV)
+                        f |= kDescPairPV;
+                    if (info.pair == isa::PairClass::UV
+                        || info.pair == isa::PairClass::PU)
+                        f |= kDescPairUP;
+                }
+                if (isa::isControl(static_cast<Op>(op)))
+                    f |= kDescControl;
+                d.flags = f;
+                d.blocking = info.blocking;
+                d.latP5 = info.latency;
+                // The P6 core's pipelined integer multiplier (latency 4
+                // instead of the P5's blocking 10) is the one per-op
+                // latency difference between the machines.
+                d.latP6 = info.latency;
+                if (static_cast<Op>(op) == Op::Imul
+                    || static_cast<Op>(op) == Op::Mul)
+                    d.latP6 = 4;
+            }
+        }
+        return t;
+    }();
+    return table;
+}
+
 } // namespace mmxdsp::sim

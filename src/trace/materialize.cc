@@ -8,8 +8,10 @@
 #include <unordered_map>
 
 #include "sim/p6_timer.hh"
+#include "sim/p6p_timer.hh"
 #include "support/logging.hh"
 #include "support/parallel.hh"
+#include "trace/writer.hh"
 
 namespace mmxdsp::trace {
 
@@ -308,6 +310,31 @@ MaterializedTrace::replayTo(sim::TraceSink &sink) const
     return true;
 }
 
+std::vector<uint8_t>
+MaterializedTrace::serializeV1() const
+{
+    TraceWriter writer(benchmark_, version_, configHash_);
+    replayTo(writer);
+    // Rebuild the site-metadata rows from the re-interned tables; rows
+    // the original capture never recorded stay at file/function == -1
+    // and are skipped, so the section matches a live capture's.
+    std::vector<TraceWriter::SiteRow> rows;
+    for (uint32_t id = 0; id < siteMeta_.size(); ++id) {
+        const SiteMeta &m = siteMeta_[id];
+        if (m.file < 0 && m.function < 0)
+            continue;
+        rows.push_back(
+            {id, m.line, m.column,
+             m.file >= 0 ? strings_[static_cast<size_t>(m.file)].c_str()
+                         : "",
+             m.function >= 0
+                 ? strings_[static_cast<size_t>(m.function)].c_str()
+                 : ""});
+    }
+    writer.finish(std::span<const TraceWriter::SiteRow>(rows));
+    return writer.serialize();
+}
+
 MaterializedTrace::BtbMemo
 MaterializedTrace::buildBtbMemo(uint32_t entries, uint32_t ways) const
 {
@@ -337,6 +364,8 @@ MaterializedTrace::runKernel(const sim::MachineConfig &machine,
     switch (machine.model) {
       case sim::ModelKind::P6:
         return runKernelImpl<sim::P6Timer>(machine.timer, memo);
+      case sim::ModelKind::P6P:
+        return runKernelImpl<sim::P6PTimer>(machine.timer, memo);
       case sim::ModelKind::P5:
         break;
     }
@@ -465,6 +494,13 @@ sameMachine(const sim::MachineConfig &a, const sim::MachineConfig &b)
                && ta.p6.issue_width == tb.p6.issue_width
                && ta.p6.retire_width == tb.p6.retire_width
                && ta.p6.mispredict_penalty == tb.p6.mispredict_penalty;
+      case sim::ModelKind::P6P:
+        return ta.p6p.decode_width == tb.p6p.decode_width
+               && ta.p6p.complex_uops == tb.p6p.complex_uops
+               && ta.p6p.issue_width == tb.p6p.issue_width
+               && ta.p6p.retire_width == tb.p6p.retire_width
+               && ta.p6p.window == tb.p6p.window
+               && ta.p6p.mispredict_penalty == tb.p6p.mispredict_penalty;
     }
     return false;
 }

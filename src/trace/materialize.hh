@@ -131,6 +131,16 @@ class MaterializedTrace
     std::vector<uint8_t> serializeV2() const;
 
     /**
+     * Re-encode this trace as a format-v1 (varint) image, byte-identical
+     * to what a live TraceWriter capture of the same event stream would
+     * have produced — including the site-metadata section, rebuilt from
+     * the re-interned tables. Lets a consumer that needs a TraceReader
+     * reuse a materialized capture instead of executing the workload
+     * again (a second run need not reproduce the address stream).
+     */
+    std::vector<uint8_t> serializeV1() const;
+
+    /**
      * Load a format-v2 file by mmap. On success the event buffers
      * alias the mapping (zero-copy; only the small Meta tables are
      * decoded) and the mapping is kept alive for this trace's
@@ -179,7 +189,7 @@ class MaterializedTrace
     profile::ProfileResult
     replayProfile(const sim::TimerConfig &config = sim::TimerConfig{}) const;
 
-    /** replayProfile() on the machine (P5 or P6) @p machine selects. */
+    /** replayProfile() on the machine (P5/P6/P6P) @p machine selects. */
     profile::ProfileResult
     replayProfile(const sim::MachineConfig &machine) const;
 
@@ -201,8 +211,8 @@ class MaterializedTrace
     /**
      * Multi-model sweep: each entry picks its own machine and timer
      * parameters. Same dedup + kernel dispatch as the TimerConfig
-     * overload; a P5 and a P6 entry both ride the one-pass kernel (the
-     * P5 lanes in one block, the P6 lanes in another).
+     * overload; P5, P6, and P6P entries all ride the one-pass kernel
+     * (one block of lanes per model).
      */
     std::vector<profile::ProfileResult>
     replaySweep(const std::vector<sim::MachineConfig> &machines,

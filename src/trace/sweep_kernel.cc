@@ -45,14 +45,18 @@
  *     per-event costs are deltas of the lane clock, so one subtraction
  *     per same-function run replaces a read-modify-write per event.
  *
- * Both the P5 (U/V pairing) and the P6 (4-1-1 decode-group) machines
- * have lane kernels; a mixed sweep runs one P5 block and one P6 block,
- * still two passes instead of N. Every result is bit-identical to
- * replaySweepScalar() — the per-lane state machines mirror
- * PentiumTimer::consumeWithPrediction / P6Timer::consumeWithPrediction
+ * The P5 (U/V pairing), P6 (4-1-1 decode-group), and P6P (issue-port)
+ * machines all have lane kernels; a mixed sweep runs one block per
+ * model, still a handful of passes instead of N. Every result is
+ * bit-identical to replaySweepScalar() — the per-lane state machines
+ * mirror PentiumTimer / P6Timer / P6PTimer ::consumeWithPrediction
  * exactly, exploiting only don't-care stores (fields the scalar model
  * leaves stale behind an invalid flag may be overwritten
- * unconditionally).
+ * unconditionally). The port model's extra per-event inputs (uop→port
+ * binding, ALU uop count) are config-independent facts of the
+ * sim::UopDesc table, carried in a one-byte side stream next to the
+ * PackedOp; its per-uop dispatch loop has a config-independent trip
+ * count, so the lane loops stay branchless.
  */
 
 #include "materialize.hh"
@@ -144,10 +148,23 @@ struct FnRun
  * events only), the function-run list, and the statistics that have a
  * closed form.
  */
+/** Bit layout of the P6P side stream (one byte per event): the uop→port
+ *  binding facts of the sim::UopDesc table, consumed only by the port
+ *  lane kernel so the shared PackedOp stays 8 bytes. */
+enum : uint8_t {
+    kPortAluMask = 0x0f, ///< UopDesc::aluUops (compute uops to bind)
+    kPortClassShift = 4, ///< bits 4-5: sim::PortClass
+    kPortClassMask = 0x30,
+    kPortLoad = 1 << 6,  ///< has a load uop (port 2)
+    kPortStore = 1 << 7, ///< has a store-addr/store-data pair (p3+p4)
+};
+
 struct SweepProgram
 {
     size_t n = 0;
     std::vector<PackedOp> ops;
+    /** P6P port-binding facts, parallel to ops (see kPort* above). */
+    std::vector<uint8_t> portInfo;
     std::vector<FnRun> runs;
     // Dense memory-event stream (inputs of the cache-geometry memos).
     std::vector<uint64_t> memAddr;
@@ -310,9 +327,9 @@ sel(uint64_t mask, uint64_t a, uint64_t b)
 profile::ProfileResult
 assembleLane(const SweepProgram &prog, const LaneRef &ref, uint64_t cycles,
              uint64_t pairs, uint64_t dependStall, uint64_t blockingExtra,
-             uint64_t retireStall, uint64_t uopsIssued, uint64_t callRet,
-             uint64_t overhead, const uint64_t *fnCycles, size_t stride,
-             size_t lane, uint64_t mispredictPenalty)
+             uint64_t retireStall, uint64_t portStall, uint64_t uopsIssued,
+             uint64_t callRet, uint64_t overhead, const uint64_t *fnCycles,
+             size_t stride, size_t lane, uint64_t mispredictPenalty)
 {
     profile::ProfileResult r = *prog.counts;
     r.cycles = cycles;
@@ -323,6 +340,7 @@ assembleLane(const SweepProgram &prog, const LaneRef &ref, uint64_t cycles,
     r.timer.dependStallCycles = dependStall;
     r.timer.blockingExtraCycles = blockingExtra;
     r.timer.retireStallCycles = retireStall;
+    r.timer.portStallCycles = portStall;
     r.timer.uopsIssued = uopsIssued;
     const mem::MemoryHierarchy::Penalties &pen =
         ref.machine->timer.penalties;
@@ -529,7 +547,7 @@ runP5BlockT(const SweepProgram &prog, const std::vector<LaneRef> &lanes,
     for (size_t l = 0; l < L; ++l)
         results[lanes[l].resultIndex] = assembleLane(
             prog, lanes[l], nextIssue[l], pairsN[l], dependStall[l],
-            prog.blockingExtraP5, 0, 0, callRetA[l], overheadA[l],
+            prog.blockingExtraP5, 0, 0, 0, callRetA[l], overheadA[l],
             fnCycles, L, l, mpPen[l]);
 }
 
@@ -705,8 +723,255 @@ runP6BlockT(const SweepProgram &prog, const std::vector<LaneRef> &lanes,
     for (size_t l = 0; l < L; ++l)
         results[lanes[l].resultIndex] = assembleLane(
             prog, lanes[l], timeL[l], joined[l], dependStall[l],
-            blockingExtra[l], retireStall[l], prog.counts->uops,
+            blockingExtra[l], retireStall[l], 0, prog.counts->uops,
             callRetA[l], overheadA[l], fnCycles, L, l, mpPen[l]);
+}
+
+/**
+ * The P6P lane kernel: P6PTimer::consumeWithPrediction() lane-major.
+ * The decode-group half is the P6 kernel with one extra floor (decode
+ * may run at most `window` cycles ahead of the latest port dispatch);
+ * the dispatch half binds each uop to a single-issue port. Which ports
+ * an event needs (load / store pair / N compute uops on p0, p1, or
+ * either) is a config-independent fact of the UopDesc table carried in
+ * the portInfo side stream, so every per-event branch below is shared
+ * by all lanes; only the either-port choice is per-lane data, handled
+ * with a mask select.
+ */
+template <size_t L>
+void
+runP6PBlockT(const SweepProgram &prog, const std::vector<LaneRef> &lanes,
+             std::vector<profile::ProfileResult> &results)
+{
+    const uint8_t *cls[L];
+    const uint64_t *mpBits[L];
+    uint64_t penByClass[L * 3] = {};
+    uint64_t mpPen[L], decodeW[L], issueW[L], retireW[L], windowW[L];
+    std::vector<uint64_t> occupyTabV(L * 256);
+    uint64_t *__restrict occupyTab = occupyTabV.data();
+    for (size_t l = 0; l < L; ++l) {
+        const sim::TimerConfig &tc = lanes[l].machine->timer;
+        const sim::P6PParams &pp = tc.p6p;
+        penByClass[l * 3 + 1] = tc.penalties.ofClass(1);
+        penByClass[l * 3 + 2] = tc.penalties.ofClass(2);
+        mpPen[l] = pp.mispredict_penalty;
+        decodeW[l] = pp.decode_width;
+        issueW[l] = pp.issue_width;
+        retireW[l] = pp.retire_width;
+        windowW[l] = pp.window;
+        cls[l] = lanes[l].mem->cls.data();
+        mpBits[l] = lanes[l].btb->bits.data();
+        for (size_t u = 0; u < 256; ++u) {
+            const uint64_t occupy =
+                (u + pp.issue_width - 1) / pp.issue_width;
+            const uint64_t fits = u <= pp.complex_uops;
+            const uint64_t simple = u <= 1;
+            occupyTab[l * 256 + u] = occupy | (fits << 32) | (simple << 33);
+        }
+    }
+
+    std::vector<uint64_t> fnCyclesV(prog.fnNames->size() * L, 0);
+    uint64_t *__restrict fnCycles = fnCyclesV.data();
+
+    alignas(64) uint64_t ready[256 * L] = {};
+    uint64_t timeL[L] = {}, mark[L] = {}, prev[L] = {};
+    uint64_t callRetA[L] = {}, overheadA[L] = {};
+    uint64_t groupCycle[L] = {}, complexFree[L], retFloor[L] = {};
+    uint64_t slotsLeft[L] = {}, uopsLeft[L] = {}, retRem[L] = {};
+    uint64_t joined[L] = {}, dependStall[L] = {}, retireStall[L] = {};
+    uint64_t blockingExtra[L] = {}, portStall[L] = {};
+    // The five single-issue port clocks plus the window anchor.
+    uint64_t portFree[5][L] = {};
+    uint64_t lastDisp[L] = {};
+    uint64_t issueA[L];
+    for (size_t l = 0; l < L; ++l)
+        complexFree[l] = 1;
+
+    /** One uop onto a fixed port, per lane. */
+    const auto disp = [&](uint64_t *__restrict port, size_t l) {
+        const uint64_t at =
+            issueA[l] > port[l] ? issueA[l] : port[l];
+        port[l] = at + 1;
+        if (at > lastDisp[l])
+            lastDisp[l] = at;
+    };
+
+    const PackedOp *__restrict ops = prog.ops.data();
+    const uint8_t *__restrict ports = prog.portInfo.data();
+    size_t memIdx = 0;
+    size_t branchIdx = 0;
+    size_t i = 0;
+
+    for (const FnRun &run : prog.runs) {
+        for (const size_t runEnd = i + run.count; i < runEnd; ++i) {
+            const PackedOp po = ops[i];
+            const uint32_t f = po.flags;
+            const uint32_t pi = ports[i];
+
+            uint64_t pen[L] = {};
+            uint64_t mp[L] = {};
+            if (f & kOpMem) {
+                MMXDSP_LANE_UNROLL
+                for (size_t l = 0; l < L; ++l)
+                    pen[l] = penByClass[l * 3 + cls[l][memIdx]];
+                ++memIdx;
+            }
+            if (f & kOpControl) {
+                const size_t w = branchIdx >> 6;
+                const unsigned b = branchIdx & 63;
+                MMXDSP_LANE_UNROLL
+                for (size_t l = 0; l < L; ++l)
+                    mp[l] = (mpBits[l][w] >> b) & 1;
+                ++branchIdx;
+            }
+            const bool flagged = (f & (kOpCallRet | kOpOverhead)) != 0;
+            if (flagged)
+                std::memcpy(prev, timeL, sizeof(prev));
+
+            const uint64_t uops = po.uops;
+            const uint64_t lat = po.latP6;
+            const uint64_t s0 = po.src0;
+            const uint64_t s1 = po.src1;
+            const uint64_t d = po.dst;
+            const uint64_t *__restrict r0 = ready + s0 * L;
+            const uint64_t *__restrict r1 = ready + s1 * L;
+            uint64_t *__restrict rd = ready + d * L;
+            const uint64_t dMask =
+                uint64_t{0} - uint64_t{d != isa::kNoReg};
+
+            MMXDSP_LANE_UNROLL
+            for (size_t l = 0; l < L; ++l) {
+                const uint64_t rs0 = r0[l];
+                const uint64_t rs1 = r1[l];
+                const uint64_t rdy = rs0 > rs1 ? rs0 : rs1;
+                const uint64_t t = timeL[l];
+                const uint64_t tab = occupyTab[l * 256 + uops];
+                const uint64_t occupy = tab & 0xffffffffu;
+                const uint64_t fits = (tab >> 32) & 1;
+                const uint64_t simple = (tab >> 33) & 1;
+
+                const uint64_t freeOk = uint64_t{(pen[l] | mp[l]) == 0};
+                const uint64_t canJoin =
+                    uint64_t{slotsLeft[l] > 0}
+                    & uint64_t{static_cast<int64_t>(uopsLeft[l])
+                               >= static_cast<int64_t>(uops)}
+                    & (simple | complexFree[l]) & fits
+                    & uint64_t{rdy <= groupCycle[l]} & freeOk;
+                const uint64_t jm = uint64_t{0} - canJoin;
+
+                // Open-group floors: retirement, operands, and the
+                // port-dispatch window, in the scalar model's order.
+                const uint64_t rf = retFloor[l];
+                const uint64_t ld = lastDisp[l];
+                const uint64_t w = windowW[l];
+                const uint64_t pf = ld > w ? ld - w : 0;
+                const uint64_t at0 = t > rf ? t : rf;
+                const uint64_t at1 = at0 > rdy ? at0 : rdy;
+                const uint64_t at = at1 > pf ? at1 : pf;
+                const uint64_t open = uint64_t{occupy == 1} & freeOk;
+
+                const uint64_t issue = sel(jm, groupCycle[l], at);
+                uint64_t newTime = sel(jm, t, at + occupy + pen[l]);
+                newTime += mp[l] * mpPen[l];
+                joined[l] += canJoin;
+                retireStall[l] += (at0 - t) & ~jm;
+                dependStall[l] += (at1 - at0) & ~jm;
+                portStall[l] += (at - at1) & ~jm;
+                blockingExtra[l] += (occupy - 1) & ~jm;
+                const uint64_t slotsOpen =
+                    (decodeW[l] - 1) & (uint64_t{0} - open);
+                slotsLeft[l] =
+                    sel(jm, slotsLeft[l] - 1, slotsOpen) & (mp[l] - 1);
+                uopsLeft[l] = sel(jm, uopsLeft[l] - uops, issueW[l] - uops);
+                complexFree[l] = simple & (complexFree[l] | (canJoin ^ 1));
+                groupCycle[l] = issue;
+
+                const uint32_t rr = static_cast<uint32_t>(retRem[l] + uops);
+                const uint32_t rw = static_cast<uint32_t>(retireW[l]);
+                retFloor[l] += rr / rw;
+                retRem[l] = rr % rw;
+
+                rd[l] = sel(dMask, issue + lat + pen[l], rd[l]);
+                timeL[l] = newTime;
+                issueA[l] = issue;
+            }
+
+            // Port binding, mirroring P6PTimer's dispatch order: the
+            // load uop, the store-addr/store-data pair, then the
+            // compute uops. Trip counts and port classes are shared by
+            // every lane; only the either-port pick is per-lane.
+            if (pi & kPortLoad) {
+                MMXDSP_LANE_UNROLL
+                for (size_t l = 0; l < L; ++l)
+                    disp(portFree[2], l);
+            }
+            if (pi & kPortStore) {
+                MMXDSP_LANE_UNROLL
+                for (size_t l = 0; l < L; ++l) {
+                    disp(portFree[3], l);
+                    disp(portFree[4], l);
+                }
+            }
+            const uint32_t aluN = pi & kPortAluMask;
+            const uint32_t pcls = (pi & kPortClassMask) >> kPortClassShift;
+            for (uint32_t k = 0; k < aluN; ++k) {
+                if (pcls == static_cast<uint32_t>(sim::PortClass::P0)) {
+                    MMXDSP_LANE_UNROLL
+                    for (size_t l = 0; l < L; ++l)
+                        disp(portFree[0], l);
+                } else if (pcls
+                           == static_cast<uint32_t>(sim::PortClass::P1)) {
+                    MMXDSP_LANE_UNROLL
+                    for (size_t l = 0; l < L; ++l)
+                        disp(portFree[1], l);
+                } else {
+                    MMXDSP_LANE_UNROLL
+                    for (size_t l = 0; l < L; ++l) {
+                        const uint64_t pf0 = portFree[0][l];
+                        const uint64_t pf1 = portFree[1][l];
+                        // Earliest-free wins, ties to p0 (the scalar
+                        // model's pf0 <= pf1).
+                        const uint64_t m0 =
+                            uint64_t{0} - uint64_t{pf0 <= pf1};
+                        const uint64_t chosen = sel(m0, pf0, pf1);
+                        const uint64_t at =
+                            issueA[l] > chosen ? issueA[l] : chosen;
+                        const uint64_t nv = at + 1;
+                        portFree[0][l] = sel(m0, nv, pf0);
+                        portFree[1][l] = sel(m0, pf1, nv);
+                        if (at > lastDisp[l])
+                            lastDisp[l] = at;
+                    }
+                }
+            }
+
+            if (flagged) {
+                const uint64_t crM =
+                    uint64_t{0} - uint64_t{(f & kOpCallRet) != 0};
+                const uint64_t ovM =
+                    uint64_t{0} - uint64_t{(f & kOpOverhead) != 0};
+                MMXDSP_LANE_UNROLL
+                for (size_t l = 0; l < L; ++l) {
+                    const uint64_t cost = timeL[l] - prev[l];
+                    callRetA[l] += cost & crM;
+                    overheadA[l] += cost & ovM;
+                }
+            }
+        }
+        uint64_t *__restrict row = fnCycles + size_t{run.fnId} * L;
+        MMXDSP_LANE_UNROLL
+        for (size_t l = 0; l < L; ++l) {
+            row[l] += timeL[l] - mark[l];
+            mark[l] = timeL[l];
+        }
+    }
+
+    for (size_t l = 0; l < L; ++l)
+        results[lanes[l].resultIndex] = assembleLane(
+            prog, lanes[l], timeL[l], joined[l], dependStall[l],
+            blockingExtra[l], retireStall[l], portStall[l],
+            prog.counts->uops, callRetA[l], overheadA[l], fnCycles, L, l,
+            mpPen[l]);
 }
 
 #if MMXDSP_SWEEP_AVX2
@@ -1008,23 +1273,39 @@ runP5BlockAvx2(const SweepProgram &prog, const std::vector<LaneRef> &lanes,
     for (size_t l = 0; l < L; ++l)
         results[lanes[l].resultIndex] = assembleLane(
             prog, lanes[l], niA[l], pairsA[l], depA[l],
-            prog.blockingExtraP5, 0, 0, crA[l], ovA[l], fnCycles, L, l,
+            prog.blockingExtraP5, 0, 0, 0, crA[l], ovA[l], fnCycles, L, l,
             mpPenA[l]);
 }
 
 #endif // MMXDSP_SWEEP_AVX2
 
+/** Block index per ModelKind (the byModel partition in the driver). */
+constexpr size_t
+modelIndex(sim::ModelKind model)
+{
+    switch (model) {
+      case sim::ModelKind::P5:
+        return 0;
+      case sim::ModelKind::P6:
+        return 1;
+      case sim::ModelKind::P6P:
+        return 2;
+    }
+    return 0;
+}
+
 /** Instantiate one kernel per lane count so every block runs with a
  *  compile-time L (full unrolling, register-resident lane state). */
-template <bool P6, size_t... Ls>
+template <size_t M, size_t... Ls>
 void
 dispatchBlock(std::index_sequence<Ls...>, const SweepProgram &prog,
               const std::vector<LaneRef> &lanes,
               std::vector<profile::ProfileResult> &results)
 {
     ((lanes.size() == Ls + 1
-          ? (P6 ? runP6BlockT<Ls + 1>(prog, lanes, results)
-                : runP5BlockT<Ls + 1>(prog, lanes, results))
+          ? (M == 2   ? runP6PBlockT<Ls + 1>(prog, lanes, results)
+             : M == 1 ? runP6BlockT<Ls + 1>(prog, lanes, results)
+                      : runP5BlockT<Ls + 1>(prog, lanes, results))
           : void()),
      ...);
 }
@@ -1044,16 +1325,28 @@ runP5Block(const SweepProgram &prog, const std::vector<LaneRef> &lanes,
         }
     }
 #endif
-    dispatchBlock<false>(std::make_index_sequence<kMaxLanes>{}, prog, lanes,
-                         results);
+    dispatchBlock<0>(std::make_index_sequence<kMaxLanes>{}, prog, lanes,
+                     results);
 }
 
 void
-runP6Block(const SweepProgram &prog, const std::vector<LaneRef> &lanes,
-           std::vector<profile::ProfileResult> &results)
+runModelBlock(size_t model, const SweepProgram &prog,
+              const std::vector<LaneRef> &lanes,
+              std::vector<profile::ProfileResult> &results)
 {
-    dispatchBlock<true>(std::make_index_sequence<kMaxLanes>{}, prog, lanes,
-                        results);
+    switch (model) {
+      case 2:
+        dispatchBlock<2>(std::make_index_sequence<kMaxLanes>{}, prog,
+                         lanes, results);
+        break;
+      case 1:
+        dispatchBlock<1>(std::make_index_sequence<kMaxLanes>{}, prog,
+                         lanes, results);
+        break;
+      default:
+        runP5Block(prog, lanes, results);
+        break;
+    }
 }
 
 } // namespace
@@ -1080,37 +1373,24 @@ MaterializedTrace::replaySweepPacked(
     prog.fnNames = &fnNames_;
     prog.fnCounts = &fnCounts_;
     prog.ops.resize(prog.n);
+    prog.portInfo.resize(prog.n);
     prog.memAddr.reserve(counts_.memoryReferences);
     prog.memSize.reserve(counts_.memoryReferences);
     prog.memStore.reserve(counts_.memoryReferences);
     prog.ctlSite.reserve(controlCount_);
     prog.ctlTaken.reserve(controlCount_);
 
-    const auto &opTab = isa::opTable();
-    const auto &uopTab = sim::uopTable();
-    std::array<uint8_t, isa::kNumOps> opBits{};
-    std::array<uint8_t, isa::kNumOps> latP6{};
-    for (size_t o = 0; o < isa::kNumOps; ++o) {
-        const isa::OpInfo &info = opTab[o];
-        uint8_t b = 0;
-        if (info.unit == isa::Unit::MmxMul)
-            b |= kOpMmxMul;
-        if (info.unit == isa::Unit::MmxShift)
-            b |= kOpMmxShift;
-        if (info.blocking == 1) {
-            if (info.pair == isa::PairClass::UV
-                || info.pair == isa::PairClass::PV)
-                b |= kOpPairPV;
-            if (info.pair == isa::PairClass::UV
-                || info.pair == isa::PairClass::PU)
-                b |= kOpPairUP;
-        }
-        opBits[o] = b;
-        latP6[o] = info.latency;
-    }
-    // The P6's pipelined multiplier (see P6Timer's constructor).
-    latP6[static_cast<size_t>(isa::Op::Imul)] = 4;
-    latP6[static_cast<size_t>(isa::Op::Mul)] = 4;
+    // Everything per-op comes from the shared descriptor table: the
+    // kOp* bits 0-5 are the same encoding as sim::kDesc* (checked by
+    // static_asserts below), so the flag byte is the descriptor's with
+    // the trace-derived attribution bits merged in.
+    static_assert(int{kOpMem} == int{sim::kDescMem}
+                  && int{kOpMmxMul} == int{sim::kDescMmxMul}
+                  && int{kOpMmxShift} == int{sim::kDescMmxShift}
+                  && int{kOpPairPV} == int{sim::kDescPairPV}
+                  && int{kOpPairUP} == int{sim::kDescPairUP}
+                  && int{kOpControl} == int{sim::kDescControl});
+    const sim::UopDesc *descTab = sim::descTable().data();
 
     uint32_t runFn = 0;
     uint32_t runLen = 0;
@@ -1118,26 +1398,28 @@ MaterializedTrace::replaySweepPacked(
         const size_t op = op_[i];
         const uint8_t mf = flags_[i];
         const size_t memMode = mf & kFlagMemMask;
+        const sim::UopDesc &desc = descTab[op * 3 + memMode];
         PackedOp &po = prog.ops[i];
-        uint8_t f = opBits[op];
-        if (memMode)
-            f |= kOpMem;
-        if (mf & kFlagControl)
-            f |= kOpControl;
+        uint8_t f = desc.flags;
         if (mf & kFlagCallRet)
             f |= kOpCallRet;
         if (mf & kFlagOverhead)
             f |= kOpOverhead;
         po.flags = f;
-        po.blocking = opTab[op].blocking;
-        po.latP5 = opTab[op].latency;
-        po.latP6 = latP6[op];
+        po.blocking = desc.blocking;
+        po.latP5 = desc.latP5;
+        po.latP6 = desc.latP6;
         po.src0 = src0_[i];
         po.src1 = src1_[i];
         po.dst = dst_[i];
-        po.uops = uopTab[op * 3 + memMode];
-        if (opTab[op].blocking > 1)
-            prog.blockingExtraP5 += opTab[op].blocking - 1u;
+        po.uops = desc.uops;
+        prog.portInfo[i] = static_cast<uint8_t>(
+            desc.aluUops
+            | (static_cast<uint8_t>(desc.port) << kPortClassShift)
+            | (desc.loadUops ? kPortLoad : 0)
+            | (desc.storeOps ? kPortStore : 0));
+        if (desc.blocking > 1)
+            prog.blockingExtraP5 += desc.blocking - 1u;
         if (memMode) {
             prog.memAddr.push_back(addr_[i]);
             prog.memSize.push_back(size_[i]);
@@ -1235,20 +1517,20 @@ MaterializedTrace::replaySweepPacked(
 
     // ---- 3. lane blocks per model, sized so the workers share the
     // pass count evenly but no block exceeds kMaxLanes ----
-    std::vector<LaneRef> byModel[2];
+    std::vector<LaneRef> byModel[sim::kNumModelKinds];
     for (size_t i = 0; i < machines.size(); ++i) {
-        const size_t m = machines[i].model == sim::ModelKind::P6 ? 1 : 0;
+        const size_t m = modelIndex(machines[i].model);
         byModel[m].push_back(LaneRef{&machines[i], &memMemos[memGeoOf[i]],
                                      &btbMemos[btbGeoOf[i]], i});
     }
     struct Block
     {
-        bool p6 = false;
+        size_t model = 0; ///< modelIndex() of every lane in the block
         std::vector<LaneRef> lanes;
     };
     std::vector<Block> blocks;
     const size_t workers = static_cast<size_t>(resolveThreads(threads));
-    for (size_t m = 0; m < 2; ++m) {
+    for (size_t m = 0; m < sim::kNumModelKinds; ++m) {
         const std::vector<LaneRef> &lanes = byModel[m];
         if (lanes.empty())
             continue;
@@ -1260,7 +1542,7 @@ MaterializedTrace::replaySweepPacked(
         const size_t blockSize = std::clamp(target, size_t{4}, kMaxLanes);
         for (size_t at = 0; at < lanes.size(); at += blockSize) {
             Block block;
-            block.p6 = m == 1;
+            block.model = m;
             block.lanes.assign(
                 lanes.begin() + static_cast<ptrdiff_t>(at),
                 lanes.begin()
@@ -1271,10 +1553,7 @@ MaterializedTrace::replaySweepPacked(
     }
 
     parallelFor(blocks.size(), threads, [&](size_t b) {
-        if (blocks[b].p6)
-            runP6Block(prog, blocks[b].lanes, results);
-        else
-            runP5Block(prog, blocks[b].lanes, results);
+        runModelBlock(blocks[b].model, prog, blocks[b].lanes, results);
     });
     if (dbg) {
         const auto t3 = now();

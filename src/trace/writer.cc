@@ -163,6 +163,22 @@ TraceWriter::onLeaveFunction()
 void
 TraceWriter::finish(const runtime::Cpu *cpu)
 {
+    std::vector<SiteRow> rows;
+    if (cpu) {
+        for (uint32_t id = 0; id < siteSeen_.size(); ++id) {
+            if (!siteSeen_[id])
+                continue;
+            const runtime::SiteInfo &info = cpu->siteInfo(id);
+            rows.push_back({id, info.line, info.column, info.file,
+                            info.function});
+        }
+    }
+    finish(std::span<const SiteRow>(rows));
+}
+
+void
+TraceWriter::finish(std::span<const SiteRow> sites)
+{
     if (finished_)
         mmxdsp_fatal("TraceWriter::finish called twice");
     finished_ = true;
@@ -185,18 +201,15 @@ TraceWriter::finish(const runtime::Cpu *cpu)
 
     std::vector<uint8_t> rows;
     uint64_t count = 0;
-    if (cpu) {
-        for (uint32_t id = 0; id < siteSeen_.size(); ++id) {
-            if (!siteSeen_[id])
-                continue;
-            const runtime::SiteInfo &info = cpu->siteInfo(id);
-            putVarint(rows, id);
-            putVarint(rows, info.line);
-            putVarint(rows, info.column);
-            putVarint(rows, intern(info.file));
-            putVarint(rows, intern(info.function));
-            ++count;
-        }
+    for (const SiteRow &site : sites) {
+        if (site.id >= siteSeen_.size() || !siteSeen_[site.id])
+            continue;
+        putVarint(rows, site.id);
+        putVarint(rows, site.line);
+        putVarint(rows, site.column);
+        putVarint(rows, intern(site.file));
+        putVarint(rows, intern(site.function));
+        ++count;
     }
 
     siteSection_.clear();

@@ -56,6 +56,25 @@ class TraceWriter final : public sim::TraceSink
      */
     void finish(const runtime::Cpu *cpu = nullptr);
 
+    /** One site-metadata row for the re-encode finish() overload. */
+    struct SiteRow
+    {
+        uint32_t id = 0;
+        uint32_t line = 0;
+        uint32_t column = 0;
+        const char *file = "";
+        const char *function = "";
+    };
+
+    /**
+     * finish() for re-encoding an already-captured stream (no live Cpu
+     * to read site info from): embeds the given metadata rows instead.
+     * Rows must be in ascending id order; rows whose site never appears
+     * in the recorded body are dropped, matching what a live capture
+     * would have written.
+     */
+    void finish(std::span<const SiteRow> sites);
+
     /** The complete on-disk image (header + body + site table). */
     std::vector<uint8_t> serialize() const;
 

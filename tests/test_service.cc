@@ -572,6 +572,11 @@ TEST(QueryEngineTest, ParseQueryLineAcceptsAndRejects)
         EXPECT_FALSE(error.empty()) << line;
     }
 
+    // The port model parses too.
+    ASSERT_TRUE(service::QueryEngine::parseQueryLine(
+        "fft mmx model=p6p", &q, &error));
+    EXPECT_EQ(q.machine.model, sim::ModelKind::P6P);
+
     // Distinct machines hash apart; identical machines hash together.
     sim::MachineConfig a, b;
     EXPECT_EQ(service::machineHash(a), service::machineHash(b));
@@ -580,6 +585,53 @@ TEST(QueryEngineTest, ParseQueryLineAcceptsAndRejects)
     b = a;
     b.model = sim::ModelKind::P6;
     EXPECT_NE(service::machineHash(a), service::machineHash(b));
+    b.model = sim::ModelKind::P6P;
+    EXPECT_NE(service::machineHash(a), service::machineHash(b));
+    // Same model, different port-model knob: still apart.
+    a = b;
+    b.timer.p6p.window += 1;
+    EXPECT_NE(service::machineHash(a), service::machineHash(b));
+}
+
+TEST(QueryEngineTest, P6AndP6PNeverAliasInTheResultCache)
+{
+    // p6 and p6p queries share every TimerConfig byte; only the model
+    // kind differs. The result cache must keep them apart: a p6p query
+    // after a p6 one replays, and repeats hit their own entries.
+    ScratchDir scratch("mmxdsp_engine_p6p_alias_test");
+    service::QueryEngine engine(engineOpts(scratch));
+
+    service::Query p6{"fir", "mmx", sim::MachineConfig{}};
+    p6.machine.model = sim::ModelKind::P6;
+    service::Query p6p = p6;
+    p6p.machine.model = sim::ModelKind::P6P;
+
+    const auto first = engine.query(p6);
+    ASSERT_TRUE(first.ok) << first.error;
+    const auto second = engine.query(p6p);
+    ASSERT_TRUE(second.ok) << second.error;
+    // Served fresh, not from the p6 entry, and with the port model's
+    // deeper mispredict penalty visible in the cycle count.
+    EXPECT_FALSE(second.from_result_cache);
+    EXPECT_NE(second.profile.cycles, first.profile.cycles);
+
+    const auto p6_again = engine.query(p6);
+    ASSERT_TRUE(p6_again.ok);
+    EXPECT_TRUE(p6_again.from_result_cache);
+    EXPECT_EQ(p6_again.profile.cycles, first.profile.cycles);
+    const auto p6p_again = engine.query(p6p);
+    ASSERT_TRUE(p6p_again.ok);
+    EXPECT_TRUE(p6p_again.from_result_cache);
+    EXPECT_EQ(p6p_again.profile.cycles, second.profile.cycles);
+    EXPECT_EQ(engine.stats().result_hits, 2u);
+
+    // Both models in one batch stay distinct as well.
+    const auto batch = engine.queryBatch({p6, p6p});
+    ASSERT_EQ(batch.size(), 2u);
+    ASSERT_TRUE(batch[0].ok);
+    ASSERT_TRUE(batch[1].ok);
+    EXPECT_EQ(batch[0].profile.cycles, first.profile.cycles);
+    EXPECT_EQ(batch[1].profile.cycles, second.profile.cycles);
 }
 
 } // namespace

@@ -75,6 +75,7 @@ expectSameProfile(const profile::ProfileResult &a,
     EXPECT_EQ(a.timer.pairs, b.timer.pairs);
     EXPECT_EQ(a.timer.uopsIssued, b.timer.uopsIssued);
     EXPECT_EQ(a.timer.retireStallCycles, b.timer.retireStallCycles);
+    EXPECT_EQ(a.timer.portStallCycles, b.timer.portStallCycles);
     EXPECT_EQ(a.timer.memPenaltyCycles, b.timer.memPenaltyCycles);
     EXPECT_EQ(a.timer.mispredictCycles, b.timer.mispredictCycles);
     EXPECT_EQ(a.timer.dependStallCycles, b.timer.dependStallCycles);
@@ -151,24 +152,30 @@ TEST(SweepDedup, CrossModelDuplicatesStayPerModel)
         tinyConfig(), harness::TraceOptions{true, scratch.path.string()});
     auto mat = materializedTrace(suite, "fft", "mmx");
 
-    // Identical timer parameters under both models: these must NOT
-    // dedup onto each other.
+    // Identical timer parameters under all three models: these must
+    // NOT dedup onto each other.
     const sim::TimerConfig timer;
     const std::vector<sim::MachineConfig> machines = {
         {sim::ModelKind::P5, timer},
         {sim::ModelKind::P6, timer},
+        {sim::ModelKind::P6P, timer},
         {sim::ModelKind::P5, timer},
         {sim::ModelKind::P6, timer},
+        {sim::ModelKind::P6P, timer},
     };
     const auto results = mat->replaySweep(machines, 2);
     ASSERT_EQ(results.size(), machines.size());
-    expectSameProfile(results[2], results[0], "P5 duplicate");
-    expectSameProfile(results[3], results[1], "P6 duplicate");
+    expectSameProfile(results[3], results[0], "P5 duplicate");
+    expectSameProfile(results[4], results[1], "P6 duplicate");
+    expectSameProfile(results[5], results[2], "P6P duplicate");
     expectSameProfile(results[0], mat->replayProfile(machines[0]),
                       "P5 solo");
     expectSameProfile(results[1], mat->replayProfile(machines[1]),
                       "P6 solo");
+    expectSameProfile(results[2], mat->replayProfile(machines[2]),
+                      "P6P solo");
     EXPECT_NE(results[0].cycles, results[1].cycles);
+    EXPECT_NE(results[1].cycles, results[2].cycles);
 }
 
 // ---------------- edge geometries ----------------
@@ -215,6 +222,7 @@ TEST(SweepKernel, EdgeGeometriesMatchScalar)
          {directMapped, oneBtb, weirdPen, smallLines}) {
         machines.push_back({sim::ModelKind::P5, tc});
         machines.push_back({sim::ModelKind::P6, tc});
+        machines.push_back({sim::ModelKind::P6P, tc});
     }
 
     const auto scalar = mat->replaySweepScalar(machines, 2);
@@ -238,7 +246,7 @@ sim::MachineConfig
 randomMachine(Rng &rng)
 {
     sim::MachineConfig m;
-    m.model = rng.nextBelow(2) ? sim::ModelKind::P6 : sim::ModelKind::P5;
+    m.model = static_cast<sim::ModelKind>(rng.nextBelow(sim::kNumModelKinds));
     sim::TimerConfig &tc = m.timer;
     tc.l1.line_bytes = 8u << rng.nextBelow(3);            // 8..32
     tc.l1.ways = 1u << rng.nextBelow(3);                  // 1..4
@@ -259,6 +267,12 @@ randomMachine(Rng &rng)
     tc.p6.issue_width = 1 + rng.nextBelow(4);
     tc.p6.retire_width = 1 + rng.nextBelow(4);
     tc.p6.mispredict_penalty = rng.nextBelow(16);
+    tc.p6p.decode_width = 1 + rng.nextBelow(4);
+    tc.p6p.complex_uops = 1 + rng.nextBelow(6);
+    tc.p6p.issue_width = 1 + rng.nextBelow(4);
+    tc.p6p.retire_width = 1 + rng.nextBelow(4);
+    tc.p6p.window = 1 + rng.nextBelow(16);
+    tc.p6p.mispredict_penalty = rng.nextBelow(16);
     return m;
 }
 

@@ -1,10 +1,10 @@
 /**
  * @file
  * Unit tests for the sim::TimingModel layer: the P6 (Pentium II) decode
- * and issue model, the model factory and name parsing, the batched
- * consume contract shared by both backends, and the edge timer
- * geometries (direct-mapped caches, 1-entry BTB) that a sweep may
- * request.
+ * and issue model, the P6P (Pentium III-class) issue-port model, the
+ * model factory and name parsing, the batched consume contract shared
+ * by every backend, and the edge timer geometries (direct-mapped
+ * caches, 1-entry BTB) that a sweep may request.
  */
 
 #include <gtest/gtest.h>
@@ -14,6 +14,7 @@
 
 #include "isa/event.hh"
 #include "sim/p6_timer.hh"
+#include "sim/p6p_timer.hh"
 #include "sim/pentium_timer.hh"
 #include "sim/timing_model.hh"
 #include "sim/uop.hh"
@@ -256,6 +257,98 @@ TEST(P6Timer, ResetClearsTimeAndScoreboard)
     EXPECT_EQ(t.stats().dependStallCycles, 0u);
 }
 
+// ---------------- P6P port binding ----------------
+
+TEST(P6PTimer, DualAluStreamIsPortBoundNotDecodeBound)
+{
+    // Three independent 1-uop ALU instructions decode per cycle, but
+    // only two ALU ports (p0/p1) drain them: the scheduler window
+    // backpressures decode to two uops per cycle, i.e. 0.5 cycles per
+    // instruction where the port-less P6 sustains 1/3.
+    const int n = 4098;
+    P6PTimer pp;
+    P6Timer p6;
+    for (int i = 0; i < n; ++i) {
+        const InstrEvent e = ev(Op::Add, isa::kNoReg, isa::kNoReg,
+                                isa::makeTag(RegClass::Int, i & 7));
+        pp.consume(e);
+        p6.consume(e);
+    }
+    EXPECT_NEAR(static_cast<double>(pp.cycles()) / n, 0.5, 0.02);
+    EXPECT_NEAR(static_cast<double>(p6.cycles()) / n, 1.0 / 3.0, 0.02);
+    EXPECT_GT(pp.cycles(), p6.cycles());
+    EXPECT_GT(pp.stats().portStallCycles, 0u);
+}
+
+TEST(P6PTimer, MultiplierStreamSerializesOnPortZero)
+{
+    // Independent fmuls all need port 0, the only FP port: one per
+    // cycle despite the 3-wide decode front end.
+    const int n = 1026;
+    P6PTimer t;
+    for (int i = 0; i < n; ++i)
+        t.consume(ev(Op::Fmul, isa::kNoReg, isa::kNoReg,
+                     isa::makeTag(RegClass::Fp, i & 7)));
+    EXPECT_NEAR(static_cast<double>(t.cycles()) / n, 1.0, 0.02);
+    EXPECT_GT(t.stats().portStallCycles, 0u);
+}
+
+TEST(P6PTimer, LoadStreamSerializesOnTheLoadPort)
+{
+    // Independent hot-line loads: p2 is the single load port, so the
+    // stream sustains one load per cycle.
+    const int n = 1026;
+    P6PTimer t;
+    for (int i = 0; i < n; ++i)
+        t.consume(load(Op::Mov, 0x40, 4,
+                       isa::makeTag(RegClass::Int, i & 7)));
+    EXPECT_NEAR(static_cast<double>(t.cycles()) / n, 1.0, 0.05);
+}
+
+TEST(P6PTimer, PortDispatchDoesNotExtendResultLatency)
+{
+    // Port delays bound decode through the window but never push back
+    // result readiness: a dependent add after an imul waits the same 3
+    // extra cycles as on the P6 (pipelined multiplier, latency 4).
+    P6PTimer t;
+    t.consume(ev(Op::Imul, r1, isa::kNoReg, r0));
+    t.consume(ev(Op::Add, r0, isa::kNoReg, r2));
+    EXPECT_EQ(t.cycles(), 5u);
+    EXPECT_EQ(t.stats().dependStallCycles, 3u);
+}
+
+TEST(P6PTimer, MispredictPaysTheDeeperPipelinePenalty)
+{
+    P6PTimer t;
+    // One stage deeper than the P6: 12 cycles on top of the branch's
+    // own issue cycle.
+    EXPECT_EQ(t.consumeWithPrediction(branch(Op::Jcc, 7, true), true),
+              13u);
+    EXPECT_EQ(t.stats().mispredictCycles, 12u);
+    // The fetch bubble closes the decode group.
+    EXPECT_EQ(t.consume(ev(Op::Add, r1, isa::kNoReg, r0)), 1u);
+    EXPECT_EQ(t.cycles(), 14u);
+}
+
+TEST(P6PTimer, ResetClearsTimeScoreboardAndPorts)
+{
+    P6PTimer t;
+    for (int i = 0; i < 64; ++i)
+        t.consume(ev(Op::Add, isa::kNoReg, isa::kNoReg,
+                     isa::makeTag(RegClass::Int, i & 7)));
+    t.consume(ev(Op::Imul, r1, isa::kNoReg, r0));
+    ASSERT_GT(t.cycles(), 0u);
+    t.reset();
+    EXPECT_EQ(t.cycles(), 0u);
+    EXPECT_EQ(t.stats().instructions, 0u);
+    EXPECT_EQ(t.stats().portStallCycles, 0u);
+    // The scoreboard and port clocks are clear: a consumer of the
+    // pre-reset imul result does not stall.
+    t.consume(ev(Op::Add, r0, isa::kNoReg, r2));
+    EXPECT_EQ(t.cycles(), 1u);
+    EXPECT_EQ(t.stats().dependStallCycles, 0u);
+}
+
 // ---------------- shared TimingModel contract ----------------
 
 /** A randomized but well-formed event, mirroring the trace codec test. */
@@ -290,7 +383,8 @@ TEST(TimingModel, PerEventCostsSumToCyclesOnBothModels)
     for (int i = 0; i < 3000; ++i)
         events.push_back(randomEvent(rng));
 
-    for (ModelKind kind : {ModelKind::P5, ModelKind::P6}) {
+    for (ModelKind kind :
+         {ModelKind::P5, ModelKind::P6, ModelKind::P6P}) {
         auto model = makeTimingModel(MachineConfig{kind, TimerConfig{}});
         uint64_t sum = 0;
         for (const InstrEvent &e : events)
@@ -308,7 +402,8 @@ TEST(TimingModel, ConsumeBatchMatchesTheConsumeLoop)
     for (int i = 0; i < 2000; ++i)
         events.push_back(randomEvent(rng));
 
-    for (ModelKind kind : {ModelKind::P5, ModelKind::P6}) {
+    for (ModelKind kind :
+         {ModelKind::P5, ModelKind::P6, ModelKind::P6P}) {
         const MachineConfig machine{kind, TimerConfig{}};
         auto looped = makeTimingModel(machine);
         std::vector<uint64_t> loop_costs(events.size());
@@ -340,17 +435,31 @@ TEST(TimingModel, FactoryBuildsTheRequestedModel)
     ASSERT_NE(p6, nullptr);
     EXPECT_EQ(p6->kind(), ModelKind::P6);
     EXPECT_EQ(p6->config().l1.size_bytes, 8u * 1024u);
+
+    tweaked.p6p.window = 4;
+    auto p6p = makeTimingModel(MachineConfig{ModelKind::P6P, tweaked});
+    ASSERT_NE(p6p, nullptr);
+    EXPECT_EQ(p6p->kind(), ModelKind::P6P);
+    EXPECT_EQ(p6p->config().p6p.window, 4u);
 }
 
 TEST(TimingModel, ModelNamesRoundTrip)
 {
-    for (ModelKind kind : {ModelKind::P5, ModelKind::P6}) {
+    // Table-driven over the full enum: every kind must have a distinct
+    // lower-case name that parses back to itself.
+    for (size_t k = 0; k < kNumModelKinds; ++k) {
+        const ModelKind kind = static_cast<ModelKind>(k);
+        const char *name = modelName(kind);
+        ASSERT_NE(name, nullptr);
         ModelKind parsed{};
-        ASSERT_TRUE(parseModelName(modelName(kind), &parsed));
-        EXPECT_EQ(parsed, kind);
+        ASSERT_TRUE(parseModelName(name, &parsed)) << name;
+        EXPECT_EQ(parsed, kind) << name;
+        for (size_t other = 0; other < k; ++other)
+            EXPECT_STRNE(name, modelName(static_cast<ModelKind>(other)));
     }
     ModelKind ignored{};
     EXPECT_FALSE(parseModelName("p7", &ignored));
+    EXPECT_FALSE(parseModelName("p6pp", &ignored));
     EXPECT_FALSE(parseModelName("", &ignored));
     EXPECT_FALSE(parseModelName("P5", &ignored)); // names are lower-case
 }
@@ -367,7 +476,8 @@ TEST(TimingModel, DirectMappedCachesThrashOnConflict)
     const uint64_t stride =
         static_cast<uint64_t>(config.l1.size_bytes); // same L1 set
 
-    for (ModelKind kind : {ModelKind::P5, ModelKind::P6}) {
+    for (ModelKind kind :
+         {ModelKind::P5, ModelKind::P6, ModelKind::P6P}) {
         auto model = makeTimingModel(MachineConfig{kind, config});
         uint64_t sum = 0;
         const int rounds = 64;
@@ -400,7 +510,8 @@ TEST(TimingModel, SingleEntryBtbThrashesBetweenTwoBranches)
     config.btb_entries = 1;
     config.btb_ways = 1;
 
-    for (ModelKind kind : {ModelKind::P5, ModelKind::P6}) {
+    for (ModelKind kind :
+         {ModelKind::P5, ModelKind::P6, ModelKind::P6P}) {
         auto model = makeTimingModel(MachineConfig{kind, config});
         uint64_t sum = 0;
         const int rounds = 32;

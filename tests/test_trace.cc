@@ -706,6 +706,111 @@ TEST(TraceReplay, P6EveryPairIsBitIdenticalToLive)
     }
 }
 
+TEST(TraceReplay, P6PEveryPairIsBitIdenticalToLive)
+{
+    // The port model under the same engine guarantee as P5 and P6: for
+    // every (benchmark, version) pair, replaying the captured trace —
+    // streaming decoder and materialized fast kernel — must reproduce
+    // the live P6P profile exactly.
+    ScratchDir scratch("mmxdsp_trace_p6p_identity_test");
+    const sim::MachineConfig p6p{sim::ModelKind::P6P, sim::TimerConfig{}};
+    harness::BenchmarkSuite suite(
+        tinyConfig(), harness::TraceOptions{true, scratch.path.string()},
+        p6p);
+    for (const auto &[bench, version] : harness::BenchmarkSuite::allRuns()) {
+        const std::string what = bench + "." + version + " p6p";
+        const harness::RunResult &live = suite.run(bench, version);
+        EXPECT_FALSE(live.replayed);
+        EXPECT_GT(live.profile.timer.uopsIssued, 0u) << what;
+        auto reader = suite.traceFor(bench, version);
+        ASSERT_NE(reader, nullptr);
+        expectSameProfile(trace::replayProfile(*reader, p6p), live.profile,
+                          what + " streaming");
+        auto mat = suite.materializedFor(bench, version);
+        ASSERT_NE(mat, nullptr);
+        expectSameProfile(mat->replayProfile(p6p), live.profile,
+                          what + " fast kernel");
+    }
+}
+
+TEST(TraceReplay, P6PEdgeGeometriesStayBitIdentical)
+{
+    // The degenerate predictor/cache geometries a sweep may request,
+    // under the port model: assoc=1 at both cache levels and a 1-entry
+    // BTB. Live, streaming, and materialized replays must agree.
+    sim::TimerConfig edge;
+    edge.l1.ways = 1;
+    edge.l2.ways = 1;
+    edge.btb_entries = 1;
+    edge.btb_ways = 1;
+    const sim::MachineConfig p6p{sim::ModelKind::P6P, edge};
+
+    ScratchDir scratch("mmxdsp_trace_p6p_edge_test");
+    harness::BenchmarkSuite suite(
+        tinyConfig(), harness::TraceOptions{true, scratch.path.string()},
+        p6p);
+    for (const auto &[bench, version] :
+         {std::pair<std::string, std::string>{"fft", "mmx"},
+          {"g722", "c"},
+          {"matvec", "mmx"}}) {
+        const std::string what = bench + "." + version + " p6p edge";
+        const harness::RunResult &live = suite.run(bench, version);
+        EXPECT_FALSE(live.replayed);
+        auto reader = suite.traceFor(bench, version);
+        ASSERT_NE(reader, nullptr);
+        expectSameProfile(trace::replayProfile(*reader, p6p), live.profile,
+                          what + " streaming");
+        auto mat = suite.materializedFor(bench, version);
+        ASSERT_NE(mat, nullptr);
+        expectSameProfile(mat->replayProfile(p6p), live.profile,
+                          what + " fast kernel");
+    }
+}
+
+TEST(TraceReplay, TraceForAgreesWithDirectMaterializedCapture)
+{
+    // Regression for the double-capture hole: materializedFor() first
+    // (the direct cold-capture path, which never writes a varint
+    // trace), then traceFor(). The v1 reader must be re-encoded from
+    // the materialized stream, NOT captured by a second execution — a
+    // re-run need not reproduce the address stream, which made
+    // streaming and materialized replays diverge.
+    ScratchDir scratch("mmxdsp_trace_reencode_test");
+    harness::BenchmarkSuite suite(
+        tinyConfig(), harness::TraceOptions{true, scratch.path.string()});
+    auto mat = suite.materializedFor("fft", "fp");
+    ASSERT_NE(mat, nullptr);
+    EXPECT_EQ(suite.traceActivity().captured, 1);
+    auto reader = suite.traceFor("fft", "fp");
+    ASSERT_NE(reader, nullptr);
+    // One execution total: the v1 trace came from the re-encode path.
+    EXPECT_EQ(suite.traceActivity().captured, 1);
+    EXPECT_EQ(reader->instrCount(), mat->instrCount());
+    for (size_t k = 0; k < sim::kNumModelKinds; ++k) {
+        const sim::MachineConfig machine{static_cast<sim::ModelKind>(k),
+                                         sim::TimerConfig{}};
+        expectSameProfile(trace::replayProfile(*reader, machine),
+                          mat->replayProfile(machine),
+                          std::string("re-encoded v1 on ")
+                              + sim::modelName(machine.model));
+    }
+
+    // The disk variant: capture a pair whose only stored artifact is
+    // the v2 image (traceFor never ran for it), then ask a fresh suite
+    // (fresh process state) for its v1 reader. It must re-encode from
+    // the mmap'd v2 image rather than execute.
+    auto matIir = suite.materializedFor("iir", "fp");
+    ASSERT_NE(matIir, nullptr);
+    harness::BenchmarkSuite second(
+        tinyConfig(), harness::TraceOptions{true, scratch.path.string()});
+    auto reader2 = second.traceFor("iir", "fp");
+    ASSERT_NE(reader2, nullptr);
+    EXPECT_EQ(second.traceActivity().captured, 0);
+    expectSameProfile(trace::replayProfile(*reader2, sim::TimerConfig{}),
+                      matIir->replayProfile(sim::TimerConfig{}),
+                      "re-encoded v1 from the v2 store");
+}
+
 TEST(TraceReplay, CrossModelSweepKeepsP5ColumnsBitIdentical)
 {
     // A mixed {P5, P6} sweep must not perturb the P5 columns: they stay
