@@ -17,13 +17,16 @@ usage(const char *prog, int exit_code)
     std::printf(
         "usage: %s [--scale=N] [--threads=N] [--model=p5|p6|p6p]\n"
         "          [--trace-dir=PATH] [--no-trace-cache]\n"
+        "          [--sizes=A,B,...] [--blocks=A,B,...]\n"
         "\n"
         "  --scale=N         shrink every workload by ~N for quick runs\n"
         "  --threads=N       replay worker threads (0 = auto)\n"
         "  --model=p5|p6|p6p     timing model profiles run on (default p5)\n"
         "  --trace-dir=PATH  instruction-trace cache directory\n"
         "                    (default traces; MMXDSP_TRACE_DIR overrides)\n"
-        "  --no-trace-cache  always execute; skip trace capture/replay\n",
+        "  --no-trace-cache  always execute; skip trace capture/replay\n"
+        "  --sizes=A,B,...   problem sizes for size-sweeping benches\n"
+        "  --blocks=A,B,...  block sizes for blocking-sweeping benches\n",
         prog);
     std::exit(exit_code);
 }
@@ -42,7 +45,40 @@ parseIntFlag(const char *arg, const char *name, int *out)
     return true;
 }
 
+/** --name=A,B,... list flag built on parseIntList. */
+bool
+parseListFlag(const char *arg, const char *name, std::vector<int> *out)
+{
+    const size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) != 0 || arg[len] != '=')
+        return false;
+    return parseIntList(arg + len + 1, out);
+}
+
 } // namespace
+
+bool
+parseIntList(const char *text, std::vector<int> *out)
+{
+    if (text == nullptr || *text == '\0')
+        return false;
+    std::vector<int> values;
+    const char *p = text;
+    while (true) {
+        char *end = nullptr;
+        const long v = std::strtol(p, &end, 10);
+        if (end == p || v <= 0 || v > 1 << 20)
+            return false;
+        values.push_back(static_cast<int>(v));
+        if (*end == '\0')
+            break;
+        if (*end != ',')
+            return false;
+        p = end + 1;
+    }
+    *out = std::move(values);
+    return true;
+}
 
 SuiteConfig
 BenchOptions::suiteConfig() const
@@ -94,6 +130,8 @@ parseBenchArgs(int argc, char **argv)
         } else if (std::strncmp(arg, "--trace-dir=", 12) == 0
                    && arg[12] != '\0') {
             opts.trace_dir = arg + 12;
+        } else if (parseListFlag(arg, "--sizes", &opts.sizes)) {
+        } else if (parseListFlag(arg, "--blocks", &opts.blocks)) {
         } else if (std::strcmp(arg, "--no-trace-cache") == 0) {
             opts.trace_cache = false;
         } else if (std::strcmp(arg, "--trace-cache") == 0) {

@@ -11,6 +11,8 @@
  *   --model=p5|p6|p6p      timing model the profiles run on (default p5)
  *   --trace-dir=PATH   on-disk trace cache directory (default "traces")
  *   --no-trace-cache   always execute; do not read or write trace files
+ *   --sizes=A,B,...    problem-size list (benches that sweep sizes)
+ *   --blocks=A,B,...   block-size list (benches that sweep blockings)
  *   --help             usage
  *
  * MMXDSP_TRACE_DIR / MMXDSP_TRACE_CACHE=0 override the trace flags.
@@ -20,6 +22,7 @@
 #define MMXDSP_HARNESS_CLI_HH
 
 #include <string>
+#include <vector>
 
 #include "harness/suite.hh"
 
@@ -33,6 +36,9 @@ struct BenchOptions
     sim::ModelKind model = sim::ModelKind::P5;
     bool trace_cache = true;
     std::string trace_dir = "traces";
+    /** --sizes= / --blocks= lists; empty = the bench's defaults. */
+    std::vector<int> sizes;
+    std::vector<int> blocks;
 
     /** The workload config: paper defaults scaled down by --scale. */
     SuiteConfig suiteConfig() const;
@@ -53,6 +59,16 @@ struct BenchOptions
  * result.
  */
 BenchOptions parseBenchArgs(int argc, char **argv);
+
+/**
+ * Parse a comma-separated list of positive integers ("16,32,48") into
+ * @p out. Rejects empty input, empty elements, non-digits, zero, and
+ * values above 1<<20; on failure @p out is left unchanged. This is the
+ * shared parser behind --sizes=/--blocks= — benches with their own
+ * list-valued flags should reuse it rather than hand-rolling strtol
+ * loops.
+ */
+bool parseIntList(const char *text, std::vector<int> *out);
 
 /**
  * runAll() wrapped in a wall-clock measurement, with a stderr

@@ -8,6 +8,7 @@
 #include "apps/radar/radar_app.hh"
 #include "kernels/fft.hh"
 #include "kernels/fir.hh"
+#include "kernels/gemm.hh"
 #include "kernels/iir.hh"
 #include "kernels/matvec.hh"
 #include "support/logging.hh"
@@ -30,6 +31,10 @@ SuiteConfig::scaleDown(int factor)
     while (fft_size / factor < fft_size && fft_size > 64)
         fft_size /= 2;
     matvec_dim = std::max(32, matvec_dim / factor);
+    // Odd floors on purpose: scaled suites keep exercising the gemm
+    // kernels' non-multiple-of-4 and non-multiple-of-block tail paths.
+    gemm_dim = std::max(27, gemm_dim / factor);
+    gemm_block = std::max(10, gemm_block / factor);
     image_width = std::max(48, image_width / factor);
     image_height = std::max(48, image_height / factor);
     jpeg_width = std::max(32, jpeg_width / factor);
@@ -47,6 +52,8 @@ SuiteConfig::hash() const
     h = trace::fnv1aMix(h, static_cast<uint64_t>(iir_samples));
     h = trace::fnv1aMix(h, static_cast<uint64_t>(fft_size));
     h = trace::fnv1aMix(h, static_cast<uint64_t>(matvec_dim));
+    h = trace::fnv1aMix(h, static_cast<uint64_t>(gemm_dim));
+    h = trace::fnv1aMix(h, static_cast<uint64_t>(gemm_block));
     h = trace::fnv1aMix(h, static_cast<uint64_t>(image_width));
     h = trace::fnv1aMix(h, static_cast<uint64_t>(image_height));
     h = trace::fnv1aMix(h, static_cast<uint64_t>(jpeg_width));
@@ -64,6 +71,7 @@ struct BenchmarkSuite::Impl
     kernels::IirBenchmark iir;
     kernels::FftBenchmark fft;
     kernels::MatvecBenchmark matvec;
+    kernels::GemmBenchmark gemm;
     apps::jpeg::JpegBenchmark jpeg;
     apps::image::ImageBenchmark image;
     apps::g722::G722Benchmark g722;
@@ -84,6 +92,7 @@ BenchmarkSuite::BenchmarkSuite(const SuiteConfig &config,
     impl_->iir.setup(config.iir_samples, config.seed + 1);
     impl_->fft.setup(config.fft_size, config.seed + 2);
     impl_->matvec.setup(config.matvec_dim, config.seed + 3);
+    impl_->gemm.setup(config.gemm_dim, config.gemm_block, config.seed + 8);
     impl_->jpeg.setup(
         workloads::makeTestImage(config.jpeg_width, config.jpeg_height,
                                  config.seed + 4),
@@ -141,6 +150,17 @@ BenchmarkSuite::executeLive(const std::string &benchmark,
             impl_->matvec.runC(cpu);
         else if (version == "mmx")
             impl_->matvec.runMmx(cpu);
+        else
+            ok = false;
+    } else if (benchmark == "gemm") {
+        if (version == "c")
+            impl_->gemm.runC(cpu);
+        else if (version == "c_blocked")
+            impl_->gemm.runCBlocked(cpu);
+        else if (version == "mmx")
+            impl_->gemm.runMmx(cpu);
+        else if (version == "mmx_blocked")
+            impl_->gemm.runMmxBlocked(cpu);
         else
             ok = false;
     } else if (benchmark == "jpeg") {
@@ -502,6 +522,8 @@ BenchmarkSuite::allRuns()
         {"fir", "c"},    {"fir", "fp"},  {"fir", "mmx"},
         {"iir", "c"},    {"iir", "fp"},  {"iir", "mmx"},
         {"matvec", "c"}, {"matvec", "mmx"},
+        {"gemm", "c"},   {"gemm", "c_blocked"},
+        {"gemm", "mmx"}, {"gemm", "mmx_blocked"},
         {"radar", "c"},  {"radar", "mmx"},
         {"g722", "c"},   {"g722", "mmx"},
         {"jpeg", "c"},   {"jpeg", "mmx"},

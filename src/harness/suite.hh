@@ -40,6 +40,8 @@ struct SuiteConfig
     int iir_samples = 8192;
     int fft_size = 4096;     ///< "4096 point, in-place FFT"
     int matvec_dim = 512;    ///< "512 x 512 matrix ... vector of length 512"
+    int gemm_dim = 128;      ///< blocked GEMM: C = A x B, dim x dim Q15
+    int gemm_block = 32;     ///< GEMM jj/kk cache-block edge
     int image_width = 640;   ///< "480 x 640 RGB image"
     int image_height = 480;
     int jpeg_width = 224;    ///< ~118 kB RGB bitmap like the paper's input
@@ -97,9 +99,9 @@ class BenchmarkSuite
 
     /**
      * Run (and cache) one benchmark version. Valid names:
-     * fft/fir/iir/matvec/jpeg/image/g722/radar; versions "c" for all,
-     * "fp" for fft/fir/iir, "mmx" for all, "mmx_v1" for fft.
-     * Fatal on unknown pairs.
+     * fft/fir/iir/matvec/gemm/jpeg/image/g722/radar; versions "c" for
+     * all, "fp" for fft/fir/iir, "mmx" for all, "mmx_v1" for fft, and
+     * "c_blocked"/"mmx_blocked" for gemm. Fatal on unknown pairs.
      *
      * With tracing enabled, a disk-cached trace is replayed instead of
      * executing, and live executions are captured for next time.

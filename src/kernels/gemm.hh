@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The blocked GEMM kernel benchmark: a Q15 16-bit matrix-matrix
+ * multiply in four variants that bracket the blocking design space
+ * (Aberdeen & Baxter's PIII GEMM study, scaled down to the paper's
+ * machines). All four produce bit-identical results: every variant
+ * accumulates the same multiset of 16x16->32 products mod 2^32 (the
+ * wraparound the hardware `add`/`paddd` implement), then emits
+ * saturate16(acc >> 15) per element, so reordering the sums by
+ * blocking cannot change a single output bit.
+ *
+ *  - runC:          naive triple loop around the 10-cycle imul; walks
+ *                   B column-wise, so the whole B matrix streams
+ *                   through the cache once per output row.
+ *  - runCBlocked:   jj/kk cache blocking over a 32-bit accumulator
+ *                   plane; the B block is the resident working set.
+ *  - runMmx:        scalar transpose of B, then one nsp::dotProdMmx
+ *                   library call per output element (the matvec idiom
+ *                   scaled up — pays call + emms overhead n^2 times).
+ *  - runMmxBlocked: packed B panel per (jj,kk) block so the pmaddwd
+ *                   inner loop is all-sequential loads, a 2x2 register
+ *                   tile of paddd accumulators, psrad+packssdw stores.
+ */
+
+#ifndef MMXDSP_KERNELS_GEMM_HH
+#define MMXDSP_KERNELS_GEMM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/cpu.hh"
+
+namespace mmxdsp::kernels {
+
+using runtime::Cpu;
+
+class GemmBenchmark
+{
+  public:
+    void setup(int dim, int block, uint64_t seed);
+
+    /** Replace the generated inputs (tests use full-range Q15 data). */
+    void setInputs(std::vector<int16_t> a, std::vector<int16_t> b);
+
+    void runC(Cpu &cpu);
+    void runCBlocked(Cpu &cpu);
+    void runMmx(Cpu &cpu);
+    void runMmxBlocked(Cpu &cpu);
+
+    /** Oracle: wraparound mod-2^32 accumulation, saturate16(acc >> 15). */
+    std::vector<int16_t> reference() const;
+
+    const std::vector<int16_t> &outC() const { return outC_; }
+    const std::vector<int16_t> &outCBlocked() const { return outCBlocked_; }
+    const std::vector<int16_t> &outMmx() const { return outMmx_; }
+    const std::vector<int16_t> &outMmxBlocked() const
+    {
+        return outMmxBlocked_;
+    }
+    int dim() const { return dim_; }
+    int block() const { return block_; }
+    /** Multiply-accumulates per run: dim^3 (the roofline numerator). */
+    uint64_t macCount() const
+    {
+        const uint64_t n = static_cast<uint64_t>(dim_);
+        return n * n * n;
+    }
+
+  private:
+    /** sar 15 + two clamp compare-and-branch pairs + 16-bit store. */
+    void storeSat16(Cpu &cpu, int16_t *p, runtime::R32 acc);
+
+    int dim_ = 0;
+    int block_ = 0;
+    std::vector<int16_t> a_, b_; ///< row-major dim x dim operands
+
+    std::vector<int16_t> bt_;    ///< runMmx: B transposed once, scalar
+    std::vector<int16_t> panel_; ///< runMmxBlocked: packed B block panel
+    std::vector<int32_t> acc_;   ///< blocked variants: 32-bit C plane
+
+    std::vector<int16_t> outC_, outCBlocked_, outMmx_, outMmxBlocked_;
+};
+
+} // namespace mmxdsp::kernels
+
+#endif // MMXDSP_KERNELS_GEMM_HH

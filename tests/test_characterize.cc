@@ -17,6 +17,7 @@
 #include "isa/op.hh"
 #include "sim/characterize.hh"
 #include "sim/timing_model.hh"
+#include "sim/uop.hh"
 
 namespace mmxdsp::sim {
 namespace {
@@ -144,6 +145,62 @@ TEST(Characterize, P6PDivergesFromP6ExactlyOnDualAluSaturation)
     // the imul chain matches the P6.
     EXPECT_EQ(p6p.at({Op::Imul, MemMode::None}).latency,
               p6.at({Op::Imul, MemMode::None}).latency);
+}
+
+TEST(Characterize, GemmRooflineOpsAgreeWithTheDescriptorTable)
+{
+    // The GEMM roofline analysis converts cycles into cycles/MAC using
+    // the pmaddwd (+paddd accumulate, +packssdw store) rates; if the
+    // measured machine ever drifted from the UopDesc contract those
+    // tables would silently lie. Tie the measured rows to the
+    // descriptor fields on all three models, plus literal spot goldens.
+    const auto p5 = byForm(rowsFor(ModelKind::P5));
+    const auto p6 = byForm(rowsFor(ModelKind::P6));
+    const auto p6p = byForm(rowsFor(ModelKind::P6P));
+
+    for (const Op op : {Op::Pmaddwd, Op::Paddd, Op::Packssdw}) {
+        const char *name = isa::opInfo(op).name;
+        isa::InstrEvent e;
+        e.op = op;
+        e.mem = MemMode::None;
+        const UopDesc &desc = uopDesc(e);
+
+        // Dependency-chain latencies must equal the per-model
+        // descriptor latencies (all three ops are 1-blocking, so the
+        // P5 chain sustains exactly latP5).
+        EXPECT_EQ(p5.at({op, MemMode::None}).latency, desc.latP5) << name;
+        EXPECT_EQ(p6.at({op, MemMode::None}).latency, desc.latP6) << name;
+        EXPECT_EQ(p6p.at({op, MemMode::None}).latency, desc.latP6) << name;
+
+        // P5 issue rate follows the structural-hazard flags: a
+        // single-instance unit (multiplier/shifter) serializes at 1
+        // per cycle, a freely-pairing MMX ALU op dual-issues.
+        const bool hazard = desc.flags & (kDescMmxMul | kDescMmxShift);
+        EXPECT_EQ(p5.at({op, MemMode::None}).throughput, hazard ? 1.0 : 0.5)
+            << name;
+
+        // P6 has no ports: every 1-uop op retires 3 per cycle.
+        ASSERT_EQ(desc.uops, 1) << name;
+        EXPECT_NEAR(p6.at({op, MemMode::None}).throughput, 1.0 / 3.0, 0.01)
+            << name;
+
+        // P6P dispatch follows the descriptor's port class: a
+        // single-port op sustains 1 per cycle, an either-port ALU op
+        // saturates both ports at 2 per cycle.
+        const double port_rate = desc.port == PortClass::Either ? 0.5 : 1.0;
+        EXPECT_NEAR(p6p.at({op, MemMode::None}).throughput, port_rate, 0.01)
+            << name;
+    }
+
+    // Literal spot goldens (independent of the descriptor table): the
+    // rates the EXPERIMENTS.md roofline discussion quotes.
+    EXPECT_EQ(p5.at({Op::Pmaddwd, MemMode::None}).latency, 3.0);
+    EXPECT_EQ(p5.at({Op::Pmaddwd, MemMode::None}).throughput, 1.0);
+    EXPECT_EQ(p5.at({Op::Paddd, MemMode::None}).throughput, 0.5);
+    EXPECT_EQ(p6.at({Op::Pmaddwd, MemMode::None}).latency, 3.0);
+    EXPECT_NEAR(p6p.at({Op::Pmaddwd, MemMode::None}).throughput, 1.0, 0.01);
+    EXPECT_NEAR(p6p.at({Op::Packssdw, MemMode::None}).throughput, 1.0,
+                0.01);
 }
 
 } // namespace

@@ -227,7 +227,8 @@ TEST(FormatV2, RandomStreamsRoundTripBitIdentical)
         EXPECT_EQ(a.leaves, b.leaves);
 
         for (const sim::ModelKind model :
-             {sim::ModelKind::P5, sim::ModelKind::P6}) {
+             {sim::ModelKind::P5, sim::ModelKind::P6,
+              sim::ModelKind::P6P}) {
             const sim::MachineConfig machine{model, sim::TimerConfig{}};
             expectSameProfile(loaded.replayProfile(machine),
                               built.replayProfile(machine),
@@ -368,7 +369,9 @@ TEST(FormatV2, FuzzedCorruptionNeverReplaysWrongNumbers)
 
 TEST(FormatV2, EveryPairMmapLoadMatchesVarintPathOnBothModels)
 {
-    // For all 19 benchmark pairs: capture once, then the v2 file load
+    // For every registry pair (allRuns() is counted, not enumerated,
+    // so new workloads join automatically): capture once, then the
+    // v2 file load
     // (the vprofd serving path) must replay bit-identical to the v1
     // varint decode (the original path) under both P5 and P6.
     ScratchDir scratch("mmxdsp_v2_pairs_test");
@@ -385,7 +388,8 @@ TEST(FormatV2, EveryPairMmapLoadMatchesVarintPathOnBothModels)
         ASSERT_TRUE(fromV2.loadV2File(path)) << bench << "." << version;
 
         for (const sim::ModelKind model :
-             {sim::ModelKind::P5, sim::ModelKind::P6}) {
+             {sim::ModelKind::P5, sim::ModelKind::P6,
+              sim::ModelKind::P6P}) {
             const sim::MachineConfig machine{model, sim::TimerConfig{}};
             expectSameProfile(fromV2.replayProfile(machine),
                               fromV1.replayProfile(machine),

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "harness/cli.hh"
 #include "harness/paper_data.hh"
 #include "harness/suite.hh"
 
@@ -108,6 +109,8 @@ TEST(SuiteConfigTest, HashCoversEveryWorkloadField)
     changed([](SuiteConfig &c) { ++c.iir_samples; }, "iir_samples");
     changed([](SuiteConfig &c) { c.fft_size *= 2; }, "fft_size");
     changed([](SuiteConfig &c) { ++c.matvec_dim; }, "matvec_dim");
+    changed([](SuiteConfig &c) { ++c.gemm_dim; }, "gemm_dim");
+    changed([](SuiteConfig &c) { ++c.gemm_block; }, "gemm_block");
     changed([](SuiteConfig &c) { ++c.image_width; }, "image_width");
     changed([](SuiteConfig &c) { ++c.image_height; }, "image_height");
     changed([](SuiteConfig &c) { ++c.jpeg_width; }, "jpeg_width");
@@ -116,6 +119,30 @@ TEST(SuiteConfigTest, HashCoversEveryWorkloadField)
     changed([](SuiteConfig &c) { ++c.g722_samples; }, "g722_samples");
     changed([](SuiteConfig &c) { ++c.radar_echoes; }, "radar_echoes");
     changed([](SuiteConfig &c) { ++c.seed; }, "seed");
+}
+
+TEST(BenchCli, ParseIntListAcceptsCommaSeparatedPositiveInts)
+{
+    std::vector<int> out;
+    EXPECT_TRUE(parseIntList("16,32,48", &out));
+    EXPECT_EQ(out, (std::vector<int>{16, 32, 48}));
+    EXPECT_TRUE(parseIntList("7", &out));
+    EXPECT_EQ(out, (std::vector<int>{7}));
+}
+
+TEST(BenchCli, ParseIntListRejectsMalformedInputWithoutTouchingOutput)
+{
+    const std::vector<int> sentinel{99};
+    for (const char *bad :
+         {"", "16,", ",16", "16,,32", "a", "16,a", "0", "-4", "16 32",
+          "3000000"}) {
+        std::vector<int> out = sentinel;
+        EXPECT_FALSE(parseIntList(bad, &out)) << "\"" << bad << "\"";
+        EXPECT_EQ(out, sentinel) << "\"" << bad << "\"";
+    }
+    std::vector<int> out{99};
+    EXPECT_FALSE(parseIntList(nullptr, &out));
+    EXPECT_EQ(out, (std::vector<int>{99}));
 }
 
 TEST(PaperData, TablesAreCompleteAndConsistent)

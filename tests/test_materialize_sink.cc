@@ -183,7 +183,8 @@ TEST(MaterializeSink, RandomStreamsMatchVarintPathBitIdentically)
         EXPECT_EQ(direct.instrCount(), fromV1.instrCount());
         EXPECT_EQ(direct.functionNames(), fromV1.functionNames());
         for (const sim::ModelKind model :
-             {sim::ModelKind::P5, sim::ModelKind::P6}) {
+             {sim::ModelKind::P5, sim::ModelKind::P6,
+              sim::ModelKind::P6P}) {
             const sim::MachineConfig machine{model, sim::TimerConfig{}};
             expectSameProfile(direct.replayProfile(machine),
                               fromV1.replayProfile(machine),
@@ -198,7 +199,7 @@ TEST(MaterializeSink, RandomStreamsMatchVarintPathBitIdentically)
 
 TEST(MaterializeSink, EveryPairDirectCaptureMatchesVarintPathOnBothModels)
 {
-    // For all 19 benchmark pairs: feeding the captured event stream
+    // For every allRuns() registry pair: feeding the captured event stream
     // through a MaterializeSink (the direct cold path) must be
     // bit-identical to TraceWriter → TraceReader → build (the golden
     // varint path) — replay results under P5 and P6, AND the full v2
@@ -215,7 +216,8 @@ TEST(MaterializeSink, EveryPairDirectCaptureMatchesVarintPathOnBothModels)
             directCapture(*reader, &cpu);
 
         for (const sim::ModelKind model :
-             {sim::ModelKind::P5, sim::ModelKind::P6}) {
+             {sim::ModelKind::P5, sim::ModelKind::P6,
+              sim::ModelKind::P6P}) {
             const sim::MachineConfig machine{model, sim::TimerConfig{}};
             expectSameProfile(direct.replayProfile(machine),
                               fromV1.replayProfile(machine),

@@ -577,6 +577,15 @@ TEST(QueryEngineTest, ParseQueryLineAcceptsAndRejects)
         "fft mmx model=p6p", &q, &error));
     EXPECT_EQ(q.machine.model, sim::ModelKind::P6P);
 
+    // The gemm family is registered: all four variants are known pairs.
+    for (const char *version : {"c", "c_blocked", "mmx", "mmx_blocked"}) {
+        ASSERT_TRUE(service::QueryEngine::parseQueryLine(
+            std::string("gemm ") + version, &q, &error))
+            << version;
+        EXPECT_EQ(q.benchmark, "gemm");
+        EXPECT_EQ(q.version, version);
+    }
+
     // Distinct machines hash apart; identical machines hash together.
     sim::MachineConfig a, b;
     EXPECT_EQ(service::machineHash(a), service::machineHash(b));

@@ -8,7 +8,7 @@
  *  - edge geometries the memo/lane paths could mishandle (direct-mapped
  *    caches, a 1-entry BTB, degenerate penalty sets) stay bit-identical
  *    to the scalar golden reference,
- *  - a randomized-config-set differential across all 19 (benchmark,
+ *  - a randomized-config-set differential across every registry (benchmark,
  *    version) pairs: replaySweepPacked() == replaySweepScalar() for
  *    every entry, P5 and P6 alike.
  *

@@ -29,21 +29,22 @@ namespace {
 
 // ---------------- cache-key stability ----------------
 
-// Captured from the pre-batching encoder. A change here means every
-// existing on-disk trace cache misses (or worse, collides): bump only
-// with a deliberate format/version migration.
+// A change here means every existing on-disk trace cache misses (or
+// worse, collides): bump only with a deliberate workload/format
+// migration. Last bumped when the gemm_dim/gemm_block workload fields
+// joined the key.
 TEST(TraceGolden, SuiteConfigHashIsStable)
 {
     harness::SuiteConfig config;
-    EXPECT_EQ(config.hash(), 0xcd9bf86654562e7full);
+    EXPECT_EQ(config.hash(), 0x8fc92f1c99584f5full);
 
     harness::SuiteConfig eighth;
     eighth.scaleDown(8);
-    EXPECT_EQ(eighth.hash(), 0x3f76aacf58f9a784ull);
+    EXPECT_EQ(eighth.hash(), 0xa591fef502cf4b19ull);
 
     harness::SuiteConfig thirtysecond;
     thirtysecond.scaleDown(32);
-    EXPECT_EQ(thirtysecond.hash(), 0xe00c3745603a6704ull);
+    EXPECT_EQ(thirtysecond.hash(), 0x109e820b5e76d541ull);
 }
 
 // ---------------- batched capture == per-event capture ----------------
